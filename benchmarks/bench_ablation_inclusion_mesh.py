@@ -1,0 +1,72 @@
+"""Ablation: Theorem 2's mesh-spacing trade-off for the controller inclusion.
+
+Sweeps the mesh spacing ``s`` of the Chebyshev-approximation LP and checks
+the paper's Remark 1 empirically: the verified error bound
+``sigma* = sigma~ + sL/2`` tightens monotonically as ``s`` shrinks (at the
+cost of a larger LP), and the sampled true error always lies inside the
+``[sigma~, sigma*]`` sandwich.
+
+Run:  pytest benchmarks/bench_ablation_inclusion_mesh.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from table1_common import bench_scale
+
+from repro.controllers import NNController, polynomial_inclusion
+from repro.sets import Box
+
+# the 0.05 mesh (40k LP rows) is worth the wait only at paper scale
+SPACINGS = (0.8, 0.4, 0.2, 0.1, 0.05) if bench_scale() == "paper" else (
+    0.8, 0.4, 0.2, 0.1,
+)
+
+
+@pytest.fixture(scope="module")
+def controller_and_domain():
+    rng = np.random.default_rng(7)
+    domain = Box.cube(2, -2.0, 2.0)
+    controller = NNController(2, 1, hidden=(10,), rng=rng)
+    test_pts = domain.sample(20_000, rng=rng)
+    return controller, domain, test_pts
+
+
+@pytest.mark.parametrize("spacing", SPACINGS)
+def test_mesh_spacing_sweep(benchmark, controller_and_domain, spacing):
+    controller, domain, test_pts = controller_and_domain
+    inc = benchmark.pedantic(
+        polynomial_inclusion,
+        args=(controller, domain),
+        kwargs=dict(degree=2, spacing=spacing),
+        rounds=1,
+        iterations=1,
+    )
+    true_err = float(
+        np.max(np.abs(controller(test_pts)[:, 0] - inc.polynomials[0](test_pts)))
+    )
+    benchmark.extra_info.update(
+        {
+            "spacing": inc.spacing,
+            "mesh_points": inc.n_mesh_points,
+            "sigma_tilde": round(inc.sigma_tilde[0], 5),
+            "sigma_star": round(inc.sigma_star[0], 5),
+            "true_err_sampled": round(true_err, 5),
+        }
+    )
+    # Theorem 2 sandwich on sampled truth
+    assert true_err <= inc.sigma_star[0] + 1e-9
+    _RESULTS[spacing] = inc.sigma_star[0]
+
+
+_RESULTS = {}
+
+
+def test_sigma_star_monotone_in_spacing(benchmark):
+    benchmark(lambda: None)  # aggregate check; keep visible under --benchmark-only
+    if len(_RESULTS) < len(SPACINGS):
+        pytest.skip("sweep benches did not run")
+    stars = [_RESULTS[s] for s in SPACINGS]
+    # finer mesh (later entries) -> tighter verified bound
+    for coarse, fine in zip(stars, stars[1:]):
+        assert fine <= coarse + 1e-9

@@ -1,0 +1,108 @@
+"""Figure 3 + Example 1: the Academic 3D model and its phase portrait.
+
+Reproduces (a) the Example 1 synthesis — a real degree-2 barrier
+certificate after a couple of CEGIS iterations (the paper's eq. (19) took
+2) — and (b) the Figure 3 data: a trajectory bundle from Theta that never
+meets the unsafe cube, the zero level set of B separating them, and worst
+counterexample points extracted from a deliberately false candidate
+(Figure 3a shows two such points).
+
+Run:  pytest benchmarks/bench_fig3_example1.py --benchmark-only
+"""
+
+import numpy as np
+import pytest
+
+from table1_common import prepared
+
+from repro.analysis import phase_portrait
+from repro.cegis import CounterexampleGenerator, SNBC
+from repro.poly import Polynomial
+
+_STATE = {}
+
+
+def _synthesize():
+    spec, problem, controller = prepared("example1")
+    snbc = SNBC(
+        problem,
+        controller=controller,
+        learner_config=spec.learner_config(),
+        config=spec.snbc_config("paper"),
+    )
+    return snbc.run()
+
+
+def test_example1_synthesis(benchmark):
+    result = benchmark.pedantic(_synthesize, rounds=1, iterations=1)
+    _STATE["result"] = result
+    assert result.success, "Example 1 must synthesize a real BC"
+    # paper: success within a couple of iterations, degree-2 certificate
+    assert result.barrier.degree == 2
+    assert result.iterations <= 6
+    benchmark.extra_info.update(
+        {
+            "iterations": result.iterations,
+            "T_e": round(result.timings.total, 3),
+            "n_terms": len(result.barrier.coeffs),
+        }
+    )
+
+
+def test_fig3b_level_set_separates(benchmark):
+    """Figure 3(b): zero level set of B separates Xi from the trajectories."""
+    if "result" not in _STATE:
+        _STATE["result"] = _synthesize()
+    result = _STATE["result"]
+    spec, problem, controller = prepared("example1")
+
+    data = benchmark.pedantic(
+        phase_portrait,
+        args=(problem, result.barrier),
+        kwargs=dict(
+            controller=controller,
+            n_trajectories=12,
+            t_final=8.0,
+            rng=np.random.default_rng(0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    B = result.barrier
+    # trajectories from Theta stay on the B >= 0 side and never reach Xi
+    assert not data.any_trajectory_unsafe
+    for traj in data.trajectories:
+        assert np.all(B(traj) > -1e-6)
+    # the unsafe cube lies strictly on the B < 0 side
+    xi_pts = problem.xi.sample(2000, rng=np.random.default_rng(1))
+    assert np.all(B(xi_pts) < 0)
+    # and the level set actually sits between: B ~ 0 there
+    assert len(data.level_set_points) > 0
+    assert np.median(np.abs(B(data.level_set_points))) < 0.1
+    benchmark.extra_info["level_points"] = len(data.level_set_points)
+
+
+def test_fig3a_worst_counterexamples(benchmark):
+    """Figure 3(a): a false candidate yields worst-violation points."""
+    spec, problem, controller = prepared("example1")
+    if "result" not in _STATE:
+        _STATE["result"] = _synthesize()
+    inclusion = _STATE["result"].inclusion
+
+    # a deliberately false candidate: B = -1 - x1 (negative on most of Theta)
+    false_B = Polynomial(3, {(0, 0, 0): -1.0, (1, 0, 0): -1.0})
+    gen = CounterexampleGenerator(
+        problem, inclusion.polynomials, inclusion.sigma_star
+    )
+    cexs = benchmark.pedantic(
+        gen.generate,
+        args=(false_B, Polynomial.zero(3), ["init", "lie"]),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(cexs) >= 1  # Figure 3a shows the worst points of a false BC
+    for cex in cexs:
+        assert cex.worst_violation > 0
+        assert cex.gamma >= 0
+        assert len(cex.points) >= 1
+    benchmark.extra_info["n_counterexamples"] = sum(len(c.points) for c in cexs)

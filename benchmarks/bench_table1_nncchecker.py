@@ -1,0 +1,93 @@
+"""Table 1, NNCChecker columns: SOS candidate + dReal-style verification.
+
+Paper shape: NNCChecker certifies 9 of 14 systems (through C9) and marks
+x beyond n_x = 6 — candidate synthesis plus interval verification both
+degrade with dimension.  Budgets are laptop-scaled.
+
+Run:  pytest benchmarks/bench_table1_nncchecker.py --benchmark-only
+"""
+
+import pytest
+
+from table1_common import bench_scale, prepared, prepared_inclusion, systems_for_scale
+
+from repro.baselines import BaselineStatus, NNCCheckerBaseline, NNCCheckerConfig
+
+_RESULTS = {}
+
+
+def _budget() -> NNCCheckerConfig:
+    if bench_scale() == "paper":
+        return NNCCheckerConfig(
+            max_refinements=4,
+            delta=2e-2,
+            max_boxes_per_check=120_000,
+            time_limit=300.0,
+            seed=0,
+        )
+    return NNCCheckerConfig(
+        max_refinements=2,
+        delta=2e-2,
+        max_boxes_per_check=40_000,
+        time_limit=60.0,
+        seed=0,
+    )
+
+
+def _run(name: str):
+    spec, problem, controller = prepared(name)
+    inclusion = prepared_inclusion(name)
+    baseline = NNCCheckerBaseline(
+        problem,
+        controller=controller,
+        controller_polys=inclusion.polynomials,
+        config=_budget(),
+    )
+    return baseline.run()
+
+
+@pytest.mark.parametrize("name", systems_for_scale())
+def test_nncchecker_table1_row(benchmark, name):
+    result = benchmark.pedantic(_run, args=(name,), rounds=1, iterations=1)
+    _RESULTS[name] = result
+    benchmark.extra_info.update(
+        {
+            "status": result.status.value,
+            "I_n": result.iterations,
+            "T_l": round(result.learn_seconds, 3),
+            "T_v": round(result.verify_seconds, 3),
+            "T_e": round(result.total_seconds, 3),
+        }
+    )
+    spec, _, _ = prepared(name)
+    if spec.n_x >= 6:
+        # Table 1: NNCChecker marks x from C10 on
+        assert result.status is not BaselineStatus.SUCCESS, (
+            f"{name} (n_x={spec.n_x}) unexpectedly succeeded"
+        )
+
+
+def test_nncchecker_table1_print(benchmark, capsys):
+    benchmark(lambda: None)  # aggregate check; keep visible under --benchmark-only
+    if not _RESULTS:
+        pytest.skip("row benches did not run")
+    from repro.analysis import Table, format_table
+
+    table = Table(
+        columns=["Ex.", "status", "I_n", "T_l", "T_v", "T_e"],
+        title=f"Table 1 / NNCChecker columns (scale={bench_scale()}, budgets shrunk)",
+    )
+    for name, res in _RESULTS.items():
+        table.add_row(
+            **{
+                "Ex.": name,
+                "status": res.status.value,
+                "I_n": res.iterations,
+                "T_l": res.learn_seconds,
+                "T_v": res.verify_seconds,
+                "T_e": res.total_seconds,
+            }
+        )
+    with capsys.disabled():
+        print()
+        print(format_table(table))

@@ -1,0 +1,111 @@
+"""Head-to-head on one benchmark: SNBC vs FOSSIL / NNCChecker / SOSTOOLS.
+
+A single-row slice of Table 1: all four tools attack the same 2D benchmark
+(C1) with the same NN controller; the script prints per-tool learning /
+verification / total times.  The full 14-system sweep lives in
+``benchmarks/bench_table1_*.py``.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+import numpy as np
+
+from repro.analysis import Table, format_table
+from repro.baselines import (
+    FossilBaseline,
+    FossilConfig,
+    NNCCheckerBaseline,
+    NNCCheckerConfig,
+    SOSToolsBaseline,
+    SOSToolsConfig,
+)
+from repro.benchmarks import get_benchmark
+from repro.cegis import SNBC
+from repro.controllers import polynomial_inclusion
+
+
+def main() -> None:
+    spec = get_benchmark("C1")
+    problem = spec.make_problem()
+    controller = spec.make_controller()
+    print(f"benchmark C1: {problem.system!r} ({spec.source})\n")
+
+    table = Table(
+        columns=["tool", "status", "d_B", "iters", "T_l", "T_v", "T_e"],
+        title="one row of Table 1 (seconds; shapes matter, not absolutes)",
+    )
+
+    # --- SNBC (this paper)
+    res = SNBC(
+        problem,
+        controller=controller,
+        learner_config=spec.learner_config(),
+        config=spec.snbc_config("paper"),
+    ).run()
+    table.add_row(
+        tool="SNBC",
+        status="ok" if res.success else "fail",
+        d_B=res.barrier.degree if res.success else None,
+        iters=res.iterations,
+        T_l=res.timings.learning,
+        T_v=res.timings.verification,
+        T_e=res.timings.total,
+    )
+
+    # --- FOSSIL-style (NN learner + SMT-style interval verifier)
+    fossil = FossilBaseline(
+        problem,
+        controller=controller,
+        learner_config=spec.learner_config(),
+        config=FossilConfig(max_iterations=8, delta=5e-2, time_limit=120.0, seed=0),
+    ).run()
+    table.add_row(
+        tool="FOSSIL*",
+        status=fossil.status.value,
+        d_B=fossil.degree,
+        iters=fossil.iterations,
+        T_l=fossil.learn_seconds,
+        T_v=fossil.verify_seconds,
+        T_e=fossil.total_seconds,
+    )
+
+    # --- NNCChecker-style (SOS candidate + dReal-style verification)
+    inclusion = polynomial_inclusion(controller, problem.psi, degree=2, spacing=0.1)
+    nnc = NNCCheckerBaseline(
+        problem,
+        controller=controller,
+        controller_polys=inclusion.polynomials,
+        config=NNCCheckerConfig(max_refinements=3, delta=5e-2, seed=0),
+    ).run()
+    table.add_row(
+        tool="NNCChecker*",
+        status=nnc.status.value,
+        d_B=nnc.degree,
+        iters=nnc.iterations,
+        T_l=nnc.learn_seconds,
+        T_v=nnc.verify_seconds,
+        T_e=nnc.total_seconds,
+    )
+
+    # --- SOSTOOLS-style (direct one-shot SOS, random fixed multipliers)
+    sos = SOSToolsBaseline(
+        problem,
+        controller_polys=inclusion.polynomials,
+        config=SOSToolsConfig(degrees=(2, 4), n_random_multipliers=3, seed=0),
+    ).run()
+    table.add_row(
+        tool="SOSTOOLS*",
+        status=sos.status.value,
+        d_B=sos.degree,
+        iters=sos.iterations,
+        T_l=sos.learn_seconds,
+        T_v=sos.verify_seconds,
+        T_e=sos.total_seconds,
+    )
+
+    print(format_table(table))
+    print("\n(* reimplementations on the same substrate; see DESIGN.md)")
+
+
+if __name__ == "__main__":
+    main()

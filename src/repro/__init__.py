@@ -1,0 +1,67 @@
+"""SNBC: neural barrier certificate synthesis for NN-controlled systems.
+
+A from-scratch reproduction of Zhao et al., "Neural Barrier Certificates
+Synthesis of NN-Controlled Continuous Systems via Counterexample-Guided
+Learning" (DAC 2024).  See README.md for a tour and DESIGN.md for the
+system inventory.
+
+The one-call entry point:
+
+>>> from repro import synthesize_barrier                    # doctest: +SKIP
+>>> result = synthesize_barrier(problem, controller=k)      # doctest: +SKIP
+>>> result.success, result.barrier                          # doctest: +SKIP
+"""
+
+from typing import Optional
+
+__version__ = "1.0.0"
+
+
+def synthesize_barrier(
+    problem,
+    controller=None,
+    max_iterations: int = 10,
+    n_samples: int = 500,
+    seed: int = 0,
+    b_hidden=(10,),
+    lambda_hidden=(5,),
+    **snbc_kwargs,
+):
+    """Synthesize a barrier certificate for a CCDS with sensible defaults.
+
+    A thin convenience wrapper over :class:`repro.cegis.SNBC`; use the
+    class directly for full control over learner/verifier/counterexample
+    configuration.
+
+    Parameters
+    ----------
+    problem:
+        A :class:`repro.dynamics.CCDS` safety instance.
+    controller:
+        The NN controller for controlled plants (omit for autonomous ones).
+    b_hidden / lambda_hidden:
+        Hidden widths of the barrier and multiplier networks
+        (``lambda_hidden=None`` selects the constant multiplier).
+
+    Returns
+    -------
+    repro.cegis.SNBCResult
+    """
+    from repro.cegis import SNBC, SNBCConfig
+    from repro.learner import LearnerConfig
+
+    return SNBC(
+        problem,
+        controller=controller,
+        learner_config=LearnerConfig(
+            b_hidden=tuple(b_hidden),
+            lambda_hidden=None if lambda_hidden is None else tuple(lambda_hidden),
+            seed=seed,
+        ),
+        config=SNBCConfig(
+            max_iterations=max_iterations,
+            n_samples=n_samples,
+            seed=seed,
+            **snbc_kwargs,
+        ),
+    ).run()

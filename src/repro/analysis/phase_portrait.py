@@ -1,0 +1,100 @@
+"""Figure 3 data: trajectories, barrier level set, counterexample points.
+
+The paper's Figure 3 shows (a) a false candidate with the two worst
+counterexamples and (b) the final barrier's zero level set separating the
+unsafe cube from all trajectories.  This module computes the underlying
+data series; rendering is left to the caller (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.simulate import ControlLaw, check_empirical_safety
+from repro.dynamics import CCDS
+from repro.poly import Polynomial
+
+
+@dataclass
+class PhasePortraitData:
+    """All series needed to render a Figure 3-style phase portrait."""
+
+    trajectories: List[np.ndarray]
+    level_set_points: np.ndarray  # points with B(x) ~ 0
+    counterexample_points: np.ndarray
+    barrier_grid: Optional[np.ndarray] = None  # (m, n+1): coords + B value
+    any_trajectory_unsafe: bool = False
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.trajectories)} trajectories, "
+            f"{len(self.level_set_points)} level-set points, "
+            f"{len(self.counterexample_points)} counterexamples, "
+            f"unsafe={self.any_trajectory_unsafe}"
+        )
+
+
+def _level_set_sampling(
+    B: Polynomial,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    n_samples: int,
+    tol_quantile: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample points near the zero level set of ``B`` inside a box.
+
+    Draws a large uniform cloud, keeps the fraction with the smallest
+    ``|B|`` and refines each kept point by a few bisection steps along the
+    local gradient direction.
+    """
+    cloud = rng.uniform(lo, hi, size=(n_samples * 20, lo.shape[0]))
+    vals = np.abs(B(cloud))
+    keep = cloud[np.argsort(vals)[:n_samples]]
+    grads = B.grad()
+    pts = keep.copy()
+    for _ in range(8):
+        v = B(pts)
+        g = np.stack([gp(pts) for gp in grads], axis=1)
+        norms = np.sum(g * g, axis=1)
+        norms[norms < 1e-12] = 1.0
+        pts = pts - (v / norms)[:, None] * g  # Newton step toward B = 0
+        pts = np.clip(pts, lo, hi)
+    final = pts[np.abs(B(pts)) < np.quantile(np.abs(B(pts)), tol_quantile)]
+    return final if len(final) else pts
+
+
+def phase_portrait(
+    problem: CCDS,
+    B: Polynomial,
+    controller: ControlLaw = None,
+    counterexamples: Sequence[np.ndarray] = (),
+    n_trajectories: int = 15,
+    t_final: float = 10.0,
+    n_level_points: int = 400,
+    rng: Optional[np.random.Generator] = None,
+) -> PhasePortraitData:
+    """Assemble the Figure 3 data for a (candidate or final) barrier."""
+    rng = rng or np.random.default_rng(0)
+    sims = check_empirical_safety(
+        problem, controller, n_trajectories=n_trajectories, t_final=t_final, rng=rng
+    )
+    lo, hi = problem.psi.bounding_box
+    level = _level_set_sampling(B, lo, hi, n_level_points, 0.9, rng)
+    grid = rng.uniform(lo, hi, size=(2000, problem.n_vars))
+    grid_vals = np.column_stack([grid, B(grid)])
+    cex = (
+        np.vstack([np.atleast_2d(c) for c in counterexamples])
+        if len(counterexamples)
+        else np.zeros((0, problem.n_vars))
+    )
+    return PhasePortraitData(
+        trajectories=[s.states for s in sims],
+        level_set_points=level,
+        counterexample_points=cex,
+        barrier_grid=grid_vals,
+        any_trajectory_unsafe=any(s.entered_unsafe for s in sims),
+    )

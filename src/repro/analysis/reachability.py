@@ -1,0 +1,126 @@
+"""Monte-Carlo reachability estimation for closed-loop systems.
+
+A statistical complement to the formal certificates: sample many initial
+states, integrate the true closed loop, and summarize where the flow goes —
+per-time axis-aligned bounds (an empirical reach tube), distance to the
+unsafe set, and the certificate's margin along the flow.  Used by
+integration tests to confirm that a certified instance also *looks* safe,
+and by users to size Theta/Psi/Xi when building new problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.simulate import ControlLaw, simulate
+from repro.dynamics import CCDS
+from repro.poly import Polynomial
+
+
+@dataclass
+class ReachTube:
+    """Empirical reach tube: per-time-bucket axis-aligned state bounds."""
+
+    times: np.ndarray  # bucket centers, (k,)
+    lower: np.ndarray  # (k, n)
+    upper: np.ndarray  # (k, n)
+
+    @property
+    def final_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.lower[-1], self.upper[-1]
+
+    def contains(self, t: float, x: np.ndarray) -> bool:
+        """Is ``x`` inside the tube's bucket covering time ``t``?"""
+        idx = int(np.clip(np.searchsorted(self.times, t), 0, len(self.times) - 1))
+        return bool(
+            np.all(x >= self.lower[idx] - 1e-12)
+            and np.all(x <= self.upper[idx] + 1e-12)
+        )
+
+
+@dataclass
+class ReachabilityReport:
+    """Summary of a Monte-Carlo reachability run."""
+
+    n_trajectories: int
+    n_unsafe: int
+    n_exited_domain: int
+    tube: ReachTube
+    min_unsafe_distance: float
+    min_barrier_value: Optional[float] = None
+
+    @property
+    def empirically_safe(self) -> bool:
+        return self.n_unsafe == 0
+
+
+def estimate_reachability(
+    problem: CCDS,
+    controller: ControlLaw = None,
+    n_trajectories: int = 50,
+    t_final: float = 10.0,
+    n_buckets: int = 20,
+    barrier: Optional[Polynomial] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> ReachabilityReport:
+    """Sample trajectories from Theta and summarize the reachable flow.
+
+    ``barrier`` (when given) is evaluated along all in-domain states and
+    the minimum recorded — a certified ``B`` must keep it nonnegative.
+    """
+    if n_trajectories < 1 or n_buckets < 1:
+        raise ValueError("n_trajectories and n_buckets must be positive")
+    rng = rng or np.random.default_rng(0)
+    starts = problem.theta.sample(n_trajectories, rng=rng)
+    edges = np.linspace(0.0, t_final, n_buckets + 1)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    n = problem.n_vars
+    lower = np.full((n_buckets, n), np.inf)
+    upper = np.full((n_buckets, n), -np.inf)
+
+    n_unsafe = 0
+    n_exited = 0
+    min_dist = np.inf
+    min_b = np.inf
+    xi_center = None
+    if problem.xi.bounding_box is not None:
+        lo_xi, hi_xi = problem.xi.bounding_box
+        xi_center = 0.5 * (np.asarray(lo_xi) + np.asarray(hi_xi))
+
+    for x0 in starts:
+        sim = simulate(problem, x0, controller=controller, t_final=t_final)
+        n_unsafe += int(sim.entered_unsafe)
+        n_exited += int(sim.exited_domain)
+        idx = np.clip(np.digitize(sim.times, edges) - 1, 0, n_buckets - 1)
+        for b in np.unique(idx):
+            pts = sim.states[idx == b]
+            lower[b] = np.minimum(lower[b], pts.min(axis=0))
+            upper[b] = np.maximum(upper[b], pts.max(axis=0))
+        if xi_center is not None:
+            min_dist = min(
+                min_dist,
+                float(np.min(np.linalg.norm(sim.states - xi_center, axis=1))),
+            )
+        if barrier is not None:
+            inside = problem.psi.contains(sim.states)
+            if np.any(inside):
+                min_b = min(min_b, float(np.min(barrier(sim.states[inside]))))
+
+    # empty buckets (trajectories stopped early): collapse to predecessors
+    for b in range(n_buckets):
+        if not np.all(np.isfinite(lower[b])):
+            src = max(0, b - 1)
+            lower[b] = lower[src]
+            upper[b] = upper[src]
+
+    return ReachabilityReport(
+        n_trajectories=n_trajectories,
+        n_unsafe=n_unsafe,
+        n_exited_domain=n_exited,
+        tube=ReachTube(times=centers, lower=lower, upper=upper),
+        min_unsafe_distance=float(min_dist),
+        min_barrier_value=None if barrier is None else float(min_b),
+    )

@@ -1,0 +1,156 @@
+"""Markdown report generation for the Table 1 reproduction.
+
+``build_table1_report`` runs SNBC (and optionally the baselines) over the
+benchmark registry and renders a markdown section in the layout of the
+paper's Table 1 — the engine behind the numbers recorded in
+EXPERIMENTS.md and a reproducibility artifact in its own right:
+
+    python -m repro.analysis.report --scale smoke --output report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import Table, format_table
+from repro.benchmarks import get_benchmark, list_benchmarks
+
+
+@dataclass
+class Table1Row:
+    """Measured SNBC results for one benchmark system."""
+
+    name: str
+    n_x: int
+    d_f: int
+    nn_b: str
+    nn_lambda: str
+    success: bool
+    d_b: Optional[int]
+    iterations: int
+    t_learn: float
+    t_cex: float
+    t_verify: float
+    t_total: float
+
+
+def run_snbc_rows(
+    systems: Optional[Sequence[str]] = None,
+    scale: str = "smoke",
+    progress=None,
+) -> List[Table1Row]:
+    """Run SNBC over the registry and collect Table 1 rows."""
+    from repro.cegis import SNBC
+
+    rows: List[Table1Row] = []
+    for name in systems or [n for n in list_benchmarks() if n != "example1"]:
+        spec = get_benchmark(name)
+        problem = spec.make_problem()
+        controller = spec.make_controller()
+        result = SNBC(
+            problem,
+            controller=controller,
+            learner_config=spec.learner_config(),
+            config=spec.snbc_config(scale),
+        ).run()
+        meta = spec.table_row()
+        rows.append(
+            Table1Row(
+                name=name,
+                n_x=meta["n_x"],
+                d_f=meta["d_f"],
+                nn_b=meta["NN_B"],
+                nn_lambda=meta["NN_lambda"],
+                success=result.success,
+                d_b=result.barrier.degree if result.success else None,
+                iterations=result.iterations,
+                t_learn=result.timings.learning,
+                t_cex=result.timings.counterexample,
+                t_verify=result.timings.verification,
+                t_total=result.timings.total,
+            )
+        )
+        if progress is not None:
+            progress(rows[-1])
+    return rows
+
+
+def render_markdown(rows: Sequence[Table1Row], scale: str) -> str:
+    """Render collected rows as a markdown table plus summary lines."""
+    lines = [
+        f"### Table 1 / SNBC columns (measured, scale={scale})",
+        "",
+        "| Ex. | n_x | d_f | NN_B | NN_lambda | d_B | I_s | T_l (s) | T_c (s) | T_v (s) | T_e (s) |",
+        "|---|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    for r in rows:
+        lines.append(
+            f"| {r.name} | {r.n_x} | {r.d_f} | {r.nn_b} | {r.nn_lambda} | "
+            f"{r.d_b if r.success else 'x'} | {r.iterations} | "
+            f"{r.t_learn:.3f} | {r.t_cex:.3f} | {r.t_verify:.3f} | {r.t_total:.3f} |"
+        )
+    solved = sum(r.success for r in rows)
+    lines += [
+        "",
+        f"Solved: **{solved}/{len(rows)}** systems "
+        f"(paper: SNBC solves 14/14, d_B = 2 throughout).",
+    ]
+    if solved:
+        mean_total = sum(r.t_total for r in rows if r.success) / solved
+        lines.append(f"Mean T_e over solved systems: {mean_total:.3f} s.")
+    return "\n".join(lines)
+
+
+def render_text(rows: Sequence[Table1Row], scale: str) -> str:
+    """Plain-text rendering (for terminals / bench logs)."""
+    table = Table(
+        columns=["Ex.", "n_x", "d_f", "NN_B", "NN_lambda", "d_B", "I_s",
+                 "T_l", "T_c", "T_v", "T_e"],
+        title=f"Table 1 / SNBC columns (scale={scale})",
+    )
+    for r in rows:
+        table.add_row(
+            **{
+                "Ex.": r.name,
+                "n_x": r.n_x,
+                "d_f": r.d_f,
+                "NN_B": r.nn_b,
+                "NN_lambda": r.nn_lambda,
+                "d_B": r.d_b,
+                "I_s": r.iterations,
+                "T_l": r.t_learn,
+                "T_c": r.t_cex,
+                "T_v": r.t_verify,
+                "T_e": r.t_total,
+            }
+        )
+    return format_table(table)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["smoke", "paper"], default="smoke")
+    parser.add_argument("--systems", nargs="*", default=None)
+    parser.add_argument("--output", default=None, help="markdown output path")
+    args = parser.parse_args(argv)
+
+    def progress(row: Table1Row) -> None:
+        status = "ok" if row.success else "FAIL"
+        print(f"  {row.name}: {status} in {row.t_total:.2f}s "
+              f"({row.iterations} iterations)", flush=True)
+
+    rows = run_snbc_rows(args.systems, scale=args.scale, progress=progress)
+    print()
+    print(render_text(rows, args.scale))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(render_markdown(rows, args.scale) + "\n")
+        print(f"\nmarkdown written to {args.output}")
+    return 0 if all(r.success for r in rows) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Closed-loop simulation and empirical safety checking.
+
+Complements the formal certificates: integrates trajectories of the true
+NN-controlled system (not the polynomial inclusion) and checks that none
+enters the unsafe set — the sanity check behind Figure 3's trajectory
+bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from repro.controllers import NNController
+from repro.dynamics import CCDS
+from repro.poly import Polynomial
+
+ControlLaw = Union[NNController, Callable[[np.ndarray], np.ndarray], None]
+
+
+@dataclass
+class SimulationResult:
+    """One integrated trajectory."""
+
+    times: np.ndarray
+    states: np.ndarray  # (len(times), n)
+    exited_domain: bool
+    entered_unsafe: bool
+
+    @property
+    def final_state(self) -> np.ndarray:
+        return self.states[-1]
+
+
+def _control_values(controller: ControlLaw, x: np.ndarray, n_inputs: int) -> np.ndarray:
+    if controller is None or n_inputs == 0:
+        return np.zeros(n_inputs)
+    u = np.asarray(controller(x), dtype=float).reshape(-1)
+    if u.shape != (n_inputs,):
+        raise ValueError(f"controller returned shape {u.shape}, expected ({n_inputs},)")
+    return u
+
+
+def simulate(
+    problem: CCDS,
+    x0: np.ndarray,
+    controller: ControlLaw = None,
+    t_final: float = 10.0,
+    max_step: float = 0.05,
+) -> SimulationResult:
+    """Integrate the closed loop from ``x0`` with RK45.
+
+    Integration stops early when the trajectory leaves the domain ``Psi``
+    (the safety definition only constrains behaviour while inside).
+    """
+    system = problem.system
+    x0 = np.asarray(x0, dtype=float)
+    if x0.shape != (system.n_vars,):
+        raise ValueError(f"x0 must have shape ({system.n_vars},)")
+
+    def rhs(_t: float, x: np.ndarray) -> np.ndarray:
+        u = _control_values(controller, x, system.n_inputs)
+        return system.rhs(x[None, :], u[None, :])[0]
+
+    def exit_event(_t: float, x: np.ndarray) -> float:
+        return float(problem.psi.violation(x)) - 1e-9
+
+    exit_event.terminal = True  # type: ignore[attr-defined]
+    exit_event.direction = 1.0  # type: ignore[attr-defined]
+
+    sol = solve_ivp(
+        rhs,
+        (0.0, t_final),
+        x0,
+        max_step=max_step,
+        events=[exit_event],
+        rtol=1e-6,
+        atol=1e-8,
+        dense_output=False,
+    )
+    states = sol.y.T
+    entered_unsafe = bool(np.any(problem.xi.contains(states)))
+    exited = bool(sol.status == 1)
+    return SimulationResult(
+        times=sol.t, states=states, exited_domain=exited, entered_unsafe=entered_unsafe
+    )
+
+
+def check_empirical_safety(
+    problem: CCDS,
+    controller: ControlLaw = None,
+    n_trajectories: int = 20,
+    t_final: float = 10.0,
+    rng: Optional[np.random.Generator] = None,
+) -> List[SimulationResult]:
+    """Simulate a bundle of trajectories from Theta; returns all results.
+
+    A certificate claim is suspect if any trajectory here enters Xi — used
+    in integration tests to cross-check the formal pipeline.
+    """
+    rng = rng or np.random.default_rng(0)
+    starts = problem.theta.sample(n_trajectories, rng=rng)
+    return [
+        simulate(problem, x0, controller=controller, t_final=t_final)
+        for x0 in starts
+    ]
+
+
+def barrier_along_trajectory(B: Polynomial, result: SimulationResult) -> np.ndarray:
+    """Evaluate the certificate along a trajectory (should stay >= 0 while
+    the trajectory stays in the domain)."""
+    return B(result.states)

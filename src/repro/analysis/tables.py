@@ -1,0 +1,60 @@
+"""Result-table assembly and ASCII rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A simple column-ordered result table."""
+
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, **values: Any) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        if name not in self.columns:
+            raise ValueError(f"no column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0.0):
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(table: Table) -> str:
+    """Monospace rendering with a header rule, Table 1 style."""
+    widths = {c: len(c) for c in table.columns}
+    rendered_rows = []
+    for row in table.rows:
+        rendered = {c: _fmt(row.get(c)) for c in table.columns}
+        for c, text in rendered.items():
+            widths[c] = max(widths[c], len(text))
+        rendered_rows.append(rendered)
+    header = "  ".join(c.ljust(widths[c]) for c in table.columns)
+    rule = "-" * len(header)
+    lines = []
+    if table.title:
+        lines.append(table.title)
+    lines.extend([header, rule])
+    for rendered in rendered_rows:
+        lines.append("  ".join(rendered[c].ljust(widths[c]) for c in table.columns))
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Baseline barrier-certificate tools compared against in Table 1.
+
+* :mod:`repro.baselines.fossil` — FOSSIL-style CEGIS: an NN Learner with an
+  SMT-style (interval branch-and-prune) Verifier that reasons about the
+  *actual* NN controller in the loop;
+* :mod:`repro.baselines.nncchecker` — NNCChecker-style: numerical SOS
+  candidate generation followed by dReal-style interval verification of the
+  conditions;
+* :mod:`repro.baselines.sostools` — SOSTOOLS-style one-shot SOS synthesis
+  with an unknown polynomial ``B`` and randomly-drawn fixed multipliers
+  (the paper's protocol for its SOSTOOLS column).
+
+All three share :class:`repro.baselines.common.BaselineResult` so the
+Table 1 harness can aggregate them uniformly.
+"""
+
+from repro.baselines.common import BaselineResult, BaselineStatus
+from repro.baselines.fossil import FossilBaseline, FossilConfig
+from repro.baselines.nncchecker import NNCCheckerBaseline, NNCCheckerConfig
+from repro.baselines.sostools import SOSToolsBaseline, SOSToolsConfig
+
+__all__ = [
+    "BaselineResult",
+    "BaselineStatus",
+    "FossilBaseline",
+    "FossilConfig",
+    "NNCCheckerBaseline",
+    "NNCCheckerConfig",
+    "SOSToolsBaseline",
+    "SOSToolsConfig",
+]

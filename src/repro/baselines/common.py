@@ -1,0 +1,55 @@
+"""Shared result types for the baseline tools."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.poly import Polynomial
+
+
+class BaselineStatus(enum.Enum):
+    """How a baseline run ended (mirrors Table 1's cell markings)."""
+
+    SUCCESS = "success"
+    TIMEOUT = "OT"  # Table 1's "OT": over the time budget
+    INFEASIBLE = "x"  # Table 1's "x": no certificate within degree bounds
+    FAILED = "failed"
+
+
+@dataclass
+class BaselineResult:
+    """Uniform outcome record across FOSSIL / NNCChecker / SOSTOOLS runs."""
+
+    tool: str
+    status: BaselineStatus
+    barrier: Optional[Polynomial] = None
+    #: the multiplier lambda used/found alongside the barrier (when any)
+    multiplier: Optional[Polynomial] = None
+    degree: Optional[int] = None
+    iterations: int = 0
+    learn_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    total_seconds: float = 0.0
+    message: str = ""
+
+    @property
+    def success(self) -> bool:
+        return self.status is BaselineStatus.SUCCESS
+
+    def table_cells(self) -> dict:
+        """Columns in Table 1's per-tool layout."""
+        mark = {
+            BaselineStatus.SUCCESS: "ok",
+            BaselineStatus.TIMEOUT: "OT",
+            BaselineStatus.INFEASIBLE: "x",
+            BaselineStatus.FAILED: "x",
+        }[self.status]
+        return {
+            "d_B": self.degree if self.success else None,
+            "iters": self.iterations if self.success else None,
+            "T_l": self.learn_seconds if self.success else None,
+            "T_v": self.verify_seconds if self.success else None,
+            "T_e": self.total_seconds if self.success else mark,
+        }

@@ -1,0 +1,190 @@
+"""NNCChecker-style baseline: SOS candidate generation + dReal verification.
+
+NNCChecker (Sha et al., DAC'21) synthesizes polynomial barrier candidates
+for NN-controlled loops by numerical SOS optimization over the
+polynomial-*approximated* controller, then formally verifies the barrier
+conditions with dReal.  This reimplementation mirrors that split:
+
+1. candidate generation = the one-shot SOS synthesis (shared with the
+   SOSTOOLS-style code path, random fixed multipliers);
+2. verification = the interval branch-and-prune delta-decision engine on
+   the *true NN* closed loop;
+3. failed verification tightens the strictness margins and retries
+   (the iterative refinement reflected by Table 1's ``I_n`` column).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, BaselineStatus
+from repro.baselines.fossil import FossilBaseline, FossilConfig
+from repro.baselines.sostools import SOSToolsBaseline, SOSToolsConfig
+from repro.controllers import NNController
+from repro.dynamics import CCDS
+from repro.poly import Polynomial
+from repro.smt import BranchAndPrune, CheckStatus
+
+
+@dataclass
+class NNCCheckerConfig:
+    """Protocol knobs for the candidate/verify iterations."""
+
+    max_refinements: int = 4
+    degree: int = 2
+    lambda_degree: int = 1
+    #: the synthesis margin must absorb the gap between the approximated
+    #: controller used for synthesis and the true NN checked by dReal
+    eps_start: float = 0.05
+    eps_growth: float = 4.0
+    delta: float = 1e-2
+    max_boxes_per_check: int = 60_000
+    time_limit: float = 600.0
+    seed: int = 0
+
+
+class NNCCheckerBaseline:
+    """SOS candidate synthesis + interval verification of the NN loop."""
+
+    def __init__(
+        self,
+        problem: CCDS,
+        controller: Optional[NNController] = None,
+        controller_polys: Sequence[Polynomial] = (),
+        config: Optional[NNCCheckerConfig] = None,
+    ):
+        self.problem = problem
+        self.controller = controller
+        self.controller_polys = list(controller_polys)
+        if problem.system.n_inputs > 0:
+            if controller is None:
+                raise ValueError("a controlled system needs the NN controller")
+            if len(self.controller_polys) != problem.system.n_inputs:
+                raise ValueError(
+                    "NNCChecker needs the polynomial approximation of the "
+                    "controller for candidate synthesis"
+                )
+        self.config = config or NNCCheckerConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def run(self) -> BaselineResult:
+        cfg = self.config
+        t0 = time.perf_counter()
+        t_learn = 0.0
+        t_verify = 0.0
+        eps = cfg.eps_start
+        # interval checking of the true NN loop is borrowed from the FOSSIL
+        # implementation (same enclosure construction)
+        checker = FossilBaseline(
+            self.problem,
+            controller=self.controller,
+            config=FossilConfig(
+                delta=cfg.delta,
+                max_boxes_per_check=cfg.max_boxes_per_check,
+                seed=cfg.seed,
+            ),
+        )
+
+        for refinement in range(1, cfg.max_refinements + 1):
+            if time.perf_counter() - t0 > cfg.time_limit:
+                return self._result(
+                    BaselineStatus.TIMEOUT, None, refinement - 1, t_learn, t_verify, t0,
+                    "time budget exhausted",
+                )
+            # 1. candidate via numerical SOS with the approximated controller
+            t1 = time.perf_counter()
+            synth = SOSToolsBaseline(
+                self.problem,
+                self.controller_polys,
+                config=SOSToolsConfig(
+                    degrees=(cfg.degree,),
+                    lambda_degree=cfg.lambda_degree,
+                    n_random_multipliers=2,
+                    eps_unsafe=eps,
+                    eps_lie=eps,
+                    seed=cfg.seed + refinement,
+                ),
+            )
+            cand_result = synth.run()
+            t_learn += time.perf_counter() - t1
+            if not cand_result.success:
+                return self._result(
+                    BaselineStatus.INFEASIBLE,
+                    None,
+                    refinement,
+                    t_learn,
+                    t_verify,
+                    t0,
+                    f"candidate synthesis failed: {cand_result.message}",
+                )
+            B = cand_result.barrier
+
+            # 2. dReal-style verification against the TRUE NN loop
+            t1 = time.perf_counter()
+            remaining = max(1.0, cfg.time_limit - (time.perf_counter() - t0))
+            engine = BranchAndPrune(
+                delta=cfg.delta,
+                max_boxes=cfg.max_boxes_per_check,
+                time_limit=remaining / 3.0,
+                rng=self.rng,
+            )
+            lam = cand_result.multiplier or Polynomial.zero(self.problem.n_vars)
+            all_proved = True
+            hit_unknown = False
+            for cond in ("init", "unsafe", "lie"):
+                outcome = checker._check_condition(cond, B, lam, engine)
+                if outcome.status is CheckStatus.UNKNOWN:
+                    hit_unknown = True
+                    all_proved = False
+                    break
+                if outcome.status is not CheckStatus.PROVED:
+                    all_proved = False
+                    break
+            t_verify += time.perf_counter() - t1
+
+            if all_proved:
+                return BaselineResult(
+                    tool="nncchecker",
+                    status=BaselineStatus.SUCCESS,
+                    barrier=B,
+                    degree=B.degree,
+                    iterations=refinement,
+                    learn_seconds=t_learn,
+                    verify_seconds=t_verify,
+                    total_seconds=time.perf_counter() - t0,
+                )
+            if hit_unknown:
+                return self._result(
+                    BaselineStatus.TIMEOUT, B, refinement, t_learn, t_verify, t0,
+                    "interval verifier exhausted",
+                )
+            # 3. tighten margins and retry
+            eps *= cfg.eps_growth
+
+        return self._result(
+            BaselineStatus.FAILED,
+            None,
+            cfg.max_refinements,
+            t_learn,
+            t_verify,
+            t0,
+            "refinements exhausted",
+        )
+
+    def _result(self, status, barrier, iters, t_learn, t_verify, t0, msg):
+        return BaselineResult(
+            tool="nncchecker",
+            status=status,
+            barrier=barrier,
+            degree=barrier.degree if barrier is not None else None,
+            iterations=iters,
+            learn_seconds=t_learn,
+            verify_seconds=t_verify,
+            total_seconds=time.perf_counter() - t0,
+            message=msg,
+        )

@@ -1,0 +1,192 @@
+"""SOSTOOLS-style baseline: one-shot SOS synthesis of the barrier.
+
+The direct route: leave ``B`` as an unknown polynomial of bounded degree
+and solve the SOS programming (12) in one shot.  The coupling
+``lambda(x) B(x)`` makes that a *bilinear* (BMI) problem when both are
+free; following the paper's protocol for its SOSTOOLS column ("we have
+tried some polynomial multipliers with random coefficients and the degree
+bound <= 2"), ``lambda`` is drawn randomly and fixed, turning each attempt
+into a single (large) LMI over the coefficients of ``B`` and all
+multipliers simultaneously.  Several draws are attempted; degree bounds
+escalate up to ``max_degree`` (Table 1 marks x when ``deg(B) <= 6``
+fails).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, BaselineStatus
+from repro.dynamics import CCDS
+from repro.poly import Polynomial
+from repro.poly.monomials import monomials_upto
+from repro.sdp import InteriorPointOptions
+from repro.sos import SOSExpr, SOSProgram
+
+
+@dataclass
+class SOSToolsConfig:
+    """Protocol knobs for the direct-synthesis attempts."""
+
+    degrees: Sequence[int] = (2, 4)
+    lambda_degree: int = 1
+    n_random_multipliers: int = 3
+    #: deterministic constant multipliers tried before the random draws
+    #: (a small negative constant is the classic hand-picked choice)
+    constant_multipliers: Sequence[float] = (-0.1, -1.0)
+    multiplier_scale: float = 1.0
+    eps_unsafe: float = 1e-4
+    eps_lie: float = 1e-4
+    time_limit: float = 600.0
+    sdp_options: InteriorPointOptions = field(
+        default_factory=lambda: InteriorPointOptions(max_iterations=80)
+    )
+    seed: int = 0
+
+
+class SOSToolsBaseline:
+    """Direct SOS synthesis with random fixed multipliers."""
+
+    def __init__(
+        self,
+        problem: CCDS,
+        controller_polys: Sequence[Polynomial] = (),
+        config: Optional[SOSToolsConfig] = None,
+    ):
+        self.problem = problem
+        self.controller_polys = list(controller_polys)
+        if len(self.controller_polys) != problem.system.n_inputs:
+            raise ValueError("one controller polynomial per input required")
+        self.config = config or SOSToolsConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def _random_lambda(self) -> Polynomial:
+        cfg = self.config
+        basis = monomials_upto(self.problem.n_vars, cfg.lambda_degree)
+        coeffs = {
+            alpha: float(self.rng.normal(scale=cfg.multiplier_scale))
+            for alpha in basis
+        }
+        return Polynomial(self.problem.n_vars, coeffs)
+
+    def _attempt(self, degree: int, lam: Polynomial) -> Optional[Polynomial]:
+        """One LMI attempt: returns a validated-by-sampling B or None."""
+        cfg = self.config
+        problem = self.problem
+        n = problem.n_vars
+        prog = SOSProgram(n)
+        B = prog.free_poly(degree, label="B")
+
+        field_polys = problem.system.closed_loop(self.controller_polys)
+
+        def lie_of(expr: SOSExpr) -> SOSExpr:
+            # L_f of a symbolic polynomial: differentiate monomial-wise
+            out = SOSExpr.zero(n)
+            for alpha, lc in expr.coeffs.items():
+                mono = Polynomial.monomial(n, alpha)
+                lf_mono = Polynomial.zero(n)
+                for i, f_i in enumerate(field_polys):
+                    lf_mono = lf_mono + mono.diff(i) * f_i
+                for beta, c in lf_mono.coeffs.items():
+                    cur = out.coeffs.setdefault(beta, type(lc)())
+                    cur.add_inplace(lc, scale=c)
+            return out
+
+        # worst constraint degree: L_f B has degree deg(B) + d_f - 1,
+        # lam * B has degree deg(B) + deg(lam)
+        target = degree + max(
+            0, problem.system.degree() - 1, self.config.lambda_degree
+        )
+        # (i) B - sum sigma theta in SOS
+        expr_i = B
+        for g in problem.theta.constraints:
+            s = prog.sos_poly(self._mult_deg(target, g))
+            expr_i = expr_i - s * g
+        prog.require_sos(expr_i)
+        # (ii) -B - sum delta xi - eps in SOS
+        expr_u = -1.0 * B - cfg.eps_unsafe
+        for g in problem.xi.constraints:
+            s = prog.sos_poly(self._mult_deg(target, g))
+            expr_u = expr_u - s * g
+        prog.require_sos(expr_u)
+        # (iii) L_f B - lam B - sum phi psi - eps in SOS (lam FIXED)
+        expr_l = lie_of(B) - B * lam - cfg.eps_lie
+        for g in problem.psi.constraints:
+            s = prog.sos_poly(self._mult_deg(target, g))
+            expr_l = expr_l - s * g
+        prog.require_sos(expr_l)
+
+        sol = prog.solve(cfg.sdp_options)
+        if not sol.feasible:
+            return None
+        B_poly = sol.value(B)
+        if B_poly.is_zero:
+            return None
+        # sanity sampling check (the big one-shot LMI has no per-condition
+        # a-posteriori validation; mirror SOSTOOLS' numerical trust but
+        # reject blatant numerical artifacts)
+        rng = np.random.default_rng(1)
+        if np.min(B_poly(problem.theta.sample(200, rng=rng))) < -1e-6:
+            return None
+        if np.max(B_poly(problem.xi.sample(200, rng=rng))) > -1e-9:
+            return None
+        return B_poly
+
+    def _mult_deg(self, target: int, g: Polynomial) -> int:
+        need = max(0, target - g.degree)
+        return need + (need % 2)
+
+    # ------------------------------------------------------------------
+    def run(self) -> BaselineResult:
+        cfg = self.config
+        t0 = time.perf_counter()
+        attempts = 0
+        for degree in cfg.degrees:
+            lambdas = [
+                Polynomial.constant(self.problem.n_vars, v)
+                for v in cfg.constant_multipliers
+            ] + [self._random_lambda() for _ in range(cfg.n_random_multipliers)]
+            for lam in lambdas:
+                if time.perf_counter() - t0 > cfg.time_limit:
+                    return BaselineResult(
+                        tool="sostools",
+                        status=BaselineStatus.TIMEOUT,
+                        iterations=attempts,
+                        total_seconds=time.perf_counter() - t0,
+                        message="time budget exhausted",
+                    )
+                attempts += 1
+                try:
+                    B = self._attempt(degree, lam)
+                except (MemoryError, ValueError) as exc:
+                    return BaselineResult(
+                        tool="sostools",
+                        status=BaselineStatus.FAILED,
+                        iterations=attempts,
+                        total_seconds=time.perf_counter() - t0,
+                        message=f"attempt crashed: {exc}",
+                    )
+                if B is not None:
+                    elapsed = time.perf_counter() - t0
+                    return BaselineResult(
+                        tool="sostools",
+                        status=BaselineStatus.SUCCESS,
+                        barrier=B,
+                        multiplier=lam,
+                        degree=B.degree,
+                        iterations=attempts,
+                        verify_seconds=elapsed,  # synthesis == verification here
+                        total_seconds=elapsed,
+                    )
+        return BaselineResult(
+            tool="sostools",
+            status=BaselineStatus.INFEASIBLE,
+            iterations=attempts,
+            total_seconds=time.perf_counter() - t0,
+            message=f"no certificate with deg(B) in {tuple(cfg.degrees)}",
+        )

@@ -1,0 +1,20 @@
+"""Benchmark systems: the paper's Example 1 and Table 1's C1-C14.
+
+The paper does not print the benchmark dynamics (they are gathered from six
+cited sources); each entry here is a *reconstruction* matching the row's
+dimension ``n_x``, vector-field degree ``d_f``, citation family and network
+shapes, with box/ball initial, domain and unsafe sets in the style of
+Example 1.  See DESIGN.md for the substitution rationale.
+
+Usage::
+
+    from repro.benchmarks import get_benchmark, list_benchmarks
+    spec = get_benchmark("C7")
+    problem = spec.make_problem()
+    controller = spec.make_controller()
+"""
+
+from repro.benchmarks.spec import BenchmarkSpec
+from repro.benchmarks.systems import BENCHMARKS, get_benchmark, list_benchmarks
+
+__all__ = ["BenchmarkSpec", "BENCHMARKS", "get_benchmark", "list_benchmarks"]

@@ -1,0 +1,408 @@
+"""The benchmark registry: Example 1 and reconstructions of C1-C14.
+
+Every entry matches its Table 1 row in dimension ``n_x``, vector-field
+degree ``d_f``, citation family, and the ``NN_B`` / ``NN_lambda`` shapes.
+The dynamics are reconstructions in the style of the cited sources (the
+paper prints only Example 1); sets follow the Example 1 pattern — a small
+initial box/ball at the origin, a symmetric box domain, and an unsafe
+region in a far corner.  Controllers are NN policies behaviour-cloned from
+LQR (see :class:`repro.benchmarks.spec.BenchmarkSpec`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.benchmarks.spec import BenchmarkSpec
+from repro.dynamics import CCDS, ControlAffineSystem
+from repro.poly import Polynomial
+from repro.sets import Ball, Box
+
+
+def _vars(n: int):
+    return Polynomial.variables(n)
+
+
+def _corner_ball(n: int, coord: float = 1.6, radius: float = 0.3) -> Ball:
+    center = np.zeros(n)
+    center[0] = coord
+    center[1 if n > 1 else 0] = coord
+    return Ball(center, radius, name="xi")
+
+
+# ----------------------------------------------------------------------
+# Example 1: Academic 3D model (paper eq. (18)) — exact
+# ----------------------------------------------------------------------
+def example1_problem() -> CCDS:
+    x, y, z = _vars(3)
+    f0 = [z + 8.0 * y, -1.0 * y + z, -1.0 * z - x * x]
+    system = ControlAffineSystem.single_input(f0, [0.0, 0.0, 1.0])
+    return CCDS(
+        system,
+        theta=Box.cube(3, -0.4, 0.4, name="theta"),
+        psi=Box.cube(3, -2.2, 2.2, name="psi"),
+        xi=Box.cube(3, 2.0, 2.2, name="xi"),
+        name="example1",
+        source="paper Example 1 (Academic 3D model)",
+    )
+
+
+# ----------------------------------------------------------------------
+# C1-C5: two-dimensional systems
+# ----------------------------------------------------------------------
+def c1_problem() -> CCDS:
+    # Chesi'04 family: cubic oscillator with damping, control on velocity
+    x1, x2 = _vars(2)
+    f0 = [x2, -1.0 * x1 + (1.0 / 3.0) * x1 ** 3 - x2]
+    system = ControlAffineSystem.single_input(f0, [0.0, 1.0])
+    return CCDS(
+        system,
+        theta=Box.cube(2, -0.4, 0.4, name="theta"),
+        psi=Box.cube(2, -2.0, 2.0, name="psi"),
+        xi=Box([1.4, 1.4], [1.8, 1.8], name="xi"),
+        name="C1",
+        source="Chesi 2004 (reconstruction)",
+    )
+
+
+def c2_problem() -> CCDS:
+    # Chen CAV'20 family: cubic drift in both states
+    x1, x2 = _vars(2)
+    f0 = [x2 - 1.0 * x1 ** 3, -1.0 * x1 - 1.0 * x2 ** 3]
+    system = ControlAffineSystem.single_input(f0, [0.0, 1.0])
+    return CCDS(
+        system,
+        theta=Box.cube(2, -0.4, 0.4, name="theta"),
+        psi=Box.cube(2, -2.0, 2.0, name="psi"),
+        xi=Box([1.4, 1.4], [1.8, 1.8], name="xi"),
+        name="C2",
+        source="Chen et al. CAV 2020 (reconstruction)",
+    )
+
+
+def c3_problem() -> CCDS:
+    # Chesi'04 family, quadratic drift
+    x1, x2 = _vars(2)
+    f0 = [x2, -1.0 * x1 + x1 ** 2 - x2]
+    system = ControlAffineSystem.single_input(f0, [0.0, 1.0])
+    return CCDS(
+        system,
+        theta=Box.cube(2, -0.4, 0.4, name="theta"),
+        psi=Box.cube(2, -2.0, 2.0, name="psi"),
+        xi=Box([1.4, 1.4], [1.8, 1.8], name="xi"),
+        name="C3",
+        source="Chesi 2004 (reconstruction)",
+    )
+
+
+def c4_problem() -> CCDS:
+    # Zeng EMSOFT'16 (Darboux) family, quadratic cross term
+    x1, x2 = _vars(2)
+    f0 = [-1.0 * x1 + 2.0 * x2 + x1 * x2, -1.0 * x2]
+    system = ControlAffineSystem.single_input(f0, [0.0, 1.0])
+    return CCDS(
+        system,
+        theta=Box.cube(2, -0.4, 0.4, name="theta"),
+        psi=Box.cube(2, -2.0, 2.0, name="psi"),
+        xi=Box([1.4, 1.4], [1.8, 1.8], name="xi"),
+        name="C4",
+        source="Zeng et al. EMSOFT 2016 (reconstruction)",
+    )
+
+
+def c5_problem() -> CCDS:
+    # Zeng EMSOFT'16 family, cubic velocity damping
+    x1, x2 = _vars(2)
+    f0 = [x2, -1.0 * x1 - 1.0 * x2 - 0.5 * x2 ** 3]
+    system = ControlAffineSystem.single_input(f0, [0.0, 1.0])
+    return CCDS(
+        system,
+        theta=Box.cube(2, -0.4, 0.4, name="theta"),
+        psi=Box.cube(2, -2.0, 2.0, name="psi"),
+        xi=Box([1.4, 1.4], [1.8, 1.8], name="xi"),
+        name="C5",
+        source="Zeng et al. EMSOFT 2016 (reconstruction)",
+    )
+
+
+# ----------------------------------------------------------------------
+# C6-C8: three- and four-dimensional systems
+# ----------------------------------------------------------------------
+def c6_problem() -> CCDS:
+    # Chen CAV'20 family, 3D chain with a cubic coupling
+    x1, x2, x3 = _vars(3)
+    f0 = [x2, x3, -1.0 * x1 - 2.0 * x2 - 2.0 * x3 + 0.2 * x1 ** 2 * x2]
+    system = ControlAffineSystem.single_input(f0, [0.0, 0.0, 1.0])
+    return CCDS(
+        system,
+        theta=Box.cube(3, -0.3, 0.3, name="theta"),
+        psi=Box.cube(3, -2.0, 2.0, name="psi"),
+        xi=Box([1.4, 1.4, -2.0], [1.8, 1.8, 2.0], name="xi"),
+        name="C6",
+        source="Chen et al. CAV 2020 (reconstruction)",
+    )
+
+
+def c7_problem() -> CCDS:
+    # Deshmukh ICCAD'19 family, 3D quadratic chain
+    x1, x2, x3 = _vars(3)
+    f0 = [x2, x3, -2.0 * x1 - 3.0 * x2 - 2.0 * x3 + 0.2 * x2 ** 2]
+    system = ControlAffineSystem.single_input(f0, [0.0, 0.0, 1.0])
+    return CCDS(
+        system,
+        theta=Box.cube(3, -0.3, 0.3, name="theta"),
+        psi=Box.cube(3, -2.0, 2.0, name="psi"),
+        xi=Box([1.4, 1.4, -2.0], [1.8, 1.8, 2.0], name="xi"),
+        name="C7",
+        source="Deshmukh et al. ICCAD 2019 (reconstruction)",
+    )
+
+
+def c8_problem() -> CCDS:
+    # Chesi'04 family, two coupled cubic oscillators (control on the first);
+    # the cubic softening keeps the uncontrolled pair's basin of attraction
+    # covering the domain box (unstable only beyond |x3| = 2 > 1.8)
+    x1, x2, x3, x4 = _vars(4)
+    f0 = [
+        x2,
+        -1.0 * x1 + 0.25 * x1 ** 3 - x2,
+        x4,
+        -1.0 * x3 + 0.25 * x3 ** 3 - x4,
+    ]
+    system = ControlAffineSystem.single_input(f0, [0.0, 1.0, 0.0, 0.0])
+    return CCDS(
+        system,
+        theta=Ball(np.zeros(4), 0.4, name="theta"),
+        psi=Box.cube(4, -1.8, 1.8, name="psi"),
+        xi=_corner_ball(4, coord=1.4, radius=0.3),
+        name="C8",
+        source="Chesi 2004 (reconstruction)",
+    )
+
+
+# ----------------------------------------------------------------------
+# C9-C11: five- and six-dimensional chains
+# ----------------------------------------------------------------------
+def _chain_problem(
+    n: int,
+    name: str,
+    source: str,
+    coupling_power: int,
+    coupling_gain: float = 0.1,
+    linear_gain: float = 0.5,
+) -> CCDS:
+    xs = _vars(n)
+    f0: List[Polynomial] = []
+    for i in range(n - 1):
+        fi = -1.0 * xs[i] + linear_gain * xs[i + 1]
+        if coupling_power > 1:
+            fi = fi + coupling_gain * xs[i + 1] ** coupling_power
+        f0.append(fi)
+    f0.append(-1.0 * xs[n - 1])
+    system = ControlAffineSystem.single_input(f0, [0.0] * (n - 1) + [1.0])
+    return CCDS(
+        system,
+        theta=Ball(np.zeros(n), 0.4, name="theta"),
+        psi=Box.cube(n, -1.8, 1.8, name="psi"),
+        xi=_corner_ball(n, coord=1.4, radius=0.3),
+        name=name,
+        source=source,
+    )
+
+
+def c9_problem() -> CCDS:
+    # Sassi & Sankaranarayanan'15 family: 5D quadratic chain
+    prob = _chain_problem(
+        5, "C9", "Sassi & Sankaranarayanan 2015 (reconstruction)", coupling_power=2
+    )
+    return prob
+
+
+def c10_problem() -> CCDS:
+    return _chain_problem(
+        6, "C10", "Zeng et al. EMSOFT 2016 (reconstruction)", coupling_power=2
+    )
+
+
+def c11_problem() -> CCDS:
+    return _chain_problem(
+        6, "C11", "Chen et al. CAV 2020 (reconstruction)", coupling_power=3
+    )
+
+
+# ----------------------------------------------------------------------
+# C12-C13: linear systems-biology pathways (Klipp et al. 2005)
+# ----------------------------------------------------------------------
+def _pathway_problem(n: int, name: str, rate: float = 0.5) -> CCDS:
+    # linear signalling cascade: x1 driven by u, each species converts into
+    # the next (rate < degradation keeps the chain's Lyapunov conditioning
+    # moderate — long unit-rate cascades are so non-normal that no quadratic
+    # form separates the Example 1-style sets)
+    xs = _vars(n)
+    f0: List[Polynomial] = [-1.0 * xs[0]]
+    for i in range(1, n):
+        f0.append(rate * xs[i - 1] - 1.0 * xs[i])
+    system = ControlAffineSystem.single_input(f0, [1.0] + [0.0] * (n - 1))
+    return CCDS(
+        system,
+        theta=Ball(np.zeros(n), 0.4, name="theta"),
+        psi=Box.cube(n, -1.8, 1.8, name="psi"),
+        xi=_corner_ball(n, coord=1.4, radius=0.3),
+        name=name,
+        source="Klipp et al. 2005 systems-biology pathway (reconstruction)",
+    )
+
+
+def c12_problem() -> CCDS:
+    return _pathway_problem(7, "C12")
+
+
+def c13_problem() -> CCDS:
+    return _pathway_problem(9, "C13")
+
+
+# ----------------------------------------------------------------------
+# C14: 12-state quadcopter (dReal benchmark suite)
+# ----------------------------------------------------------------------
+def c14_problem() -> CCDS:
+    """Inner-loop-stabilized quadcopter linearization.
+
+    States: ``(px, py, pz, vx, vy, vz, phi, theta, psi_a, p, q, r)``.  The
+    single NN input commands thrust (acting on ``vz``); attitude is
+    stabilized by an (assumed) inner loop and horizontal drift is damped by
+    drag — the modelling choices that keep a 12-state single-input instance
+    stabilizable are documented in DESIGN.md.  Positions/velocities are
+    non-dimensionalized (10 m units, so the gravity coupling is 0.98) to
+    keep the closed-loop Lyapunov shape well-conditioned.
+    """
+    n = 12
+    xs = _vars(n)
+    px, py, pz, vx, vy, vz, phi, theta, psi_a, p, q, r = xs
+    g = 0.98
+    f0 = [
+        vx - 0.5 * px,
+        vy - 0.5 * py,
+        vz - 0.5 * pz,
+        g * theta - 1.0 * vx,
+        -g * phi - 1.0 * vy,
+        -0.3 * vz,
+        p,
+        q,
+        r,
+        -4.0 * phi - 4.0 * p,
+        -4.0 * theta - 4.0 * q,
+        -4.0 * psi_a - 4.0 * r,
+    ]
+    gains = [0.0] * n
+    gains[5] = 1.0  # thrust acts on vz
+    system = ControlAffineSystem.single_input(f0, gains)
+    return CCDS(
+        system,
+        theta=Ball(np.zeros(n), 0.4, name="theta"),
+        psi=Box.cube(n, -1.8, 1.8, name="psi"),
+        xi=_corner_ball(n, coord=1.4, radius=0.3),
+        name="C14",
+        source="dReal quadcopter benchmark (inner-loop-stabilized reconstruction)",
+    )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def _spec(**kw) -> BenchmarkSpec:
+    return BenchmarkSpec(**kw)
+
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    "example1": _spec(
+        name="example1",
+        make_problem=example1_problem,
+        source="paper Example 1",
+        d_f=2,
+        n_x=3,
+        b_hidden=(5,),
+        lambda_hidden=(5,),
+        inclusion_spacing=0.2,
+        notes="the paper's running example, eq. (18)",
+    ),
+    "C1": _spec(
+        name="C1", make_problem=c1_problem, source="[4] Chesi 2004", d_f=3, n_x=2,
+        b_hidden=(10,), lambda_hidden=(5,),
+    ),
+    "C2": _spec(
+        name="C2", make_problem=c2_problem, source="[3] Chen CAV 2020", d_f=3, n_x=2,
+        b_hidden=(10,), lambda_hidden=(5,),
+    ),
+    "C3": _spec(
+        name="C3", make_problem=c3_problem, source="[4] Chesi 2004", d_f=2, n_x=2,
+        b_hidden=(5,), lambda_hidden=(5,),
+    ),
+    "C4": _spec(
+        name="C4", make_problem=c4_problem, source="[16] Zeng EMSOFT 2016", d_f=2,
+        n_x=2, b_hidden=(20,), lambda_hidden=(5,),
+    ),
+    "C5": _spec(
+        name="C5", make_problem=c5_problem, source="[16] Zeng EMSOFT 2016", d_f=3,
+        n_x=2, b_hidden=(5,), lambda_hidden=(5,),
+    ),
+    "C6": _spec(
+        name="C6", make_problem=c6_problem, source="[3] Chen CAV 2020", d_f=3, n_x=3,
+        b_hidden=(5,), lambda_hidden=(5,),
+    ),
+    "C7": _spec(
+        name="C7", make_problem=c7_problem, source="[5] Deshmukh ICCAD 2019", d_f=2,
+        n_x=3, b_hidden=(5,), lambda_hidden=(5,),
+    ),
+    "C8": _spec(
+        name="C8", make_problem=c8_problem, source="[4] Chesi 2004", d_f=3, n_x=4,
+        b_hidden=(5,), lambda_hidden=(5,), inclusion_error_mode="empirical",
+    ),
+    "C9": _spec(
+        name="C9", make_problem=c9_problem,
+        source="[13] Sassi & Sankaranarayanan 2015", d_f=2, n_x=5,
+        b_hidden=(10,), lambda_hidden=(5, 5),
+        inclusion_error_mode="empirical",
+    ),
+    "C10": _spec(
+        name="C10", make_problem=c10_problem, source="[16] Zeng EMSOFT 2016", d_f=2,
+        n_x=6, b_hidden=(15,), lambda_hidden=None,
+        inclusion_error_mode="empirical",
+    ),
+    "C11": _spec(
+        name="C11", make_problem=c11_problem, source="[3] Chen CAV 2020", d_f=3,
+        n_x=6, b_hidden=(20,), lambda_hidden=None,
+        inclusion_error_mode="empirical",
+    ),
+    "C12": _spec(
+        name="C12", make_problem=c12_problem, source="[9] Klipp et al. 2005", d_f=1,
+        n_x=7, b_hidden=(20,), lambda_hidden=(5,),
+        inclusion_error_mode="empirical",
+    ),
+    "C13": _spec(
+        name="C13", make_problem=c13_problem, source="[9] Klipp et al. 2005", d_f=1,
+        n_x=9, b_hidden=(15,), lambda_hidden=None,
+        inclusion_error_mode="empirical",
+    ),
+    "C14": _spec(
+        name="C14", make_problem=c14_problem, source="[8] dReal quadcopter", d_f=1,
+        n_x=12, b_hidden=(20,), lambda_hidden=None,
+        inclusion_error_mode="empirical",
+    ),
+}
+
+
+def list_benchmarks() -> List[str]:
+    """Names in Table 1 order (example1 first)."""
+    return list(BENCHMARKS)
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by name (KeyError lists the options)."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(BENCHMARKS)}"
+        ) from None

@@ -1,0 +1,26 @@
+"""The counterexample-guided synthesis loop (paper §4, Algorithm 1).
+
+* :mod:`repro.cegis.counterexamples` — worst-violation search (16) by
+  projected gradient ascent, maximal-radius ball (17), and counterexample
+  set sampling;
+* :mod:`repro.cegis.snbc` — the SNBC procedure: inclusion -> learn ->
+  verify -> counterexample -> retrain, with the per-phase timers reported
+  in Table 1 (``T_l``, ``T_c``, ``T_v``, ``T_e``).
+"""
+
+from repro.cegis.counterexamples import (
+    CexConfig,
+    Counterexample,
+    CounterexampleGenerator,
+)
+from repro.cegis.snbc import SNBC, PhaseTimings, SNBCConfig, SNBCResult
+
+__all__ = [
+    "CounterexampleGenerator",
+    "Counterexample",
+    "CexConfig",
+    "SNBC",
+    "SNBCConfig",
+    "SNBCResult",
+    "PhaseTimings",
+]

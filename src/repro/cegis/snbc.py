@@ -1,0 +1,315 @@
+"""SNBC: the full counterexample-guided synthesis procedure (Algorithm 1)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cegis.counterexamples import CexConfig, CounterexampleGenerator
+from repro.controllers import NNController, PolynomialInclusion, polynomial_inclusion
+from repro.dynamics import CCDS
+from repro.learner import BarrierLearner, LearnerConfig, TrainingData
+from repro.poly import Polynomial
+from repro.sets import Ball, Box
+from repro.verifier import SOSVerifier, VerificationResult, VerifierConfig
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds per phase — Table 1's ``T_l``/``T_c``/``T_v``/``T_e``."""
+
+    inclusion: float = 0.0
+    learning: float = 0.0
+    counterexample: float = 0.0
+    verification: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.inclusion + self.learning + self.counterexample + self.verification
+
+
+@dataclass
+class IterationRecord:
+    """Per-CEGIS-round diagnostics."""
+
+    iteration: int
+    loss: float
+    verified: bool
+    failed_conditions: List[str]
+    n_counterexamples: int
+
+
+@dataclass
+class SNBCConfig:
+    """Configuration of the SNBC loop."""
+
+    max_iterations: int = 10
+    n_samples: int = 500
+    inclusion_degree: int = 2
+    inclusion_spacing: float = 0.1
+    inclusion_max_mesh: int = 20_000
+    inclusion_error_mode: str = "lipschitz"
+    first_epochs: Optional[int] = None  # defaults to learner.epochs
+    retrain_epochs: Optional[int] = None  # defaults to learner.epochs // 2
+    seed: int = 0
+
+
+@dataclass
+class SNBCResult:
+    """Outcome of :meth:`SNBC.run`."""
+
+    success: bool
+    barrier: Optional[Polynomial]
+    lambda_poly: Optional[Polynomial]
+    iterations: int
+    timings: PhaseTimings
+    history: List[IterationRecord]
+    verification: Optional[VerificationResult]
+    inclusion: Optional[PolynomialInclusion]
+    problem_name: str = ""
+
+    @property
+    def total_time(self) -> float:
+        return self.timings.total
+
+
+class SNBC:
+    """Synthesize a neural barrier certificate for an NN-controlled CCDS.
+
+    The constructor accepts either an :class:`NNController` (its polynomial
+    inclusion is computed as phase 0), a precomputed
+    :class:`PolynomialInclusion`, or — for autonomous systems — neither.
+
+    >>> result = SNBC(problem, controller=k).run()   # doctest: +SKIP
+    >>> result.success, result.barrier               # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        problem: CCDS,
+        controller: Optional[NNController] = None,
+        inclusion: Optional[PolynomialInclusion] = None,
+        learner_config: Optional[LearnerConfig] = None,
+        verifier_config: Optional[VerifierConfig] = None,
+        cex_config: Optional[CexConfig] = None,
+        config: Optional[SNBCConfig] = None,
+    ):
+        self.problem = problem
+        self.controller = controller
+        self.inclusion = inclusion
+        self.config = config or SNBCConfig()
+        self.learner_config = learner_config or LearnerConfig(seed=self.config.seed)
+        if verifier_config is None:
+            # a constant multiplier network (Table 1's "c") means the
+            # verifier's free lambda can be constant too, keeping every
+            # sub-problem quadratic — decisive for high dimensions
+            lam_deg = 0 if self.learner_config.lambda_hidden is None else 1
+            verifier_config = VerifierConfig(lambda_degree=lam_deg)
+        self.verifier_config = verifier_config
+        self.cex_config = cex_config or CexConfig(seed=self.config.seed)
+        self.rng = np.random.default_rng(self.config.seed)
+        if problem.system.n_inputs > 0 and controller is None and inclusion is None:
+            raise ValueError(
+                "a controlled system needs a controller or a polynomial inclusion"
+            )
+
+    # ------------------------------------------------------------------
+    def _ensure_inclusion(self, timings: PhaseTimings) -> None:
+        if self.problem.system.n_inputs == 0:
+            return
+        if self.inclusion is None:
+            if not isinstance(self.problem.psi, Box):
+                raise ValueError("polynomial inclusion needs a box domain Psi")
+            t0 = time.perf_counter()
+            self.inclusion = polynomial_inclusion(
+                self.controller,
+                self.problem.psi,
+                degree=self.config.inclusion_degree,
+                spacing=self.config.inclusion_spacing,
+                max_mesh_points=self.config.inclusion_max_mesh,
+                error_mode=self.config.inclusion_error_mode,
+                rng=self.rng,
+            )
+            timings.inclusion += time.perf_counter() - t0
+
+    def _controller_polys(self) -> Sequence[Polynomial]:
+        if self.problem.system.n_inputs == 0:
+            return []
+        return self.inclusion.polynomials
+
+    def _sigma_star(self) -> Sequence[float]:
+        if self.problem.system.n_inputs == 0:
+            return []
+        return self.inclusion.sigma_star
+
+    # ------------------------------------------------------------------
+    def _warm_start(self, learner, field_polys, data: TrainingData) -> None:
+        """Initialize ``B`` as ``c - x^T P x`` with Lyapunov ``P`` of the
+        closed-loop linearization, when that linearization is Hurwitz and the
+        architecture supports it.  Purely an initialization: training and
+        verification proceed unchanged."""
+        from scipy.linalg import solve_continuous_lyapunov
+
+        net = learner.b_net
+        if not hasattr(net, "init_from_quadratic_form"):
+            return
+        n = self.problem.n_vars
+        origin = np.zeros(n)
+        A = np.zeros((n, n))
+        for i, fi in enumerate(field_polys):
+            for j in range(n):
+                A[i, j] = fi.diff(j)(origin)
+        eigs = np.linalg.eigvals(A)
+        if np.max(eigs.real) >= -1e-9:
+            return  # not Hurwitz; keep the random initialization
+        try:
+            P = solve_continuous_lyapunov(A.T, -np.eye(n))
+        except Exception:
+            return
+        P = 0.5 * (P + P.T)
+        if np.linalg.eigvalsh(P)[0] <= 0:
+            return
+        # A very anisotropic Lyapunov shape may be unable to separate Theta
+        # from Xi; blend toward the identity until the circumradius bound on
+        # Theta falls below the sampled minimum of x^T P x on Xi.
+        P = P / float(np.linalg.eigvalsh(P)[-1])
+        theta = self.problem.theta
+        if isinstance(theta, Ball):
+            radius = float(np.linalg.norm(theta.center) + theta.radius)
+        else:
+            # exact circumradius of a box: the farthest corner
+            lo, hi = theta.bounding_box
+            corners = np.maximum(np.abs(lo), np.abs(hi))
+            radius = float(np.linalg.norm(corners))
+        chosen = None
+        for alpha in (0.0, 0.1, 0.2, 0.5, 1.0, 4.0):
+            P_try = P + alpha * np.eye(n)
+            v_theta = float(np.linalg.eigvalsh(P_try)[-1]) * radius ** 2
+            v_xi = float(
+                np.min(np.einsum("bi,ij,bj->b", data.s_unsafe, P_try, data.s_unsafe))
+            )
+            if v_xi > v_theta:
+                chosen = (P_try, 0.5 * (v_theta + v_xi))
+                break
+        if chosen is None:
+            P_try = P + np.eye(n)
+            v_theta = float(np.linalg.eigvalsh(P_try)[-1]) * radius ** 2
+            chosen = (P_try, 1.05 * v_theta)
+        try:
+            net.init_from_quadratic_form(chosen[0], chosen[1], rng=self.rng)
+        except ValueError:
+            pass  # multi-layer nets keep their random initialization
+
+    def run(self) -> SNBCResult:
+        """Execute Algorithm 1 and return the synthesis outcome."""
+        cfg = self.config
+        timings = PhaseTimings()
+        history: List[IterationRecord] = []
+
+        self._ensure_inclusion(timings)
+        h_polys = self._controller_polys()
+        sigma = self._sigma_star()
+        # The Learner trains the robust Lie margin: nominal loop (w = 0)
+        # minus sigma*-weighted input gains, matching the Verifier's
+        # endpoint checks.
+        field_polys = self.problem.system.closed_loop(h_polys)
+        system = self.problem.system
+        gain_fields = [
+            [system.G[i][j] for i in range(system.n_vars)]
+            for j in range(system.n_inputs)
+            if len(sigma) > j and sigma[j] > 0.0
+        ]
+        active_sigma = [s for s in sigma if s > 0.0]
+
+        data = TrainingData.sample(self.problem, cfg.n_samples, rng=self.rng)
+        learner = BarrierLearner(self.problem.n_vars, self.learner_config)
+        if self.learner_config.warm_start:
+            self._warm_start(learner, field_polys, data)
+        verifier = SOSVerifier(
+            self.problem, h_polys, sigma, config=self.verifier_config
+        )
+        cex_gen = CounterexampleGenerator(
+            self.problem, h_polys, sigma, config=self.cex_config
+        )
+
+        verification: Optional[VerificationResult] = None
+        barrier: Optional[Polynomial] = None
+        lam_poly: Optional[Polynomial] = None
+        first_epochs = cfg.first_epochs or self.learner_config.epochs
+        retrain_epochs = cfg.retrain_epochs or max(1, self.learner_config.epochs // 2)
+
+        for iteration in range(1, cfg.max_iterations + 1):
+            t0 = time.perf_counter()
+            epochs = first_epochs if iteration == 1 else retrain_epochs
+            terms = learner.fit(
+                data,
+                field_polys,
+                epochs=epochs,
+                gain_fields=gain_fields,
+                sigma_star=active_sigma,
+            )
+            timings.learning += time.perf_counter() - t0
+
+            barrier, lam_poly = learner.candidate()
+
+            t0 = time.perf_counter()
+            verification = verifier.verify(barrier)
+            timings.verification += time.perf_counter() - t0
+
+            if verification.ok:
+                history.append(
+                    IterationRecord(iteration, terms.total, True, [], 0)
+                )
+                return SNBCResult(
+                    success=True,
+                    barrier=barrier,
+                    lambda_poly=verification.lambda_poly or lam_poly,
+                    iterations=iteration,
+                    timings=timings,
+                    history=history,
+                    verification=verification,
+                    inclusion=self.inclusion,
+                    problem_name=self.problem.name,
+                )
+
+            t0 = time.perf_counter()
+            failed = verification.failed_conditions()
+            cexs = cex_gen.generate(barrier, lam_poly, failed)
+            n_cex = 0
+            for cex in cexs:
+                n_cex += len(cex.points)
+                if cex.condition == "init":
+                    data.add_init(cex.points)
+                elif cex.condition == "unsafe":
+                    data.add_unsafe(cex.points)
+                else:
+                    data.add_domain(cex.points)
+            if n_cex == 0:
+                # certificate failed only numerically (no true violation
+                # found): refresh with new random samples to perturb training
+                extra = TrainingData.sample(
+                    self.problem, max(16, cfg.n_samples // 8), rng=self.rng
+                )
+                data.add_init(extra.s_init)
+                data.add_unsafe(extra.s_unsafe)
+                data.add_domain(extra.s_domain)
+            timings.counterexample += time.perf_counter() - t0
+
+            history.append(
+                IterationRecord(iteration, terms.total, False, failed, n_cex)
+            )
+
+        return SNBCResult(
+            success=False,
+            barrier=barrier,
+            lambda_poly=lam_poly,
+            iterations=cfg.max_iterations,
+            timings=timings,
+            history=history,
+            verification=verification,
+            inclusion=self.inclusion,
+            problem_name=self.problem.name,
+        )

@@ -1,0 +1,34 @@
+"""NN controllers and their polynomial inclusions.
+
+* :mod:`repro.controllers.controller` — the NN feedback controller
+  ``u = k(x)`` (a tanh MLP, optionally saturated);
+* :mod:`repro.controllers.lqr` — LQR gains from the linearized plant
+  (scipy CARE), used as the cloning target;
+* :mod:`repro.controllers.cloning` — behaviour-cloning an expert law into
+  an NN controller (the default benchmark controller source, substituting
+  for the paper's DDPG training — see DESIGN.md);
+* :mod:`repro.controllers.ddpg` — a genuine DDPG implementation on the
+  numpy NN stack, runnable on the low-dimensional examples;
+* :mod:`repro.controllers.inclusion` — §3's Chebyshev polynomial inclusion
+  ``k(x) in h(x) + [-sigma*, sigma*]`` via mesh + linear programming with
+  the Theorem 2 Lipschitz gap bound.
+"""
+
+from repro.controllers.controller import NNController
+from repro.controllers.lqr import lqr_gain, linear_feedback_fn, linearize
+from repro.controllers.cloning import behavior_clone
+from repro.controllers.ddpg import DDPGConfig, DDPGTrainer, ReplayBuffer
+from repro.controllers.inclusion import PolynomialInclusion, polynomial_inclusion
+
+__all__ = [
+    "NNController",
+    "linearize",
+    "lqr_gain",
+    "linear_feedback_fn",
+    "behavior_clone",
+    "DDPGTrainer",
+    "DDPGConfig",
+    "ReplayBuffer",
+    "PolynomialInclusion",
+    "polynomial_inclusion",
+]

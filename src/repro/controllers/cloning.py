@@ -1,0 +1,55 @@
+"""Behaviour cloning: distill an expert control law into an NN controller."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.controllers.controller import NNController
+from repro.nn import Adam
+from repro.sets import Box
+
+
+def behavior_clone(
+    controller: NNController,
+    expert: Callable[[np.ndarray], np.ndarray],
+    domain: Box,
+    n_samples: int = 4096,
+    epochs: int = 300,
+    batch_size: int = 256,
+    lr: float = 1e-2,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Train ``controller`` to imitate ``expert`` on the domain box.
+
+    Returns the final mean-squared imitation error.  This is the default
+    route for producing the benchmark NN controllers (a deterministic,
+    seconds-scale substitute for DDPG training; DESIGN.md documents why the
+    pipeline downstream is indifferent to the training provenance).
+    """
+    rng = rng or np.random.default_rng(0)
+    X = domain.sample(n_samples, rng=rng)
+    Y = np.atleast_2d(np.asarray(expert(X), dtype=float))
+    if Y.shape[0] != n_samples:
+        Y = Y.T
+    if Y.shape != (n_samples, controller.n_inputs):
+        raise ValueError(
+            f"expert output shape {Y.shape} incompatible with "
+            f"{controller.n_inputs} inputs"
+        )
+    opt = Adam(controller.net.parameters(), lr=lr)
+    n_batches = max(1, n_samples // batch_size)
+    for _ in range(epochs):
+        perm = rng.permutation(n_samples)
+        for b in range(n_batches):
+            idx = perm[b * batch_size : (b + 1) * batch_size]
+            opt.zero_grad()
+            pred = controller.net(Tensor(X[idx]))
+            err = pred - Tensor(Y[idx])
+            loss = (err * err).mean()
+            loss.backward()
+            opt.step()
+    final = controller(X)
+    return float(np.mean((final - Y) ** 2))

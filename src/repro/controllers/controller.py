@@ -1,0 +1,76 @@
+"""The NN feedback controller ``u = k(x)``."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn import MLP
+from repro.nn.lipschitz import lipsdp_lipschitz_bound, spectral_lipschitz_bound
+
+
+class NNController:
+    """A neural feedback law mapping states to control inputs.
+
+    Wraps an :class:`~repro.nn.mlp.MLP` with convenience evaluation and a
+    sound Lipschitz bound (needed by Theorem 2).  The paper treats the
+    single-output case; multiple outputs are handled component-wise by the
+    inclusion machinery.
+    """
+
+    def __init__(
+        self,
+        n_vars: int,
+        n_inputs: int = 1,
+        hidden: Sequence[int] = (16, 16),
+        activation: str = "tanh",
+        output_scale: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if n_vars < 1 or n_inputs < 1:
+            raise ValueError("n_vars and n_inputs must be positive")
+        self.n_vars = int(n_vars)
+        self.n_inputs = int(n_inputs)
+        self.net = MLP(
+            [n_vars, *hidden, n_inputs],
+            activation=activation,
+            output_scale=output_scale,
+            rng=rng,
+        )
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate ``u = k(x)``; single point -> (n_inputs,), batch -> (m, n_inputs)."""
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        out = self.net.predict(np.atleast_2d(x))
+        return out[0] if single else out
+
+    def lipschitz_bound(self, method: str = "auto") -> float:
+        """Sound Lipschitz upper bound.
+
+        ``method='auto'`` uses LipSDP-Neuron (the paper's reference [6])
+        when the architecture supports it — one hidden layer — and falls
+        back to the spectral-norm product otherwise; ``'spectral'`` /
+        ``'lipsdp'`` force a choice.  The tightest available bound directly
+        shrinks the inclusion error sigma* of Theorem 2.
+        """
+        if method not in ("auto", "spectral", "lipsdp"):
+            raise ValueError("method must be auto|spectral|lipsdp")
+        if method == "spectral":
+            return spectral_lipschitz_bound(self.net)
+        if method == "lipsdp":
+            return lipsdp_lipschitz_bound(self.net)
+        try:
+            return min(
+                lipsdp_lipschitz_bound(self.net),
+                spectral_lipschitz_bound(self.net),
+            )
+        except (ValueError, RuntimeError):
+            return spectral_lipschitz_bound(self.net)
+
+    def __repr__(self) -> str:
+        return (
+            f"NNController(n_vars={self.n_vars}, n_inputs={self.n_inputs}, "
+            f"net={self.net!r})"
+        )

@@ -1,0 +1,191 @@
+"""Polynomial inclusion of NN controllers (paper §3).
+
+Computes the Chebyshev (minimax) polynomial approximation of the controller
+on a rectangular mesh over the domain by linear programming (problem (5)),
+then converts the mesh optimum ``sigma~`` into a domain-wide error bound
+
+    sigma* = sigma~ + s L / 2        (Theorem 2)
+
+where ``s`` is the (effective) mesh spacing and ``L`` a Lipschitz constant
+of the controller.  The result is the inclusion
+``k(x) in h(x) + [-sigma*, sigma*]`` consumed by the Learner/Verifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.controllers.controller import NNController
+from repro.poly import Polynomial
+from repro.poly.monomials import monomials_upto
+from repro.sets import Box
+
+
+@dataclass
+class PolynomialInclusion:
+    """Result of :func:`polynomial_inclusion`.
+
+    Attributes
+    ----------
+    polynomials:
+        One approximating polynomial ``h_j`` per controller output.
+    sigma_tilde:
+        Mesh minimax errors per output (LP optima, eq. (5)).
+    sigma_star:
+        Verified domain-wide error bounds per output (Theorem 2).
+    spacing:
+        Effective mesh spacing actually used.
+    lipschitz:
+        Lipschitz constant used in the Theorem 2 gap.
+    n_mesh_points:
+        Number of mesh samples in the LP.
+    """
+
+    polynomials: List[Polynomial]
+    sigma_tilde: List[float]
+    sigma_star: List[float]
+    spacing: float
+    lipschitz: float
+    n_mesh_points: int
+
+    @property
+    def worst_sigma_star(self) -> float:
+        return max(self.sigma_star)
+
+    def error_intervals(self) -> List[Tuple[float, float]]:
+        """Per-output inclusion intervals ``[-sigma*, +sigma*]``."""
+        return [(-s, s) for s in self.sigma_star]
+
+
+def _design_matrix(points: np.ndarray, degree: int) -> np.ndarray:
+    """Vandermonde-style matrix of ``[x]_degree`` monomials at mesh points."""
+    m, n = points.shape
+    basis = monomials_upto(n, degree)
+    max_deg = degree
+    pows = np.ones((max_deg + 1, m, n))
+    for k in range(1, max_deg + 1):
+        pows[k] = pows[k - 1] * points
+    cols = []
+    for alpha in basis:
+        col = np.ones(m)
+        for i, a in enumerate(alpha):
+            if a:
+                col = col * pows[a][:, i]
+        cols.append(col)
+    return np.stack(cols, axis=1)
+
+
+def _chebyshev_lp(phi: np.ndarray, targets: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Solve ``min_h max_i |phi_i . h - k_i|`` as the LP (5)."""
+    m, v = phi.shape
+    # variables: [h (v), t]; minimize t
+    c = np.zeros(v + 1)
+    c[-1] = 1.0
+    ones = np.ones((m, 1))
+    A_ub = np.vstack(
+        [np.hstack([phi, -ones]), np.hstack([-phi, -ones])]
+    )
+    b_ub = np.concatenate([targets, -targets])
+    res = linprog(
+        c,
+        A_ub=A_ub,
+        b_ub=b_ub,
+        bounds=[(None, None)] * v + [(0, None)],
+        method="highs",
+    )
+    if not res.success:
+        raise RuntimeError(f"Chebyshev LP failed: {res.message}")
+    return res.x[:v], float(res.x[v])
+
+
+def polynomial_inclusion(
+    controller: Union[NNController, Callable[[np.ndarray], np.ndarray]],
+    domain: Box,
+    degree: int = 2,
+    spacing: float = 0.05,
+    max_mesh_points: int = 50_000,
+    lipschitz: Optional[float] = None,
+    error_mode: str = "lipschitz",
+    empirical_samples: int = 20_000,
+    empirical_safety: float = 1.5,
+    rng: Optional[np.random.Generator] = None,
+) -> PolynomialInclusion:
+    """Compute the polynomial inclusion of a controller on a box domain.
+
+    Parameters
+    ----------
+    controller:
+        An :class:`NNController` (its spectral Lipschitz bound is used
+        automatically) or any batched callable; plain callables must supply
+        ``lipschitz`` explicitly for the Theorem 2 bound to be sound.
+    domain:
+        The system domain ``Psi`` (rectangular, per the paper's mesh).
+    degree:
+        Preassigned degree ``d`` of the approximating polynomial.
+    spacing:
+        Requested mesh spacing ``s``; widened automatically (and reported)
+        if the full grid would exceed ``max_mesh_points``.
+    error_mode:
+        ``"lipschitz"`` applies the sound Theorem 2 gap ``sigma~ + s L / 2``
+        (meaningful only when the mesh actually covers the domain —
+        feasible up to roughly 4 dimensions).  ``"empirical"`` fits the LP on
+        a uniform random sample and bounds the error by the maximum observed
+        on a fresh sample times ``empirical_safety`` — a documented heuristic
+        for high-dimensional benchmarks where covering meshes are
+        exponentially large (see DESIGN.md).
+    """
+    if degree < 0:
+        raise ValueError("degree must be nonnegative")
+    if error_mode not in ("lipschitz", "empirical"):
+        raise ValueError("error_mode must be 'lipschitz' or 'empirical'")
+    if lipschitz is None:
+        if isinstance(controller, NNController):
+            lipschitz = controller.lipschitz_bound()
+        elif error_mode == "lipschitz":
+            raise ValueError(
+                "a plain callable controller requires an explicit Lipschitz bound"
+            )
+        else:
+            lipschitz = float("nan")
+    rng = rng or np.random.default_rng(0)
+    if error_mode == "lipschitz":
+        mesh = domain.mesh(spacing, max_points=max_mesh_points)
+        eff_spacing = domain.effective_spacing(spacing, max_points=max_mesh_points)
+    else:
+        mesh = domain.sample(min(max_mesh_points, empirical_samples), rng=rng)
+        eff_spacing = float("nan")
+    values = np.atleast_2d(np.asarray(controller(mesh), dtype=float))
+    if values.shape[0] != mesh.shape[0]:
+        values = values.T
+    n_outputs = values.shape[1]
+    phi = _design_matrix(mesh, degree)
+
+    polys: List[Polynomial] = []
+    sigma_tilde: List[float] = []
+    sigma_star: List[float] = []
+    for j in range(n_outputs):
+        h_coeffs, t_opt = _chebyshev_lp(phi, values[:, j])
+        h_poly = Polynomial.from_coeff_vector(domain.n_vars, degree, h_coeffs)
+        polys.append(h_poly)
+        sigma_tilde.append(t_opt)
+        if error_mode == "lipschitz":
+            sigma_star.append(t_opt + 0.5 * eff_spacing * float(lipschitz))
+        else:
+            fresh = domain.sample(empirical_samples, rng=rng)
+            fresh_vals = np.atleast_2d(np.asarray(controller(fresh), dtype=float))
+            if fresh_vals.shape[0] != fresh.shape[0]:
+                fresh_vals = fresh_vals.T
+            err = float(np.max(np.abs(fresh_vals[:, j] - h_poly(fresh))))
+            sigma_star.append(max(t_opt, err) * empirical_safety)
+    return PolynomialInclusion(
+        polynomials=polys,
+        sigma_tilde=sigma_tilde,
+        sigma_star=sigma_star,
+        spacing=eff_spacing,
+        lipschitz=float(lipschitz),
+        n_mesh_points=mesh.shape[0],
+    )

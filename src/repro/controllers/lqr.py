@@ -1,0 +1,71 @@
+"""LQR design on the linearized plant.
+
+The benchmark controllers are obtained by behaviour-cloning an expert law
+into an NN (see DESIGN.md's substitution table); the expert is the LQR
+state feedback ``u = -K x`` computed from the Jacobian linearization of the
+control-affine system at the origin via the continuous algebraic Riccati
+equation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+from scipy.linalg import solve_continuous_are
+
+from repro.dynamics import ControlAffineSystem
+
+
+def linearize(system: ControlAffineSystem) -> Tuple[np.ndarray, np.ndarray]:
+    """Jacobian linearization ``(A, B)`` of the plant at the origin.
+
+    ``A = d f0 / dx |_0`` and ``B = G(0)`` (exact for control-affine
+    dynamics).
+    """
+    n = system.n_vars
+    origin = np.zeros(n)
+    A = np.zeros((n, n))
+    for i, fi in enumerate(system.f0):
+        for j in range(n):
+            A[i, j] = fi.diff(j)(origin)
+    B = np.zeros((n, system.n_inputs))
+    for i in range(n):
+        for j in range(system.n_inputs):
+            B[i, j] = system.G[i][j](origin)
+    return A, B
+
+
+def lqr_gain(
+    system: ControlAffineSystem,
+    Q: Optional[np.ndarray] = None,
+    R: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """LQR gain ``K`` with ``u = -K x`` stabilizing the linearization.
+
+    Raises ``ValueError`` when the Riccati solve fails (e.g. the pair is
+    not stabilizable); callers may then fall back to a hand-chosen gain.
+    """
+    A, B = linearize(system)
+    n, m = B.shape
+    if m == 0:
+        raise ValueError("system has no control input")
+    Q = np.eye(n) if Q is None else np.asarray(Q, dtype=float)
+    R = np.eye(m) if R is None else np.asarray(R, dtype=float)
+    try:
+        P = solve_continuous_are(A, B, Q, R)
+    except Exception as exc:  # scipy raises LinAlgError subclasses
+        raise ValueError(f"CARE solve failed: {exc}") from exc
+    K = np.linalg.solve(R, B.T @ P)
+    return K
+
+
+def linear_feedback_fn(K: np.ndarray) -> Callable[[np.ndarray], np.ndarray]:
+    """Expert law ``x -> -K x`` (batched) for behaviour cloning."""
+    K = np.asarray(K, dtype=float)
+
+    def expert(x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return -(x @ K.T)
+
+    return expert

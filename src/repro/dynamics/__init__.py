@@ -1,0 +1,15 @@
+"""Controlled continuous dynamical systems (CCDS).
+
+Models the paper's plant ``xdot = f(x, u)`` with ``u = k(x)`` in the
+control-affine form
+
+    xdot = f0(x) + G(x) u,
+
+which covers every benchmark in Table 1 and makes the polynomial-inclusion
+substitution ``u = h(x) + w`` exact: the closed loop stays polynomial with
+an affine dependence on the inclusion error ``w``.
+"""
+
+from repro.dynamics.system import CCDS, ControlAffineSystem
+
+__all__ = ["ControlAffineSystem", "CCDS"]

@@ -1,0 +1,167 @@
+"""Control-affine dynamics and the CCDS safety-verification triple."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.poly import Polynomial
+from repro.sets import SemialgebraicSet
+
+
+class ControlAffineSystem:
+    """``xdot = f0(x) + G(x) u`` with polynomial ``f0`` and ``G``.
+
+    Parameters
+    ----------
+    f0:
+        Drift: one polynomial per state, all in ``n`` variables.
+    G:
+        Input matrix: ``G[i][j]`` multiplies input ``u_j`` in state ``i``.
+        Entries may be ``Polynomial`` or float constants.
+    """
+
+    def __init__(
+        self,
+        f0: Sequence[Polynomial],
+        G: Sequence[Sequence],
+    ):
+        self.n_vars = len(f0)
+        if self.n_vars == 0:
+            raise ValueError("empty drift")
+        if any(p.n_vars != self.n_vars for p in f0):
+            raise ValueError("drift components must be polynomials in n_vars")
+        self.f0: Tuple[Polynomial, ...] = tuple(f0)
+        if len(G) != self.n_vars:
+            raise ValueError("G must have one row per state")
+        n_inputs = len(G[0]) if G[0] is not None and len(G) else 0
+        rows: List[Tuple[Polynomial, ...]] = []
+        for row in G:
+            if len(row) != n_inputs:
+                raise ValueError("G rows must have equal length")
+            converted = []
+            for entry in row:
+                if isinstance(entry, Polynomial):
+                    if entry.n_vars != self.n_vars:
+                        raise ValueError("G entries must match n_vars")
+                    converted.append(entry)
+                else:
+                    converted.append(Polynomial.constant(self.n_vars, float(entry)))
+            rows.append(tuple(converted))
+        self.G: Tuple[Tuple[Polynomial, ...], ...] = tuple(rows)
+        self.n_inputs = n_inputs
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def autonomous(cls, f0: Sequence[Polynomial]) -> "ControlAffineSystem":
+        """A system with no control input."""
+        return cls(f0, [[] for _ in f0])
+
+    @classmethod
+    def single_input(
+        cls, f0: Sequence[Polynomial], input_rows: Sequence[float]
+    ) -> "ControlAffineSystem":
+        """Single-input system; ``input_rows[i]`` is the constant gain of
+        ``u`` on state ``i`` (the common "u enters one equation" case)."""
+        return cls(f0, [[g] for g in input_rows])
+
+    # ------------------------------------------------------------------
+    def degree(self) -> int:
+        """Max degree over drift and input-matrix entries (Table 1's d_f)."""
+        d = max(p.degree for p in self.f0)
+        for row in self.G:
+            for g in row:
+                d = max(d, g.degree)
+        return d
+
+    def closed_loop(
+        self,
+        controller_polys: Sequence[Polynomial],
+        error: Optional[Sequence[float]] = None,
+    ) -> Tuple[Polynomial, ...]:
+        """Polynomial closed-loop field with ``u_j = h_j(x) + w_j``.
+
+        ``error`` supplies fixed ``w_j`` offsets (endpoints of the inclusion
+        interval); omit for the nominal ``w = 0`` loop.
+        """
+        if len(controller_polys) != self.n_inputs:
+            raise ValueError(
+                f"need {self.n_inputs} controller polynomials, got "
+                f"{len(controller_polys)}"
+            )
+        w = list(error) if error is not None else [0.0] * self.n_inputs
+        if len(w) != self.n_inputs:
+            raise ValueError("error vector length mismatch")
+        field_out = []
+        for i in range(self.n_vars):
+            fi = self.f0[i]
+            for j in range(self.n_inputs):
+                fi = fi + self.G[i][j] * (controller_polys[j] + float(w[j]))
+            field_out.append(fi)
+        return tuple(field_out)
+
+    def rhs(self, x: np.ndarray, u: Optional[np.ndarray] = None) -> np.ndarray:
+        """Numeric right-hand side for simulation; batched over rows of x."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if u is None:
+            u = np.zeros((x.shape[0], self.n_inputs))
+        u = np.atleast_2d(np.asarray(u, dtype=float))
+        if u.shape != (x.shape[0], self.n_inputs):
+            u = np.broadcast_to(u, (x.shape[0], self.n_inputs))
+        out = np.zeros((x.shape[0], self.n_vars))
+        for i in range(self.n_vars):
+            out[:, i] = self.f0[i](x)
+            for j in range(self.n_inputs):
+                out[:, i] += self.G[i][j](x) * u[:, j]
+        return out
+
+    def input_gain_polys(self, gradient: Sequence[Polynomial]) -> List[Polynomial]:
+        """``(grad B . G)_j`` — the polynomial multiplying ``u_j`` (and its
+        inclusion error) inside ``L_f B``; the verifier bounds its worst-case
+        sign when handling ``w in [-sigma*, sigma*]``."""
+        out = []
+        for j in range(self.n_inputs):
+            acc = Polynomial.zero(self.n_vars)
+            for i in range(self.n_vars):
+                acc = acc + gradient[i] * self.G[i][j]
+            out.append(acc)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ControlAffineSystem(n_vars={self.n_vars}, n_inputs={self.n_inputs}, "
+            f"degree={self.degree()})"
+        )
+
+
+@dataclass
+class CCDS:
+    """A safety-verification instance ``<f, Theta, Psi>`` with unsafe set Xi.
+
+    Attributes mirror the paper's triple plus the unsafe region: the system
+    is *safe* when no trajectory from ``theta`` reaches ``xi`` while staying
+    in ``psi``.
+    """
+
+    system: ControlAffineSystem
+    theta: SemialgebraicSet  # initial set
+    psi: SemialgebraicSet  # domain
+    xi: SemialgebraicSet  # unsafe region
+    name: str = ""
+    source: str = ""
+    notes: str = ""
+
+    def __post_init__(self):
+        n = self.system.n_vars
+        for label, s in (("theta", self.theta), ("psi", self.psi), ("xi", self.xi)):
+            if s.n_vars != n:
+                raise ValueError(f"{label} dimension {s.n_vars} != system {n}")
+
+    @property
+    def n_vars(self) -> int:
+        return self.system.n_vars
+
+    def __repr__(self) -> str:
+        return f"CCDS({self.name or 'unnamed'}, n={self.n_vars})"

@@ -1,0 +1,22 @@
+"""The SNBC Learner: joint training of the neural BC and multiplier (§4.1).
+
+* :mod:`repro.learner.datasets` — the sampled training sets ``S_I``, ``S_U``,
+  ``S_D`` and their augmentation with counterexamples;
+* :mod:`repro.learner.loss` — the empirical violation loss (10) with the
+  LeakyReLU surrogate for ``max(eps, .)``;
+* :mod:`repro.learner.trainer` — Adam-based joint training of the quadratic
+  network ``B(x)`` and the multiplier network ``lambda(x)``, with the Lie
+  term computed by tangent propagation (no second-order autodiff needed).
+"""
+
+from repro.learner.datasets import TrainingData
+from repro.learner.loss import BarrierLossTerms, barrier_loss
+from repro.learner.trainer import BarrierLearner, LearnerConfig
+
+__all__ = [
+    "TrainingData",
+    "barrier_loss",
+    "BarrierLossTerms",
+    "BarrierLearner",
+    "LearnerConfig",
+]

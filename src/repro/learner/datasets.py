@@ -1,0 +1,100 @@
+"""Training datasets for the Learner.
+
+Three point sets, one per barrier condition: ``S_I`` sampled from the
+initial set Theta, ``S_U`` from the unsafe set Xi, ``S_D`` from the domain
+Psi.  The paper instantiates them with equal batch sizes and appends
+generated counterexamples to the relevant set before retraining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.dynamics import CCDS
+from repro.sets import Ball, Box, SemialgebraicSet
+
+
+def _with_boundary(
+    region: SemialgebraicSet,
+    n: int,
+    boundary_fraction: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Interior samples plus a fraction placed on the set boundary."""
+    n_boundary = int(round(n * boundary_fraction))
+    interior = region.sample(n - n_boundary, rng=rng) if n - n_boundary else (
+        np.zeros((0, region.n_vars))
+    )
+    if n_boundary == 0:
+        return interior
+    if isinstance(region, Ball):
+        direction = rng.normal(size=(n_boundary, region.n_vars))
+        direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+        boundary = region.center + region.radius * direction
+    elif isinstance(region, Box):
+        boundary = region.sample(n_boundary, rng=rng)
+        axes = rng.integers(0, region.n_vars, size=n_boundary)
+        sides = rng.integers(0, 2, size=n_boundary)
+        for i in range(n_boundary):
+            boundary[i, axes[i]] = (
+                region.lo[axes[i]] if sides[i] == 0 else region.hi[axes[i]]
+            )
+    else:  # generic set: no cheap boundary parametrization
+        boundary = region.sample(n_boundary, rng=rng)
+    return np.vstack([interior, boundary])
+
+
+@dataclass
+class TrainingData:
+    """The sampled sets ``S_I``, ``S_U``, ``S_D`` (rows are points)."""
+
+    s_init: np.ndarray
+    s_unsafe: np.ndarray
+    s_domain: np.ndarray
+
+    @classmethod
+    def sample(
+        cls,
+        problem: CCDS,
+        n_per_set: int = 500,
+        rng: Optional[np.random.Generator] = None,
+        boundary_fraction: float = 0.3,
+    ) -> "TrainingData":
+        """Equal-size samples from Theta, Xi and Psi.
+
+        A ``boundary_fraction`` of the Theta and Xi points is placed on the
+        set boundary, where conditions (i)/(ii) are tight — interior-only
+        sampling systematically misses the worst points in high dimension.
+        """
+        if n_per_set < 1:
+            raise ValueError("n_per_set must be positive")
+        if not 0.0 <= boundary_fraction <= 1.0:
+            raise ValueError("boundary_fraction must be in [0, 1]")
+        rng = rng or np.random.default_rng()
+        return cls(
+            s_init=_with_boundary(problem.theta, n_per_set, boundary_fraction, rng),
+            s_unsafe=_with_boundary(problem.xi, n_per_set, boundary_fraction, rng),
+            s_domain=problem.psi.sample(n_per_set, rng=rng),
+        )
+
+    # ------------------------------------------------------------------
+    def add_init(self, points: np.ndarray) -> None:
+        """Append counterexamples violating condition (i)."""
+        self.s_init = np.vstack([self.s_init, np.atleast_2d(points)])
+
+    def add_unsafe(self, points: np.ndarray) -> None:
+        """Append counterexamples violating condition (ii)."""
+        self.s_unsafe = np.vstack([self.s_unsafe, np.atleast_2d(points)])
+
+    def add_domain(self, points: np.ndarray) -> None:
+        """Append counterexamples violating condition (iii)."""
+        self.s_domain = np.vstack([self.s_domain, np.atleast_2d(points)])
+
+    def sizes(self) -> tuple:
+        return (len(self.s_init), len(self.s_unsafe), len(self.s_domain))
+
+    def __repr__(self) -> str:
+        return "TrainingData(S_I={}, S_U={}, S_D={})".format(*self.sizes())

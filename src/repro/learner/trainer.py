@@ -1,0 +1,141 @@
+"""Joint training of the neural BC and multiplier networks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.learner.datasets import TrainingData
+from repro.learner.loss import BarrierLossTerms, barrier_loss, field_values
+from repro.nn import (
+    Adam,
+    ConstantMultiplier,
+    LinearMultiplier,
+    QuadraticNetwork,
+    SquareNetwork,
+)
+from repro.poly import Polynomial
+
+
+@dataclass
+class LearnerConfig:
+    """Hyper-parameters of the Learner (paper §4.1).
+
+    ``b_hidden`` mirrors Table 1's ``NN_B`` column (hidden widths of the
+    quadratic network; one hidden layer gives a degree-2 barrier).
+    ``lambda_hidden`` mirrors ``NN_lambda``; ``None`` selects the constant
+    multiplier (Table 1's ``c``).
+    """
+
+    b_hidden: Tuple[int, ...] = (10,)
+    lambda_hidden: Optional[Tuple[int, ...]] = (5,)
+    epochs: int = 300
+    lr: float = 0.02
+    eps: float = 0.05
+    etas: Tuple[float, float, float] = (1.0, 1.0, 1.0)
+    #: slope of the LeakyReLU surrogate for max(eps, .).  0 is the exact
+    #: hinge (satisfied samples contribute no gradient, like the paper's
+    #: max); small positive values smooth it but reward margin inflation.
+    negative_slope: float = 0.0
+    loss_tolerance: float = -1.0  # stop early when total loss drops below
+    b_architecture: str = "quadratic"  # or "square" (ablation)
+    paper_printed_form: bool = False
+    #: initialize B as a Lyapunov-shaped quadratic ``c - x^T P x`` when the
+    #: architecture allows it (one hidden layer); see SNBC._warm_start
+    warm_start: bool = True
+    seed: int = 0
+
+
+class BarrierLearner:
+    """Trains ``B(x)`` (quadratic net) and ``lambda(x)`` (linear net).
+
+    The same Learner instance persists across CEGIS rounds so retraining
+    refines the current candidate rather than restarting from scratch.
+    """
+
+    def __init__(self, n_vars: int, config: Optional[LearnerConfig] = None):
+        self.n_vars = int(n_vars)
+        self.config = config or LearnerConfig()
+        rng = np.random.default_rng(self.config.seed)
+        arch = [n_vars, *self.config.b_hidden]
+        if self.config.b_architecture == "quadratic":
+            self.b_net = QuadraticNetwork(arch, rng=rng)
+        elif self.config.b_architecture == "square":
+            self.b_net = SquareNetwork(arch, rng=rng)
+        else:
+            raise ValueError(
+                f"unknown b_architecture {self.config.b_architecture!r}"
+            )
+        if self.config.lambda_hidden is None:
+            self.lambda_net = ConstantMultiplier(n_vars, init=-0.1)
+        else:
+            self.lambda_net = LinearMultiplier(
+                [n_vars, *self.config.lambda_hidden, 1], rng=rng, init_output=-0.1
+            )
+        params = self.b_net.parameters() + self.lambda_net.parameters()
+        self.optimizer = Adam(params, lr=self.config.lr)
+        self.loss_history: List[BarrierLossTerms] = []
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        data: TrainingData,
+        closed_loop_field: Sequence[Polynomial],
+        epochs: Optional[int] = None,
+        gain_fields: Sequence[Sequence[Polynomial]] = (),
+        sigma_star: Sequence[float] = (),
+    ) -> BarrierLossTerms:
+        """Run full-batch Adam on loss (10); returns the final loss terms.
+
+        ``gain_fields``/``sigma_star`` activate the robust Lie margin for
+        controllers with a nonzero inclusion error (see
+        :func:`repro.learner.loss.barrier_loss`).
+        """
+        cfg = self.config
+        f_vals = field_values(closed_loop_field, data.s_domain)
+        g_vals = [field_values(g, data.s_domain) for g in gain_fields]
+        last: Optional[BarrierLossTerms] = None
+        for _ in range(epochs if epochs is not None else cfg.epochs):
+            self.optimizer.zero_grad()
+            loss, terms = barrier_loss(
+                self.b_net,
+                self.lambda_net,
+                data,
+                f_vals,
+                eps=cfg.eps,
+                etas=cfg.etas,
+                negative_slope=cfg.negative_slope,
+                paper_printed_form=cfg.paper_printed_form,
+                gain_field_values=g_vals,
+                sigma_star=sigma_star,
+            )
+            loss.backward()
+            self.optimizer.step()
+            last = terms
+            self.loss_history.append(terms)
+            if terms.total < cfg.loss_tolerance:
+                break
+        assert last is not None
+        return last
+
+    def candidate(self) -> Tuple[Polynomial, Polynomial]:
+        """Extract the symbolic candidate ``(B~, lambda~)``."""
+        return self.b_net.to_polynomial(), self.lambda_net.to_polynomial()
+
+    def empirical_violations(
+        self,
+        data: TrainingData,
+        closed_loop_field: Sequence[Polynomial],
+    ) -> Tuple[int, int, int]:
+        """Count raw condition violations on the datasets (diagnostics)."""
+        B, lam = self.candidate()
+        from repro.poly import lie_derivative
+
+        lfb = lie_derivative(B, closed_loop_field)
+        n_i = int(np.sum(B(data.s_init) < 0.0))
+        n_u = int(np.sum(B(data.s_unsafe) >= 0.0))
+        margin = lfb(data.s_domain) - lam(data.s_domain) * B(data.s_domain)
+        n_d = int(np.sum(margin <= 0.0))
+        return n_i, n_u, n_d

@@ -1,0 +1,46 @@
+"""Neural network layers, optimizers and the paper's special architectures.
+
+* :mod:`repro.nn.layers` / :mod:`repro.nn.optim` — generic MLP building
+  blocks on the :mod:`repro.autodiff` engine (torch substitute);
+* :mod:`repro.nn.quadratic` — the cross-product ("quadratic") network of
+  §4.1 whose output is *exactly* a polynomial of degree ``2^l``;
+* :mod:`repro.nn.multiplier` — the linear multiplier network for
+  ``lambda(x)`` (and the constant variant marked ``c`` in Table 1);
+* :mod:`repro.nn.lipschitz` — Lipschitz constant bounds for NN controllers
+  (needed by Theorem 2's inclusion error bound).
+"""
+
+from repro.nn.layers import Dense, LeakyReLU, Module, Parameter, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.optim import SGD, Adam
+from repro.nn.mlp import MLP
+from repro.nn.quadratic import QuadraticNetwork, SquareNetwork
+from repro.nn.multiplier import ConstantMultiplier, LinearMultiplier
+from repro.nn.io import load_network, network_from_dict, network_to_dict, save_network
+from repro.nn.lipschitz import (
+    empirical_lipschitz_lower_bound,
+    spectral_lipschitz_bound,
+)
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Dense",
+    "Tanh",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "MLP",
+    "QuadraticNetwork",
+    "SquareNetwork",
+    "ConstantMultiplier",
+    "LinearMultiplier",
+    "spectral_lipschitz_bound",
+    "empirical_lipschitz_lower_bound",
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+]

@@ -1,0 +1,98 @@
+"""Saving and loading network weights (JSON, human-inspectable).
+
+Controllers are long-lived artifacts in a verification workflow: train
+once (DDPG or cloning), archive, re-verify later.  These helpers persist
+an architecture description plus all parameters and rebuild the module.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.nn.mlp import MLP
+from repro.nn.multiplier import ConstantMultiplier, LinearMultiplier
+from repro.nn.quadratic import QuadraticNetwork, SquareNetwork
+
+
+def _arch_of(net) -> Dict[str, Any]:
+    if isinstance(net, MLP):
+        return {
+            "kind": "mlp",
+            "layer_sizes": list(net.layer_sizes),
+            "activation": net.activation,
+            "output_scale": net.output_scale,
+        }
+    if isinstance(net, QuadraticNetwork):
+        return {
+            "kind": "quadratic",
+            "layer_sizes": list(net.layer_sizes),
+            "output_bias": net.b_out is not None,
+        }
+    if isinstance(net, SquareNetwork):
+        return {
+            "kind": "square",
+            "layer_sizes": list(net.layer_sizes),
+            "output_bias": net.b_out is not None,
+        }
+    if isinstance(net, LinearMultiplier):
+        return {"kind": "linear_multiplier", "layer_sizes": list(net.layer_sizes)}
+    if isinstance(net, ConstantMultiplier):
+        return {"kind": "constant_multiplier", "n_vars": net.n_vars}
+    raise TypeError(f"cannot serialize network of type {type(net).__name__}")
+
+
+def network_to_dict(net) -> Dict[str, Any]:
+    """JSON-safe encoding: architecture + ordered parameter arrays."""
+    return {
+        "architecture": _arch_of(net),
+        "parameters": [
+            {"shape": list(p.shape), "data": p.ravel().tolist()}
+            for p in net.state_dict()
+        ],
+    }
+
+
+def network_from_dict(data: Dict[str, Any]):
+    """Rebuild a network saved with :func:`network_to_dict`."""
+    try:
+        arch = data["architecture"]
+        kind = arch["kind"]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed network payload: {exc}") from exc
+    if kind == "mlp":
+        net = MLP(
+            arch["layer_sizes"],
+            activation=arch["activation"],
+            output_scale=arch["output_scale"],
+        )
+    elif kind == "quadratic":
+        net = QuadraticNetwork(arch["layer_sizes"], output_bias=arch["output_bias"])
+    elif kind == "square":
+        net = SquareNetwork(arch["layer_sizes"], output_bias=arch["output_bias"])
+    elif kind == "linear_multiplier":
+        net = LinearMultiplier(arch["layer_sizes"])
+    elif kind == "constant_multiplier":
+        net = ConstantMultiplier(arch["n_vars"])
+    else:
+        raise ValueError(f"unknown network kind {kind!r}")
+    state = [
+        np.asarray(p["data"], dtype=float).reshape(p["shape"])
+        for p in data["parameters"]
+    ]
+    net.load_state_dict(state)
+    return net
+
+
+def save_network(net, path: str) -> None:
+    """Write a network to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(network_to_dict(net), fh)
+
+
+def load_network(path: str):
+    """Load a network written by :func:`save_network`."""
+    with open(path) as fh:
+        return network_from_dict(json.load(fh))

@@ -1,0 +1,152 @@
+"""Lipschitz constant estimation for NN controllers.
+
+Theorem 2 bounds the controller-inclusion gap by ``sL/2`` where ``L`` is a
+Lipschitz constant of ``k(x)``.  The paper cites Fazlyab et al. (LipSDP);
+here we provide the classical sound *upper* bound — the product of layer
+spectral norms times activation slopes — plus a sampling-based *lower*
+bound used in tests to sandwich the truth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Dense, Module, Sequential
+from repro.nn.mlp import MLP
+
+#: maximum derivative of each supported activation
+_ACTIVATION_SLOPES = {
+    "tanh": 1.0,
+    "relu": 1.0,
+    "leaky_relu": 1.0,
+    "sigmoid": 0.25,
+}
+
+
+def spectral_norm(matrix: np.ndarray, n_iterations: int = 50) -> float:
+    """Largest singular value via power iteration (exact-enough for bounds)."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.size == 0:
+        return 0.0
+    v = np.ones(matrix.shape[1]) / np.sqrt(matrix.shape[1])
+    for _ in range(n_iterations):
+        u = matrix @ v
+        nu = np.linalg.norm(u)
+        if nu == 0:
+            return 0.0
+        u /= nu
+        v = matrix.T @ u
+        nv = np.linalg.norm(v)
+        if nv == 0:
+            return 0.0
+        v /= nv
+    return float(np.linalg.norm(matrix @ v))
+
+
+def spectral_lipschitz_bound(network: MLP) -> float:
+    """Sound Lipschitz upper bound: product of ``||W_i||_2`` and slopes.
+
+    For an MLP with 1-Lipschitz activations this is the standard
+    ``prod_i ||W_i||_2`` bound; an ``output_scale`` saturation multiplies by
+    its scale (derivative of ``s tanh`` is at most ``s``).
+    """
+    if not isinstance(network, MLP):
+        raise TypeError("spectral_lipschitz_bound expects an MLP controller")
+    slope = _ACTIVATION_SLOPES[network.activation]
+    bound = 1.0
+    n_hidden_activations = 0
+    for module in network.net:
+        if isinstance(module, Dense):
+            bound *= spectral_norm(module.W.data)
+        else:
+            n_hidden_activations += 1
+    bound *= slope ** n_hidden_activations
+    if network.output_scale is not None:
+        bound *= float(network.output_scale)
+    return float(bound)
+
+
+def lipsdp_lipschitz_bound(
+    network: MLP,
+    options=None,
+) -> float:
+    """LipSDP-Neuron bound (Fazlyab et al. 2019) for one-hidden-layer MLPs.
+
+    For ``f(x) = W1 phi(W0 x + b0) + b1`` with activation slope-restricted
+    to ``[0, beta]``, the smallest ``rho`` with
+
+        [[rho I,        -beta W0^T T],
+         [-beta T W0,   2 T - W1^T W1]]  PSD,   T = diag(t) >= 0
+
+    gives the Lipschitz bound ``sqrt(rho)`` — typically noticeably tighter
+    than the spectral product, which shrinks the paper's inclusion error
+    ``sigma* = sigma~ + sL/2``.  Solved with :func:`repro.sdp.solve_lmi`.
+
+    Raises ``ValueError`` for architectures other than Dense-act-Dense.
+    """
+    from repro.sdp import solve_lmi
+
+    if not isinstance(network, MLP):
+        raise TypeError("lipsdp_lipschitz_bound expects an MLP")
+    modules = list(network.net)
+    if len(modules) != 3 or not isinstance(modules[0], Dense) or not isinstance(
+        modules[2], Dense
+    ):
+        raise ValueError("LipSDP-Neuron here supports exactly one hidden layer")
+    beta = _ACTIVATION_SLOPES[network.activation]
+    W0 = modules[0].W.data.T  # (h, n)
+    W1 = modules[2].W.data.T  # (m, h)
+    h, n = W0.shape
+    m = W1.shape[0]
+    dim = n + h
+
+    F0 = np.zeros((dim, dim))
+    F0[n:, n:] = -W1.T @ W1
+    F_rho = np.zeros((dim, dim))
+    F_rho[:n, :n] = np.eye(n)
+    F_list = [F_rho]
+    c = [1.0]
+    for j in range(h):
+        Fj = np.zeros((dim, dim))
+        Fj[n + j, n + j] = 2.0
+        Fj[:n, n + j] = -beta * W0[j, :]
+        Fj[n + j, :n] = -beta * W0[j, :]
+        F_list.append(Fj)
+        c.append(0.0)
+    result = solve_lmi(F0, F_list, c, options=options)
+    if not result.ok or result.y is None or result.y[0] < 0:
+        raise RuntimeError(f"LipSDP solve failed: {result.status} {result.message}")
+    bound = float(np.sqrt(max(result.y[0], 0.0)))
+    if network.output_scale is not None:
+        bound *= float(network.output_scale)
+    return bound
+
+
+def empirical_lipschitz_lower_bound(
+    network: Module,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    n_pairs: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Sampling-based lower bound ``max |k(x)-k(y)| / |x-y|`` on a box.
+
+    Used to sanity-check the spectral bound (lower <= true <= spectral).
+    """
+    rng = rng or np.random.default_rng()
+    lo = np.asarray(lo, dtype=float)
+    hi = np.asarray(hi, dtype=float)
+    xs = rng.uniform(lo, hi, size=(n_pairs, lo.shape[0]))
+    # pair each point with a nearby perturbation to probe local slopes
+    scale = 1e-3 * np.max(hi - lo)
+    ys = np.clip(xs + rng.normal(scale=scale, size=xs.shape), lo, hi)
+    fx = network.predict(xs).reshape(n_pairs, -1)
+    fy = network.predict(ys).reshape(n_pairs, -1)
+    num = np.linalg.norm(fx - fy, axis=1)
+    den = np.linalg.norm(xs - ys, axis=1)
+    mask = den > 1e-12
+    if not np.any(mask):
+        return 0.0
+    return float(np.max(num[mask] / den[mask]))

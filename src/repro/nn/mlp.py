@@ -1,0 +1,67 @@
+"""A standard multilayer perceptron used for NN controllers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.nn.layers import Dense, LeakyReLU, Module, ReLU, Sequential, Sigmoid, Tanh
+
+_ACTIVATIONS = {
+    "tanh": Tanh,
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "sigmoid": Sigmoid,
+}
+
+
+class MLP(Module):
+    """A fully connected network, e.g. the controller ``k(x)``.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[n_in, h_1, ..., h_k, n_out]`` — matches the paper's
+        ``n-h-...-1`` network-shape notation.
+    activation:
+        Hidden-layer nonlinearity name.
+    output_scale:
+        When set, the output becomes ``output_scale * tanh(raw)`` —
+        the standard DDPG actor saturation bounding the control input.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activation: str = "tanh",
+        output_scale: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; options: {sorted(_ACTIVATIONS)}"
+            )
+        rng = rng or np.random.default_rng()
+        self.layer_sizes = list(layer_sizes)
+        self.activation = activation
+        self.output_scale = output_scale
+        mods: List[Module] = []
+        for i in range(len(layer_sizes) - 1):
+            mods.append(Dense(layer_sizes[i], layer_sizes[i + 1], rng=rng))
+            if i < len(layer_sizes) - 2:
+                mods.append(_ACTIVATIONS[activation]())
+        self.net = Sequential(*mods)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.net(x)
+        if self.output_scale is not None:
+            out = out.tanh() * self.output_scale
+        return out
+
+    def __repr__(self) -> str:
+        shape = "-".join(str(s) for s in self.layer_sizes)
+        return f"MLP({shape}, activation={self.activation})"

@@ -1,0 +1,295 @@
+"""Quadratic (cross-product) networks — the neural BC architecture of §4.1.
+
+Each hidden layer computes the Hadamard product of two affine maps,
+
+    x^(i) = (W1^(i) x^(i-1) + b1^(i)) (*) (W2^(i) x^(i-1) + b2^(i)),
+
+so a network with ``l`` hidden layers outputs *exactly* a polynomial of
+degree ``2^l`` in the input — which is what lets the Verifier consume the
+learned candidate symbolically.  Compared to the Square activation
+``(W x + b)^2`` (kept here as :class:`SquareNetwork` for the ablation
+study), the cross-product doubles the parameters at equal output degree and
+removes the nonnegativity restriction of each unit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autodiff import Tensor, no_grad
+from repro.nn.layers import Module, Parameter
+from repro.poly import Polynomial
+
+
+def _glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    scale = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-scale, scale, size=(fan_in, fan_out))
+
+
+class QuadraticNetwork(Module):
+    """Cross-product activated network producing a scalar polynomial output.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[n_in, h_1, ..., h_l]`` — input width followed by one width per
+        hidden layer; a Table 1 entry like ``3-5-1`` is
+        ``layer_sizes=[3, 5]`` (the trailing 1 is the linear output).
+    output_bias:
+        Include a constant offset in the output layer (adds the degree-0
+        coefficient of ``B``).
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        output_bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if len(layer_sizes) < 2:
+            raise ValueError("need an input width and at least one hidden layer")
+        rng = rng or np.random.default_rng()
+        self.layer_sizes = list(int(s) for s in layer_sizes)
+        self.W1: List[Parameter] = []
+        self.b1: List[Parameter] = []
+        self.W2: List[Parameter] = []
+        self.b2: List[Parameter] = []
+        for n_in, n_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:]):
+            self.W1.append(Parameter(_glorot(rng, n_in, n_out)))
+            self.b1.append(Parameter(rng.uniform(-0.1, 0.1, size=n_out)))
+            self.W2.append(Parameter(_glorot(rng, n_in, n_out)))
+            self.b2.append(Parameter(rng.uniform(-0.1, 0.1, size=n_out)))
+        self.W_out = Parameter(_glorot(rng, self.layer_sizes[-1], 1))
+        self.b_out = Parameter(np.zeros(1)) if output_bias else None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_hidden_layers(self) -> int:
+        return len(self.W1)
+
+    @property
+    def output_degree(self) -> int:
+        """Polynomial degree of the output: ``2^l``."""
+        return 2 ** self.n_hidden_layers
+
+    def init_from_quadratic_form(
+        self,
+        P: np.ndarray,
+        constant: float,
+        noise: float = 1e-2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Warm-start a one-hidden-layer net to ``B(x) = constant - x^T P x``.
+
+        Each eigencomponent ``lambda_i (v_i . x)^2`` of ``P`` maps onto one
+        cross-product unit via ``W1_col = v_i``, ``W2_col = -lambda_i v_i``.
+        Spare units (width beyond ``n``) get small random weights so they
+        stay trainable.  A Lyapunov-shaped start drastically reduces CEGIS
+        rounds in higher dimensions (used by :class:`repro.cegis.SNBC`).
+        """
+        if self.n_hidden_layers != 1:
+            raise ValueError("warm start supports exactly one hidden layer")
+        if self.b_out is None:
+            raise ValueError("warm start needs an output bias for the constant")
+        rng = rng or np.random.default_rng(0)
+        n, h = self.layer_sizes[0], self.layer_sizes[1]
+        P = np.asarray(P, dtype=float)
+        if P.shape != (n, n):
+            raise ValueError(f"P must be {n}x{n}")
+        eigvals, eigvecs = np.linalg.eigh(0.5 * (P + P.T))
+        order = np.argsort(-np.abs(eigvals))
+        W1 = noise * rng.normal(size=(n, h))
+        W2 = noise * rng.normal(size=(n, h))
+        for j, idx in enumerate(order[: min(h, n)]):
+            W1[:, j] = eigvecs[:, idx]
+            W2[:, j] = -float(eigvals[idx]) * eigvecs[:, idx]
+        self.W1[0].data = W1
+        self.W2[0].data = W2
+        self.b1[0].data = np.zeros(h)
+        self.b2[0].data = np.zeros(h)
+        self.W_out.data = np.ones((h, 1))
+        self.b_out.data = np.array([float(constant)])
+
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        """Evaluate ``B(x)`` for a batch; returns shape ``(batch,)``."""
+        z = x
+        for W1, b1, W2, b2 in zip(self.W1, self.b1, self.W2, self.b2):
+            z = (z @ W1 + b1) * (z @ W2 + b2)
+        out = z @ self.W_out
+        if self.b_out is not None:
+            out = out + self.b_out
+        return out.reshape(-1)
+
+    def forward_with_tangent(self, x: Tensor, xdot: Tensor) -> Tuple[Tensor, Tensor]:
+        """Jointly evaluate ``B(x)`` and the directional derivative
+        ``L_f B(x) = grad B(x) . xdot``.
+
+        The tangent is propagated through the same recursion
+        (``zdot -> adot * b + a * bdot``), so the result is an explicit
+        first-order computation in the parameters: backprop through it
+        trains the Lie-derivative loss term without second-order autodiff.
+        """
+        z, zdot = x, xdot
+        for W1, b1, W2, b2 in zip(self.W1, self.b1, self.W2, self.b2):
+            a = z @ W1 + b1
+            bb = z @ W2 + b2
+            adot = zdot @ W1
+            bbdot = zdot @ W2
+            z = a * bb
+            zdot = adot * bb + a * bbdot
+        out = z @ self.W_out
+        if self.b_out is not None:
+            out = out + self.b_out
+        lie = zdot @ self.W_out
+        return out.reshape(-1), lie.reshape(-1)
+
+    def gradient(self, points: np.ndarray) -> np.ndarray:
+        """Input-gradient ``grad B`` at a batch of points (numpy, no graph).
+
+        Uses the closed-form layer recursion (paper's equation (9)).
+        """
+        with no_grad():
+            pts = np.atleast_2d(np.asarray(points, dtype=float))
+            batch, n = pts.shape
+            z = pts
+            # J holds dz/dx, shape (batch, width, n)
+            J = np.broadcast_to(np.eye(n), (batch, n, n)).copy()
+            for W1, b1, W2, b2 in zip(self.W1, self.b1, self.W2, self.b2):
+                a = z @ W1.data + b1.data
+                bb = z @ W2.data + b2.data
+                Ja = np.einsum("io,bin->bon", W1.data, J)
+                Jb = np.einsum("io,bin->bon", W2.data, J)
+                J = a[:, :, None] * Jb + bb[:, :, None] * Ja
+                z = a * bb
+            grad = np.einsum("bon,oq->bnq", J, self.W_out.data)[:, :, 0]
+        return grad
+
+    # ------------------------------------------------------------------
+    def to_polynomial(self) -> Polynomial:
+        """Exact symbolic expansion of the network output."""
+        n = self.layer_sizes[0]
+        z: List[Polynomial] = list(Polynomial.variables(n))
+        for W1, b1, W2, b2 in zip(self.W1, self.b1, self.W2, self.b2):
+            new_z: List[Polynomial] = []
+            for j in range(W1.data.shape[1]):
+                a = Polynomial.constant(n, float(b1.data[j]))
+                b = Polynomial.constant(n, float(b2.data[j]))
+                for i, zi in enumerate(z):
+                    a = a + zi * float(W1.data[i, j])
+                    b = b + zi * float(W2.data[i, j])
+                new_z.append(a * b)
+            z = new_z
+        out = Polynomial.constant(n, float(self.b_out.data[0]) if self.b_out is not None else 0.0)
+        for j, zj in enumerate(z):
+            out = out + zj * float(self.W_out.data[j, 0])
+        return out
+
+    def __repr__(self) -> str:
+        shape = "-".join(str(s) for s in self.layer_sizes + [1])
+        return f"QuadraticNetwork({shape}, degree={self.output_degree})"
+
+
+class SquareNetwork(Module):
+    """Square-activation network ``x^(i) = (W x^(i-1) + b)^2`` (ablation).
+
+    Same output degree ``2^l`` as :class:`QuadraticNetwork` with half the
+    parameters, but every hidden unit is nonnegative, which restricts the
+    function class (the paper's motivation for the cross-product form).
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        output_bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if len(layer_sizes) < 2:
+            raise ValueError("need an input width and at least one hidden layer")
+        rng = rng or np.random.default_rng()
+        self.layer_sizes = list(int(s) for s in layer_sizes)
+        self.W: List[Parameter] = []
+        self.b: List[Parameter] = []
+        for n_in, n_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:]):
+            self.W.append(Parameter(_glorot(rng, n_in, n_out)))
+            self.b.append(Parameter(rng.uniform(-0.1, 0.1, size=n_out)))
+        self.W_out = Parameter(_glorot(rng, self.layer_sizes[-1], 1))
+        self.b_out = Parameter(np.zeros(1)) if output_bias else None
+
+    @property
+    def output_degree(self) -> int:
+        return 2 ** len(self.W)
+
+    def init_from_quadratic_form(
+        self,
+        P: np.ndarray,
+        constant: float,
+        noise: float = 1e-2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Warm-start to ``constant - x^T P x``; the sign-indefinite part
+        lands in the output weights since squared units are nonnegative."""
+        if len(self.W) != 1:
+            raise ValueError("warm start supports exactly one hidden layer")
+        if self.b_out is None:
+            raise ValueError("warm start needs an output bias for the constant")
+        rng = rng or np.random.default_rng(0)
+        n, h = self.layer_sizes[0], self.layer_sizes[1]
+        P = np.asarray(P, dtype=float)
+        if P.shape != (n, n):
+            raise ValueError(f"P must be {n}x{n}")
+        eigvals, eigvecs = np.linalg.eigh(0.5 * (P + P.T))
+        order = np.argsort(-np.abs(eigvals))
+        W = noise * rng.normal(size=(n, h))
+        W_out = noise * rng.normal(size=(h, 1))
+        for j, idx in enumerate(order[: min(h, n)]):
+            W[:, j] = eigvecs[:, idx]
+            W_out[j, 0] = -float(eigvals[idx])
+        self.W[0].data = W
+        self.b[0].data = np.zeros(h)
+        self.W_out.data = W_out
+        self.b_out.data = np.array([float(constant)])
+
+    def forward(self, x: Tensor) -> Tensor:
+        z = x
+        for W, b in zip(self.W, self.b):
+            pre = z @ W + b
+            z = pre * pre
+        out = z @ self.W_out
+        if self.b_out is not None:
+            out = out + self.b_out
+        return out.reshape(-1)
+
+    def forward_with_tangent(self, x: Tensor, xdot: Tensor) -> Tuple[Tensor, Tensor]:
+        z, zdot = x, xdot
+        for W, b in zip(self.W, self.b):
+            pre = z @ W + b
+            predot = zdot @ W
+            z = pre * pre
+            zdot = 2.0 * pre * predot
+        out = z @ self.W_out
+        if self.b_out is not None:
+            out = out + self.b_out
+        return out.reshape(-1), (zdot @ self.W_out).reshape(-1)
+
+    def to_polynomial(self) -> Polynomial:
+        n = self.layer_sizes[0]
+        z: List[Polynomial] = list(Polynomial.variables(n))
+        for W, b in zip(self.W, self.b):
+            new_z = []
+            for j in range(W.data.shape[1]):
+                pre = Polynomial.constant(n, float(b.data[j]))
+                for i, zi in enumerate(z):
+                    pre = pre + zi * float(W.data[i, j])
+                new_z.append(pre * pre)
+            z = new_z
+        out = Polynomial.constant(n, float(self.b_out.data[0]) if self.b_out is not None else 0.0)
+        for j, zj in enumerate(z):
+            out = out + zj * float(self.W_out.data[j, 0])
+        return out
+
+    def __repr__(self) -> str:
+        shape = "-".join(str(s) for s in self.layer_sizes + [1])
+        return f"SquareNetwork({shape}, degree={self.output_degree})"

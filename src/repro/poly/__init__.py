@@ -1,0 +1,39 @@
+"""Multivariate polynomial algebra.
+
+This package provides the symbolic substrate used throughout the SNBC
+pipeline: sparse multivariate polynomials over ``R[x_1, ..., x_n]`` with
+
+* graded-lexicographic monomial bases (:mod:`repro.poly.monomials`),
+* arithmetic, vectorized evaluation and calculus
+  (:mod:`repro.poly.polynomial`, :mod:`repro.poly.calculus`),
+* coefficient-norm and box range bounds used by the numerical SOS
+  validation step (:mod:`repro.poly.bounds`).
+"""
+
+from repro.poly.monomials import (
+    grlex_key,
+    monomial_index_map,
+    monomials_exact,
+    monomials_upto,
+    n_monomials_upto,
+)
+from repro.poly.polynomial import Polynomial
+from repro.poly.calculus import gradient, jacobian, lie_derivative
+from repro.poly.bounds import abs_bound_on_box, l1_norm, linf_norm
+from repro.poly.parse import parse_polynomial
+
+__all__ = [
+    "Polynomial",
+    "grlex_key",
+    "monomials_upto",
+    "monomials_exact",
+    "monomial_index_map",
+    "n_monomials_upto",
+    "gradient",
+    "jacobian",
+    "lie_derivative",
+    "abs_bound_on_box",
+    "l1_norm",
+    "linf_norm",
+    "parse_polynomial",
+]

@@ -1,0 +1,90 @@
+"""Coefficient norms and cheap range bounds for polynomials on boxes.
+
+These bounds back the a-posteriori numerical validation of SOS certificates:
+after the SDP solver returns Gram matrices, the coefficient residual of the
+polynomial identity is bounded over the (compact, box-shaped) domain and
+absorbed into the strictness margin.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.poly.polynomial import Polynomial
+
+
+def l1_norm(p: Polynomial) -> float:
+    """Sum of absolute coefficient values."""
+    return float(sum(abs(c) for c in p.coeffs.values()))
+
+
+def linf_norm(p: Polynomial) -> float:
+    """Largest absolute coefficient value."""
+    if not p.coeffs:
+        return 0.0
+    return float(max(abs(c) for c in p.coeffs.values()))
+
+
+def abs_bound_on_box(
+    p: Polynomial, lo: Sequence[float], hi: Sequence[float]
+) -> float:
+    """Upper bound for ``max |p(x)|`` over the box ``[lo, hi]``.
+
+    Uses the triangle inequality term-by-term:
+    ``|p(x)| <= sum_alpha |c_alpha| * prod_i max(|lo_i|, |hi_i|)**alpha_i``.
+    Crude but sound, and tight enough for residual absorption because the
+    residual coefficients are at solver-tolerance scale.
+    """
+    lo = np.asarray(lo, dtype=float)
+    hi = np.asarray(hi, dtype=float)
+    if lo.shape != (p.n_vars,) or hi.shape != (p.n_vars,):
+        raise ValueError("box bounds must match the polynomial variable count")
+    if np.any(lo > hi):
+        raise ValueError("box has lo > hi")
+    mag = np.maximum(np.abs(lo), np.abs(hi))
+    total = 0.0
+    for alpha, c in p.coeffs.items():
+        term = abs(c)
+        for m, a in zip(mag, alpha):
+            if a:
+                term *= float(m) ** a
+        total += term
+    return float(total)
+
+
+def interval_eval(
+    p: Polynomial, lo: Sequence[float], hi: Sequence[float]
+) -> Tuple[float, float]:
+    """Natural interval extension of ``p`` on the box ``[lo, hi]``.
+
+    Returns a (sound, generally over-approximate) enclosure
+    ``[low, high]`` of the range of ``p``.
+    """
+    lo = np.asarray(lo, dtype=float)
+    hi = np.asarray(hi, dtype=float)
+    if lo.shape != (p.n_vars,) or hi.shape != (p.n_vars,):
+        raise ValueError("box bounds must match the polynomial variable count")
+    low, high = 0.0, 0.0
+    for alpha, c in p.coeffs.items():
+        t_lo, t_hi = 1.0, 1.0
+        for i, a in enumerate(alpha):
+            if a == 0:
+                continue
+            # interval power of [lo_i, hi_i]
+            if a % 2 == 0 and lo[i] < 0.0 < hi[i]:
+                p_lo, p_hi = 0.0, max(lo[i] ** a, hi[i] ** a)
+            else:
+                cand = sorted((lo[i] ** a, hi[i] ** a))
+                p_lo, p_hi = cand[0], cand[1]
+            # interval multiply
+            products = (t_lo * p_lo, t_lo * p_hi, t_hi * p_lo, t_hi * p_hi)
+            t_lo, t_hi = min(products), max(products)
+        if c >= 0:
+            low += c * t_lo
+            high += c * t_hi
+        else:
+            low += c * t_hi
+            high += c * t_lo
+    return float(low), float(high)

@@ -1,0 +1,41 @@
+"""Vector calculus on polynomial maps: gradients, Jacobians, Lie derivatives."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.poly.polynomial import Polynomial
+
+
+def gradient(p: Polynomial) -> Tuple[Polynomial, ...]:
+    """Gradient ``(dp/dx_1, ..., dp/dx_n)`` of a scalar polynomial."""
+    return p.grad()
+
+
+def jacobian(field: Sequence[Polynomial]) -> Tuple[Tuple[Polynomial, ...], ...]:
+    """Jacobian matrix of a polynomial vector field, row ``i`` = grad of ``f_i``."""
+    if not field:
+        raise ValueError("empty vector field")
+    n = field[0].n_vars
+    if any(f.n_vars != n for f in field):
+        raise ValueError("vector field components must share variable count")
+    return tuple(f.grad() for f in field)
+
+
+def lie_derivative(p: Polynomial, field: Sequence[Polynomial]) -> Polynomial:
+    """Lie derivative ``L_f p = sum_i (dp/dx_i) * f_i`` along a vector field.
+
+    This is the rate of change of ``p`` along trajectories of
+    ``xdot = f(x)`` and the key object in barrier condition (iii).
+    """
+    if len(field) != p.n_vars:
+        raise ValueError(
+            f"vector field has {len(field)} components, polynomial has "
+            f"{p.n_vars} variables"
+        )
+    result = Polynomial.zero(p.n_vars)
+    for i, f_i in enumerate(field):
+        if f_i.n_vars != p.n_vars:
+            raise ValueError("vector field components must match variable count")
+        result = result + p.diff(i) * f_i
+    return result

@@ -1,0 +1,78 @@
+"""Monomial bookkeeping in graded lexicographic (grlex) order.
+
+A monomial in ``n`` variables is represented by its exponent tuple
+``alpha = (a_1, ..., a_n)`` with ``x**alpha = x_1**a_1 * ... * x_n**a_n``.
+The paper orders the monomial vector ``[x]_d`` in graded lexicographic
+ordering: first by total degree, then lexicographically with ``x_1`` most
+significant, i.e. ``[1, x1, x2, ..., xn, x1^2, x1 x2, ...]``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import comb
+from typing import Dict, Iterator, List, Tuple
+
+Exponent = Tuple[int, ...]
+
+
+def grlex_key(alpha: Exponent) -> Tuple[int, Tuple[int, ...]]:
+    """Sort key realizing graded lexicographic order.
+
+    Total degree first; ties broken lexicographically with larger exponent on
+    earlier variables coming first (so ``x1^2`` precedes ``x1*x2``).
+    """
+    return (sum(alpha), tuple(-a for a in alpha))
+
+
+def _exponents_exact(n_vars: int, degree: int) -> Iterator[Exponent]:
+    """Yield all exponent tuples of ``n_vars`` variables of exact total degree."""
+    if n_vars == 1:
+        yield (degree,)
+        return
+    for first in range(degree, -1, -1):
+        for rest in _exponents_exact(n_vars - 1, degree - first):
+            yield (first,) + rest
+
+
+@lru_cache(maxsize=None)
+def monomials_exact(n_vars: int, degree: int) -> Tuple[Exponent, ...]:
+    """All monomials of exact total degree ``degree``, in grlex order."""
+    if n_vars < 1:
+        raise ValueError("n_vars must be >= 1")
+    if degree < 0:
+        raise ValueError("degree must be >= 0")
+    return tuple(_exponents_exact(n_vars, degree))
+
+
+@lru_cache(maxsize=None)
+def monomials_upto(n_vars: int, degree: int) -> Tuple[Exponent, ...]:
+    """The monomial vector ``[x]_d``: all monomials of degree <= d, grlex order.
+
+    Its length is ``binom(n_vars + degree, n_vars)`` (the ``v`` of the paper).
+    """
+    out: List[Exponent] = []
+    for d in range(degree + 1):
+        out.extend(monomials_exact(n_vars, d))
+    return tuple(out)
+
+
+def n_monomials_upto(n_vars: int, degree: int) -> int:
+    """Dimension ``v = binom(n + d, n)`` of the monomial vector ``[x]_d``."""
+    return comb(n_vars + degree, n_vars)
+
+
+@lru_cache(maxsize=None)
+def monomial_index_map(n_vars: int, degree: int) -> Dict[Exponent, int]:
+    """Map from exponent tuple to its position in ``monomials_upto``."""
+    return {alpha: i for i, alpha in enumerate(monomials_upto(n_vars, degree))}
+
+
+def add_exponents(a: Exponent, b: Exponent) -> Exponent:
+    """Exponent of the product monomial ``x**a * x**b``."""
+    return tuple(x + y for x, y in zip(a, b))
+
+
+def total_degree(alpha: Exponent) -> int:
+    """Total degree of a monomial."""
+    return sum(alpha)

@@ -1,0 +1,69 @@
+"""Parsing polynomials from human-readable strings.
+
+Accepts the format produced by ``str(Polynomial)`` — terms like
+``0.159*x1^2 - 2.267*x1*x2 + 2.703*x1 - 10.541`` — so certificates printed
+by the tool (or copied from the paper, e.g. eq. (19)) can be read back.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from repro.poly.monomials import Exponent
+from repro.poly.polynomial import Polynomial
+
+_TERM_RE = re.compile(
+    r"""
+    (?P<sign>[+-])?\s*
+    (?P<coeff>\d+\.?\d*(?:[eE][+-]?\d+)?)?\s*\*?\s*
+    (?P<monos>(?:x\d+(?:\^\d+)?(?:\s*\*\s*)?)*)
+    """,
+    re.VERBOSE,
+)
+_MONO_RE = re.compile(r"x(?P<idx>\d+)(?:\^(?P<pow>\d+))?")
+
+
+def parse_polynomial(text: str, n_vars: Optional[int] = None) -> Polynomial:
+    """Parse a polynomial string over variables ``x1, x2, ...``.
+
+    ``n_vars`` fixes the ambient dimension; inferred from the largest
+    variable index otherwise.  Raises ``ValueError`` on malformed input.
+    """
+    cleaned = text.replace("**", "^").strip()
+    if not cleaned:
+        raise ValueError("empty polynomial string")
+    # tokenize into signed terms
+    terms = []
+    pos = 0
+    while pos < len(cleaned):
+        m = _TERM_RE.match(cleaned, pos)
+        if m is None or m.end() == pos:
+            raise ValueError(f"cannot parse polynomial near {cleaned[pos:pos+15]!r}")
+        sign = -1.0 if m.group("sign") == "-" else 1.0
+        coeff_text = m.group("coeff")
+        monos_text = m.group("monos") or ""
+        if coeff_text is None and not monos_text:
+            # matched only whitespace/sign: malformed
+            raise ValueError(f"dangling term near {cleaned[pos:pos+15]!r}")
+        coeff = sign * (float(coeff_text) if coeff_text else 1.0)
+        powers: Dict[int, int] = {}
+        for mono in _MONO_RE.finditer(monos_text):
+            idx = int(mono.group("idx")) - 1
+            if idx < 0:
+                raise ValueError("variable indices start at x1")
+            powers[idx] = powers.get(idx, 0) + int(mono.group("pow") or 1)
+        terms.append((coeff, powers))
+        pos = m.end()
+        while pos < len(cleaned) and cleaned[pos].isspace():
+            pos += 1
+
+    max_idx = max((max(p) + 1 for _, p in terms if p), default=1)
+    dim = n_vars if n_vars is not None else max_idx
+    if max_idx > dim:
+        raise ValueError(f"term uses x{max_idx} but n_vars={dim}")
+    coeffs: Dict[Exponent, float] = {}
+    for coeff, powers in terms:
+        alpha = tuple(powers.get(i, 0) for i in range(dim))
+        coeffs[alpha] = coeffs.get(alpha, 0.0) + coeff
+    return Polynomial(dim, coeffs)

@@ -1,0 +1,356 @@
+"""Sparse multivariate polynomials with numpy-vectorized evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.poly.monomials import (
+    Exponent,
+    add_exponents,
+    grlex_key,
+    monomial_index_map,
+    monomials_upto,
+)
+
+Scalar = Union[int, float, np.floating]
+
+#: Coefficients with absolute value below this are dropped on construction.
+DROP_TOL = 0.0
+
+
+class Polynomial:
+    """A sparse polynomial in ``R[x_1, ..., x_n]``.
+
+    Internally a mapping from exponent tuples to float coefficients.  All
+    arithmetic returns new :class:`Polynomial` objects; instances should be
+    treated as immutable.
+
+    Parameters
+    ----------
+    n_vars:
+        Number of variables ``n``.
+    coeffs:
+        Mapping ``alpha -> c`` for the terms ``c * x**alpha``.  Zero
+        coefficients are dropped.
+    """
+
+    __slots__ = ("n_vars", "coeffs")
+
+    def __init__(self, n_vars: int, coeffs: Optional[Mapping[Exponent, Scalar]] = None):
+        if n_vars < 1:
+            raise ValueError("a polynomial needs at least one variable")
+        self.n_vars = int(n_vars)
+        cleaned: Dict[Exponent, float] = {}
+        if coeffs:
+            for alpha, c in coeffs.items():
+                alpha = tuple(int(a) for a in alpha)
+                if len(alpha) != n_vars:
+                    raise ValueError(
+                        f"exponent {alpha} has {len(alpha)} entries, expected {n_vars}"
+                    )
+                if any(a < 0 for a in alpha):
+                    raise ValueError(f"negative exponent in {alpha}")
+                c = float(c)
+                if c != 0.0 and abs(c) > DROP_TOL:
+                    cleaned[alpha] = cleaned.get(alpha, 0.0) + c
+        self.coeffs = {a: c for a, c in cleaned.items() if c != 0.0}
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, n_vars: int) -> "Polynomial":
+        """The zero polynomial."""
+        return cls(n_vars, {})
+
+    @classmethod
+    def one(cls, n_vars: int) -> "Polynomial":
+        """The constant polynomial 1."""
+        return cls.constant(n_vars, 1.0)
+
+    @classmethod
+    def constant(cls, n_vars: int, value: Scalar) -> "Polynomial":
+        """A constant polynomial."""
+        return cls(n_vars, {(0,) * n_vars: float(value)})
+
+    @classmethod
+    def variable(cls, n_vars: int, index: int) -> "Polynomial":
+        """The coordinate polynomial ``x_{index}`` (0-based)."""
+        if not 0 <= index < n_vars:
+            raise ValueError(f"variable index {index} out of range for n={n_vars}")
+        alpha = tuple(1 if i == index else 0 for i in range(n_vars))
+        return cls(n_vars, {alpha: 1.0})
+
+    @classmethod
+    def variables(cls, n_vars: int) -> Tuple["Polynomial", ...]:
+        """All coordinate polynomials ``(x_1, ..., x_n)``."""
+        return tuple(cls.variable(n_vars, i) for i in range(n_vars))
+
+    @classmethod
+    def monomial(cls, n_vars: int, alpha: Exponent, coeff: Scalar = 1.0) -> "Polynomial":
+        """The single-term polynomial ``coeff * x**alpha``."""
+        return cls(n_vars, {tuple(alpha): float(coeff)})
+
+    @classmethod
+    def from_coeff_vector(
+        cls, n_vars: int, degree: int, vector: Sequence[Scalar]
+    ) -> "Polynomial":
+        """Build from a dense coefficient vector over ``[x]_degree`` (grlex)."""
+        basis = monomials_upto(n_vars, degree)
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (len(basis),):
+            raise ValueError(
+                f"coefficient vector has shape {vector.shape}, expected ({len(basis)},)"
+            )
+        return cls(n_vars, dict(zip(basis, vector)))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """Total degree (zero polynomial has degree 0 by convention)."""
+        if not self.coeffs:
+            return 0
+        return max(sum(alpha) for alpha in self.coeffs)
+
+    @property
+    def is_zero(self) -> bool:
+        """True if the polynomial has no terms."""
+        return not self.coeffs
+
+    def coeff(self, alpha: Exponent) -> float:
+        """Coefficient of ``x**alpha`` (0.0 if absent)."""
+        return self.coeffs.get(tuple(alpha), 0.0)
+
+    def support(self) -> Tuple[Exponent, ...]:
+        """Exponents with nonzero coefficient, in grlex order."""
+        return tuple(sorted(self.coeffs, key=grlex_key))
+
+    def coeff_vector(self, degree: Optional[int] = None) -> np.ndarray:
+        """Dense coefficient vector over ``[x]_degree`` in grlex order."""
+        if degree is None:
+            degree = self.degree
+        if degree < self.degree:
+            raise ValueError(f"degree {degree} < polynomial degree {self.degree}")
+        index = monomial_index_map(self.n_vars, degree)
+        vec = np.zeros(len(index))
+        for alpha, c in self.coeffs.items():
+            vec[index[alpha]] = c
+        return vec
+
+    def terms(self) -> Iterable[Tuple[Exponent, float]]:
+        """Iterate ``(alpha, coeff)`` pairs in grlex order."""
+        for alpha in self.support():
+            yield alpha, self.coeffs[alpha]
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "Polynomial") -> None:
+        if self.n_vars != other.n_vars:
+            raise ValueError(
+                f"polynomials over different variable counts: {self.n_vars} vs {other.n_vars}"
+            )
+
+    def __add__(self, other: Union["Polynomial", Scalar]) -> "Polynomial":
+        if isinstance(other, (int, float, np.floating)):
+            other = Polynomial.constant(self.n_vars, other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        self._check_compatible(other)
+        coeffs = dict(self.coeffs)
+        for alpha, c in other.coeffs.items():
+            coeffs[alpha] = coeffs.get(alpha, 0.0) + c
+        return Polynomial(self.n_vars, coeffs)
+
+    def __radd__(self, other: Scalar) -> "Polynomial":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(self.n_vars, {a: -c for a, c in self.coeffs.items()})
+
+    def __sub__(self, other: Union["Polynomial", Scalar]) -> "Polynomial":
+        if isinstance(other, (int, float, np.floating)):
+            other = Polynomial.constant(self.n_vars, other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.__add__(other.__neg__())
+
+    def __rsub__(self, other: Scalar) -> "Polynomial":
+        return (-self).__add__(other)
+
+    def __mul__(self, other: Union["Polynomial", Scalar]) -> "Polynomial":
+        if isinstance(other, (int, float, np.floating)):
+            return Polynomial(
+                self.n_vars, {a: c * float(other) for a, c in self.coeffs.items()}
+            )
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        self._check_compatible(other)
+        coeffs: Dict[Exponent, float] = {}
+        for a1, c1 in self.coeffs.items():
+            for a2, c2 in other.coeffs.items():
+                alpha = add_exponents(a1, a2)
+                coeffs[alpha] = coeffs.get(alpha, 0.0) + c1 * c2
+        return Polynomial(self.n_vars, coeffs)
+
+    def __rmul__(self, other: Scalar) -> "Polynomial":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: Scalar) -> "Polynomial":
+        if not isinstance(other, (int, float, np.floating)):
+            return NotImplemented
+        return self.__mul__(1.0 / float(other))
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise ValueError("polynomial powers must be nonnegative integers")
+        result = Polynomial.one(self.n_vars)
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base * base
+            e >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # calculus and substitution
+    # ------------------------------------------------------------------
+    def diff(self, index: int) -> "Polynomial":
+        """Partial derivative with respect to ``x_{index}`` (0-based)."""
+        if not 0 <= index < self.n_vars:
+            raise ValueError(f"variable index {index} out of range")
+        coeffs: Dict[Exponent, float] = {}
+        for alpha, c in self.coeffs.items():
+            a = alpha[index]
+            if a == 0:
+                continue
+            beta = tuple(
+                ai - 1 if i == index else ai for i, ai in enumerate(alpha)
+            )
+            coeffs[beta] = coeffs.get(beta, 0.0) + c * a
+        return Polynomial(self.n_vars, coeffs)
+
+    def grad(self) -> Tuple["Polynomial", ...]:
+        """Gradient vector of partial derivatives."""
+        return tuple(self.diff(i) for i in range(self.n_vars))
+
+    def substitute(self, polys: Sequence["Polynomial"]) -> "Polynomial":
+        """Compose: substitute ``x_i := polys[i]``.
+
+        All substituted polynomials must share a common variable count, which
+        becomes the variable count of the result.
+        """
+        if len(polys) != self.n_vars:
+            raise ValueError(
+                f"need {self.n_vars} polynomials to substitute, got {len(polys)}"
+            )
+        m = polys[0].n_vars
+        if any(p.n_vars != m for p in polys):
+            raise ValueError("substituted polynomials must share a variable count")
+        result = Polynomial.zero(m)
+        for alpha, c in self.coeffs.items():
+            term = Polynomial.constant(m, c)
+            for p, a in zip(polys, alpha):
+                if a:
+                    term = term * (p ** a)
+            result = result + term
+        return result
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, points: Union[Sequence[Scalar], np.ndarray]) -> Union[float, np.ndarray]:
+        """Evaluate at one point (shape ``(n,)``) or many (shape ``(m, n)``).
+
+        Returns a float for a single point, an ``(m,)`` array otherwise.
+        """
+        pts = np.asarray(points, dtype=float)
+        single = pts.ndim == 1
+        if single:
+            pts = pts[None, :]
+        if pts.ndim != 2 or pts.shape[1] != self.n_vars:
+            raise ValueError(
+                f"points must have shape (m, {self.n_vars}); got {np.shape(points)}"
+            )
+        out = np.zeros(pts.shape[0])
+        if self.coeffs:
+            max_deg = max(max(alpha) for alpha in self.coeffs)
+            # pows[k] holds x**k columnwise, built once per call
+            pows = np.ones((max_deg + 1,) + pts.shape)
+            for k in range(1, max_deg + 1):
+                pows[k] = pows[k - 1] * pts
+            for alpha, c in self.coeffs.items():
+                term = np.full(pts.shape[0], c)
+                for i, a in enumerate(alpha):
+                    if a:
+                        term = term * pows[a][:, i]
+                out += term
+        return float(out[0]) if single else out
+
+    # ------------------------------------------------------------------
+    # comparison / misc
+    # ------------------------------------------------------------------
+    def is_close(self, other: "Polynomial", tol: float = 1e-9) -> bool:
+        """True if all coefficients agree within ``tol``."""
+        self._check_compatible(other)
+        keys = set(self.coeffs) | set(other.coeffs)
+        return all(
+            abs(self.coeffs.get(k, 0.0) - other.coeffs.get(k, 0.0)) <= tol
+            for k in keys
+        )
+
+    def truncate(self, tol: float) -> "Polynomial":
+        """Drop terms with ``|coeff| <= tol``."""
+        return Polynomial(
+            self.n_vars, {a: c for a, c in self.coeffs.items() if abs(c) > tol}
+        )
+
+    def scale_variables(self, scales: Sequence[float]) -> "Polynomial":
+        """Return ``p(s_1 x_1, ..., s_n x_n)``."""
+        if len(scales) != self.n_vars:
+            raise ValueError("need one scale per variable")
+        coeffs = {}
+        for alpha, c in self.coeffs.items():
+            factor = 1.0
+            for s, a in zip(scales, alpha):
+                factor *= float(s) ** a
+            coeffs[alpha] = c * factor
+        return Polynomial(self.n_vars, coeffs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.n_vars == other.n_vars and self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash((self.n_vars, frozenset(self.coeffs.items())))
+
+    def __repr__(self) -> str:
+        return f"Polynomial(n_vars={self.n_vars}, '{self}')"
+
+    def __str__(self) -> str:
+        if not self.coeffs:
+            return "0"
+        parts = []
+        for alpha in self.support():
+            c = self.coeffs[alpha]
+            factors = []
+            for i, a in enumerate(alpha):
+                if a == 1:
+                    factors.append(f"x{i + 1}")
+                elif a > 1:
+                    factors.append(f"x{i + 1}^{a}")
+            mono = "*".join(factors)
+            if mono:
+                coeff_str = "" if c == 1.0 else ("-" if c == -1.0 else f"{c:.6g}*")
+                parts.append(f"{coeff_str}{mono}")
+            else:
+                parts.append(f"{c:.6g}")
+        text = " + ".join(parts)
+        return text.replace("+ -", "- ")

@@ -1,0 +1,316 @@
+"""Primal-dual interior-point method for block-diagonal SDPs.
+
+Implements the HKM (Helmberg-Kojima-Monteiro) search direction with a
+Mehrotra predictor-corrector, the classic algorithm behind CSDP/SDPA.  For
+the problem
+
+    min  <C, X>   s.t.  A(X) = b,  X PSD (block diagonal)
+
+each iteration linearizes the perturbed complementarity ``X Z = sigma mu I``
+as ``dX Z + X dZ = K`` and eliminates ``dX`` and ``dZ`` through the Schur
+complement ``M`` with entries ``M_ij = tr(A_i X A_j Z^{-1})``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve, cholesky, solve_triangular
+
+from repro.sdp.problem import SDPProblem
+from repro.sdp.result import SDPResult, SDPStatus
+from repro.sdp.svec import smat, svec, sym
+
+
+@dataclass
+class InteriorPointOptions:
+    """Tuning knobs for :func:`solve_sdp`."""
+
+    max_iterations: int = 100
+    tolerance: float = 1e-8
+    #: fraction-to-boundary factor keeping iterates strictly interior
+    step_fraction: float = 0.98
+    #: dual objective beyond which the primal is declared infeasible
+    infeasibility_threshold: float = 1e8
+    #: initial scaling floor for X and Z
+    init_scale: float = 10.0
+    verbose: bool = False
+
+
+class _BlockData:
+    """Per-block dense constraint tensors used by the Schur assembly."""
+
+    def __init__(self, n: int, svec_rows: np.ndarray):
+        self.n = n
+        self.svecs = svec_rows  # (m, s)
+        m = svec_rows.shape[0]
+        self.dense = np.stack([smat(svec_rows[i], n) for i in range(m)]) if m else (
+            np.zeros((0, n, n))
+        )
+        self.norm = float(np.linalg.norm(svec_rows)) if m else 0.0
+
+
+def solve_sdp(
+    problem: SDPProblem, options: Optional[InteriorPointOptions] = None
+) -> SDPResult:
+    """Solve a block-diagonal standard-form SDP.
+
+    The problem is presolved to full row rank first.  Returns an
+    :class:`SDPResult`; callers that only need feasibility should check
+    ``result.status.ok`` *and* run their own a-posteriori validation of the
+    primal blocks (see :mod:`repro.sos.validate`).
+    """
+    opts = options or InteriorPointOptions()
+    reduced, info = problem.presolved()
+    if info.inconsistent:
+        return SDPResult(
+            status=SDPStatus.INCONSISTENT,
+            message="equality constraints are inconsistent (presolve)",
+        )
+    result = _solve_reduced(reduced, opts)
+    # Expand dual variables back to the original constraint indexing.
+    if result.y is not None and info.dropped_rows:
+        y_full = np.zeros(problem.n_constraints)
+        y_full[np.asarray(info.kept_rows, dtype=int)] = result.y
+        result.y = y_full
+    return result
+
+
+def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult:
+    dims = problem.block_dims
+    m = problem.n_constraints
+    b = problem.rhs()
+    C = [c.copy() for c in problem.C]
+    A_full = problem.constraint_matrix()
+    blocks: List[_BlockData] = []
+    start = 0
+    for n in dims:
+        s = n * (n + 1) // 2
+        blocks.append(_BlockData(n, A_full[:, start : start + s]))
+        start += s
+
+    if m == 0:
+        X = [np.zeros((n, n)) for n in dims]
+        return SDPResult(
+            status=SDPStatus.OPTIMAL,
+            X=X,
+            y=np.zeros(0),
+            Z=C,
+            primal_objective=0.0,
+            dual_objective=0.0,
+            gap=0.0,
+            primal_residual=0.0,
+            dual_residual=0.0,
+            message="no constraints; returning X = 0",
+        )
+
+    total_n = problem.total_dim
+    norm_b = float(np.linalg.norm(b))
+    norm_C = float(np.sqrt(sum(np.linalg.norm(c) ** 2 for c in C)))
+
+    # -- initialization (CSDP-style magnitude heuristics)
+    row_norms = np.linalg.norm(A_full, axis=1)
+    xi = max(
+        opts.init_scale,
+        float(np.max(np.abs(b) / (1.0 + row_norms))) * max(dims) if m else 0.0,
+    )
+    X = [xi * np.eye(n) for n in dims]
+    eta = max(opts.init_scale, norm_C)
+    Z = [eta * np.eye(n) for n in dims]
+    y = np.zeros(m)
+
+    def operator_A(Xb: Sequence[np.ndarray]) -> np.ndarray:
+        out = np.zeros(m)
+        for blk, Xk in zip(blocks, Xb):
+            out += blk.svecs @ svec(Xk)
+        return out
+
+    def operator_AT(yv: np.ndarray) -> List[np.ndarray]:
+        return [smat(blk.svecs.T @ yv, blk.n) for blk in blocks]
+
+    def inner(Ab: Sequence[np.ndarray], Bb: Sequence[np.ndarray]) -> float:
+        return float(sum(np.sum(a * bmat) for a, bmat in zip(Ab, Bb)))
+
+    def max_step(Mb: Sequence[np.ndarray], dMb: Sequence[np.ndarray]) -> float:
+        """Largest alpha with M + alpha dM still PSD (per-block minimum)."""
+        alpha = np.inf
+        for Mk, dMk in zip(Mb, dMb):
+            if not np.all(np.isfinite(dMk)):
+                return 0.0
+            try:
+                L = cholesky(Mk, lower=True)
+            except (np.linalg.LinAlgError, ValueError):
+                return 0.0
+            W = solve_triangular(L, dMk, lower=True)
+            W = solve_triangular(L, W.T, lower=True)
+            lam_min = float(np.linalg.eigvalsh(sym(W))[0])
+            if lam_min < 0:
+                alpha = min(alpha, -1.0 / lam_min)
+        return float(alpha)
+
+    status = SDPStatus.MAX_ITERATIONS
+    message = ""
+    iteration = 0
+    rel_gap = np.inf
+    prim_res = np.inf
+    dual_res = np.inf
+
+    for iteration in range(1, opts.max_iterations + 1):
+        # residuals
+        rp = b - operator_A(X)
+        ATy = operator_AT(y)
+        Rd = [C[k] - ATy[k] - Z[k] for k in range(len(dims))]
+        mu = inner(X, Z) / total_n
+        pobj = inner(C, X)
+        dobj = float(b @ y)
+        rel_gap = inner(X, Z) / (1.0 + abs(pobj) + abs(dobj))
+        prim_res = float(np.linalg.norm(rp)) / (1.0 + norm_b)
+        dual_res = float(
+            np.sqrt(sum(np.linalg.norm(r) ** 2 for r in Rd))
+        ) / (1.0 + norm_C)
+
+        if opts.verbose:
+            print(
+                f"  ipm it={iteration:3d} mu={mu:9.2e} gap={rel_gap:9.2e} "
+                f"pres={prim_res:9.2e} dres={dual_res:9.2e} pobj={pobj:+.6e}"
+            )
+
+        if not np.isfinite(mu) or mu < 0:
+            status, message = SDPStatus.NUMERICAL_ERROR, "mu became invalid"
+            break
+        if rel_gap < opts.tolerance and prim_res < opts.tolerance and dual_res < opts.tolerance:
+            status, message = SDPStatus.OPTIMAL, "converged"
+            break
+        if dobj > opts.infeasibility_threshold * (1.0 + norm_C) and dual_res < 1e-4:
+            status = SDPStatus.PRIMAL_INFEASIBLE
+            message = "dual objective diverging; primal likely infeasible"
+            break
+        if pobj < -opts.infeasibility_threshold * (1.0 + norm_b) and prim_res < 1e-4:
+            status = SDPStatus.DUAL_INFEASIBLE
+            message = "primal objective diverging; dual likely infeasible"
+            break
+
+        # factor Z blocks
+        Zinv: List[np.ndarray] = []
+        failed = False
+        for Zk in Z:
+            try:
+                cf = cho_factor(Zk)
+            except np.linalg.LinAlgError:
+                failed = True
+                break
+            Zinv.append(cho_solve(cf, np.eye(Zk.shape[0])))
+        if failed:
+            status, message = SDPStatus.NUMERICAL_ERROR, "Z lost positive definiteness"
+            break
+
+        # Schur complement M_ij = sum_k tr(A_i X A_j Zinv)
+        M = np.zeros((m, m))
+        for k, blk in enumerate(blocks):
+            if blk.n == 0 or blk.svecs.size == 0:
+                continue
+            U = X[k][None, :, :] @ blk.dense @ Zinv[k][None, :, :]
+            U = 0.5 * (U + np.transpose(U, (0, 2, 1)))
+            SU = svec(U)  # (m, s)
+            M += SU @ blk.svecs.T
+        M = 0.5 * (M + M.T)
+
+        try:
+            M_factor = cho_factor(M + 1e-14 * np.trace(M) / m * np.eye(m))
+        except np.linalg.LinAlgError:
+            M_factor = None
+
+        def solve_M(rhs_vec: np.ndarray) -> np.ndarray:
+            if M_factor is not None:
+                return cho_solve(M_factor, rhs_vec)
+            return np.linalg.lstsq(M, rhs_vec, rcond=None)[0]
+
+        def direction(
+            Kterm: List[np.ndarray],
+        ) -> Tuple[List[np.ndarray], np.ndarray, List[np.ndarray]]:
+            """Solve the Newton system for complementarity target ``Kterm``.
+
+            ``dX Z + X dZ = Kterm - X Z`` together with the two feasibility
+            equations; returns (dX, dy, dZ).
+            """
+            rhs = b.copy()
+            for k in range(len(dims)):
+                rhs -= blocks[k].svecs @ svec(sym(Kterm[k] @ Zinv[k]))
+                rhs += blocks[k].svecs @ svec(sym(X[k] @ Rd[k] @ Zinv[k]))
+            dy = solve_M(rhs)
+            ATdy = operator_AT(dy)
+            dZ = [Rd[k] - ATdy[k] for k in range(len(dims))]
+            dX = [
+                sym(Kterm[k] @ Zinv[k] - X[k] - X[k] @ dZ[k] @ Zinv[k])
+                for k in range(len(dims))
+            ]
+            return dX, dy, dZ
+
+        # predictor (affine scaling)
+        K_aff = [np.zeros((n, n)) for n in dims]
+        dX_aff, dy_aff, dZ_aff = direction(K_aff)
+        if not all(
+            np.all(np.isfinite(d)) for d in dX_aff + dZ_aff
+        ) or not np.all(np.isfinite(dy_aff)):
+            status, message = SDPStatus.NUMERICAL_ERROR, "non-finite search direction"
+            break
+        ap_aff = min(1.0, opts.step_fraction * max_step(X, dX_aff))
+        ad_aff = min(1.0, opts.step_fraction * max_step(Z, dZ_aff))
+        gap_now = inner(X, Z)
+        gap_aff = inner(
+            [X[k] + ap_aff * dX_aff[k] for k in range(len(dims))],
+            [Z[k] + ad_aff * dZ_aff[k] for k in range(len(dims))],
+        )
+        gap_aff = max(gap_aff, 0.0)
+        sigma = min(1.0, max((gap_aff / max(gap_now, 1e-300)) ** 3, 1e-8))
+
+        # corrector
+        K_corr = [
+            sigma * mu * np.eye(dims[k]) - dX_aff[k] @ dZ_aff[k]
+            for k in range(len(dims))
+        ]
+        dX, dy, dZ = direction(K_corr)
+        if not all(
+            np.all(np.isfinite(d)) for d in dX + dZ
+        ) or not np.all(np.isfinite(dy)):
+            status, message = SDPStatus.NUMERICAL_ERROR, "non-finite search direction"
+            break
+        ap = min(1.0, opts.step_fraction * max_step(X, dX))
+        ad = min(1.0, opts.step_fraction * max_step(Z, dZ))
+        if ap <= 1e-12 and ad <= 1e-12:
+            status, message = (
+                SDPStatus.NUMERICAL_ERROR,
+                "step lengths collapsed (stalled)",
+            )
+            break
+
+        X = [X[k] + ap * dX[k] for k in range(len(dims))]
+        y = y + ad * dy
+        Z = [Z[k] + ad * dZ[k] for k in range(len(dims))]
+
+    pobj = inner(C, X)
+    dobj = float(b @ y)
+    # Loose-tolerance acceptance: if we stopped on iterations/stall but the
+    # iterate is essentially optimal, report it as such.
+    if status in (SDPStatus.MAX_ITERATIONS, SDPStatus.NUMERICAL_ERROR):
+        if rel_gap < 1e5 * opts.tolerance and prim_res < 1e5 * opts.tolerance and (
+            dual_res < 1e5 * opts.tolerance
+        ):
+            status = SDPStatus.OPTIMAL
+            message = (message + "; accepted at loose tolerance").strip("; ")
+
+    return SDPResult(
+        status=status,
+        X=X,
+        y=y,
+        Z=Z,
+        primal_objective=pobj,
+        dual_objective=dobj,
+        gap=rel_gap,
+        primal_residual=prim_res,
+        dual_residual=dual_res,
+        iterations=iteration,
+        message=message,
+    )

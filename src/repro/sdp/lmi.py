@@ -1,0 +1,95 @@
+"""Inequality-form LMI solving on top of the primal interior-point solver.
+
+Solves
+
+    min  c^T y   s.t.  F(y) = F0 + sum_i y_i F_i  is PSD
+
+by passing the problem to :func:`repro.sdp.solve_sdp` as the *dual* of the
+standard primal form: with ``C = F0``, ``A_i = -F_i``, ``b_i = -c_i`` the
+primal ``min <C, X> s.t. <A_i, X> = b_i`` has dual
+``max b^T y s.t. C - sum y_i A_i PSD``, i.e. exactly the LMI above with
+objective ``-c^T y`` maximized.  The solver's dual iterate ``y`` is the
+answer.
+
+Used by the LipSDP Lipschitz-bound estimator (:mod:`repro.nn.lipschitz`)
+and available as a general library facility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.sdp.ipm import InteriorPointOptions, solve_sdp
+from repro.sdp.problem import SDPProblem
+from repro.sdp.result import SDPStatus
+from repro.sdp.svec import sym
+
+
+@dataclass
+class LMIResult:
+    """Solution of an inequality-form LMI program."""
+
+    status: SDPStatus
+    y: Optional[np.ndarray]
+    objective: float
+    #: smallest eigenvalue of F(y) at the solution (>= -tol when feasible)
+    slack_eigenvalue: float
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status.ok
+
+
+def solve_lmi(
+    F0: np.ndarray,
+    F_list: Sequence[np.ndarray],
+    c: Sequence[float],
+    options: Optional[InteriorPointOptions] = None,
+) -> LMIResult:
+    """Minimize ``c . y`` subject to ``F0 + sum_i y_i F_i`` PSD.
+
+    All matrices must be symmetric and share one size.  Feasibility
+    problems can pass ``c = 0`` (the analytic-center-ish point returned is
+    strictly feasible when one exists).
+    """
+    F0 = sym(np.asarray(F0, dtype=float))
+    n = F0.shape[0]
+    if F0.shape != (n, n):
+        raise ValueError("F0 must be square")
+    mats = []
+    for F in F_list:
+        F = sym(np.asarray(F, dtype=float))
+        if F.shape != (n, n):
+            raise ValueError("all F_i must match F0's shape")
+        mats.append(F)
+    c = np.asarray(c, dtype=float)
+    if c.shape != (len(mats),):
+        raise ValueError("c must have one entry per F_i")
+
+    prob = SDPProblem([n])
+    prob.set_objective([F0])
+    for F, ci in zip(mats, c):
+        prob.add_constraint([-F], -float(ci))
+    result = solve_sdp(prob, options)
+    if result.y is None or not result.status.ok:
+        return LMIResult(
+            status=result.status,
+            y=None,
+            objective=float("nan"),
+            slack_eigenvalue=float("-inf"),
+            message=result.message or "solver failed",
+        )
+    y = np.asarray(result.y, dtype=float)
+    F_val = F0 + sum(yi * F for yi, F in zip(y, mats))
+    lam_min = float(np.linalg.eigvalsh(F_val)[0])
+    return LMIResult(
+        status=result.status,
+        y=y,
+        objective=float(c @ y),
+        slack_eigenvalue=lam_min,
+        message=result.message,
+    )

@@ -1,0 +1,72 @@
+"""Result containers for the SDP solver."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+class SDPStatus(enum.Enum):
+    """Termination status of the interior-point solver."""
+
+    OPTIMAL = "optimal"
+    PRIMAL_INFEASIBLE = "primal_infeasible"
+    DUAL_INFEASIBLE = "dual_infeasible"
+    MAX_ITERATIONS = "max_iterations"
+    NUMERICAL_ERROR = "numerical_error"
+    INCONSISTENT = "inconsistent_constraints"
+
+    @property
+    def ok(self) -> bool:
+        """True when a (near-)optimal primal-dual pair was produced."""
+        return self is SDPStatus.OPTIMAL
+
+
+@dataclass
+class SDPResult:
+    """Primal-dual solution returned by :func:`repro.sdp.solve_sdp`.
+
+    Attributes
+    ----------
+    status:
+        Termination status.
+    X:
+        Primal PSD blocks (empty on hard failure).
+    y:
+        Dual multipliers for the equality constraints of the *presolved*
+        problem, expanded back to the original row count (dropped rows get 0).
+    Z:
+        Dual slack blocks.
+    primal_objective / dual_objective:
+        Objective values at termination.
+    gap:
+        Normalized duality gap ``<X, Z> / (1 + |p_obj| + |d_obj|)``.
+    primal_residual / dual_residual:
+        Normalized equality / dual feasibility residuals.
+    iterations:
+        IPM iterations performed.
+    """
+
+    status: SDPStatus
+    X: List[np.ndarray] = field(default_factory=list)
+    y: Optional[np.ndarray] = None
+    Z: List[np.ndarray] = field(default_factory=list)
+    primal_objective: float = float("nan")
+    dual_objective: float = float("nan")
+    gap: float = float("inf")
+    primal_residual: float = float("inf")
+    dual_residual: float = float("inf")
+    iterations: int = 0
+    message: str = ""
+
+    @property
+    def feasible(self) -> bool:
+        """Convenience alias for ``status.ok``."""
+        return self.status.ok
+
+    def min_eigenvalues(self) -> List[float]:
+        """Smallest eigenvalue of each primal block (diagnostics)."""
+        return [float(np.linalg.eigvalsh(Xk)[0]) for Xk in self.X]

@@ -1,0 +1,71 @@
+"""Symmetric vectorization (svec) utilities.
+
+``svec`` maps a symmetric ``n x n`` matrix to a vector of length
+``n (n + 1) / 2`` with off-diagonal entries scaled by ``sqrt(2)`` so that the
+Frobenius inner product becomes an ordinary dot product:
+
+    <A, B> = svec(A) . svec(B).
+
+All constraint data inside the interior-point solver lives in svec
+coordinates, which turns Schur-complement assembly into dense matmuls.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+_SQRT2 = float(np.sqrt(2.0))
+
+
+def svec_dim(n: int) -> int:
+    """Length of the svec of an ``n x n`` symmetric matrix."""
+    return n * (n + 1) // 2
+
+
+@lru_cache(maxsize=None)
+def _triu_indices(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    return np.triu_indices(n)
+
+
+@lru_cache(maxsize=None)
+def _svec_scale(n: int) -> np.ndarray:
+    rows, cols = _triu_indices(n)
+    scale = np.where(rows == cols, 1.0, _SQRT2)
+    return scale
+
+
+def svec(mat: np.ndarray) -> np.ndarray:
+    """Symmetric vectorization of one matrix ``(n, n)`` or a batch ``(m, n, n)``."""
+    mat = np.asarray(mat, dtype=float)
+    batched = mat.ndim == 3
+    if not batched:
+        mat = mat[None]
+    n = mat.shape[-1]
+    if mat.shape[-2] != n:
+        raise ValueError("svec expects square matrices")
+    rows, cols = _triu_indices(n)
+    out = mat[:, rows, cols] * _svec_scale(n)
+    return out if batched else out[0]
+
+
+def smat(vec: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`svec`: rebuild the symmetric matrix."""
+    vec = np.asarray(vec, dtype=float)
+    if vec.shape != (svec_dim(n),):
+        raise ValueError(
+            f"svec vector for n={n} must have length {svec_dim(n)}, got {vec.shape}"
+        )
+    rows, cols = _triu_indices(n)
+    mat = np.zeros((n, n))
+    vals = vec / _svec_scale(n)
+    mat[rows, cols] = vals
+    mat[cols, rows] = vals
+    return mat
+
+
+def sym(mat: np.ndarray) -> np.ndarray:
+    """Symmetric part ``(M + M^T) / 2``."""
+    return 0.5 * (mat + mat.T)

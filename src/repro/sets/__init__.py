@@ -1,0 +1,12 @@
+"""Compact semialgebraic sets: boxes, balls, and generic constraint sets.
+
+The SNBC pipeline assumes the initial set Theta, the domain Psi and the
+unsafe set Xi are compact semialgebraic sets described by polynomial
+inequalities ``g_i(x) >= 0``.  This package provides those descriptions plus
+sampling (needed by the Learner) and membership tests (needed by the
+counterexample generator).
+"""
+
+from repro.sets.semialgebraic import Ball, Box, SemialgebraicSet
+
+__all__ = ["Box", "Ball", "SemialgebraicSet"]

@@ -1,0 +1,240 @@
+"""Semialgebraic set descriptions with sampling and membership."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.poly import Polynomial
+
+
+class SemialgebraicSet:
+    """A basic closed semialgebraic set ``{x : g_i(x) >= 0 for all i}``.
+
+    Parameters
+    ----------
+    n_vars:
+        Ambient dimension.
+    constraints:
+        Polynomials ``g_i``; the set is the intersection of their
+        nonnegativity regions.
+    bounding_box:
+        Optional ``(lo, hi)`` box known to contain the set; required for
+        rejection sampling of generic sets.  :class:`Box` and :class:`Ball`
+        fill it automatically.
+    name:
+        Optional label used in diagnostics.
+    """
+
+    def __init__(
+        self,
+        n_vars: int,
+        constraints: Sequence[Polynomial],
+        bounding_box: Optional[Tuple[Sequence[float], Sequence[float]]] = None,
+        name: str = "",
+    ):
+        self.n_vars = int(n_vars)
+        self.constraints: Tuple[Polynomial, ...] = tuple(constraints)
+        for g in self.constraints:
+            if g.n_vars != n_vars:
+                raise ValueError("constraint variable count mismatch")
+        if bounding_box is not None:
+            lo = np.asarray(bounding_box[0], dtype=float)
+            hi = np.asarray(bounding_box[1], dtype=float)
+            if lo.shape != (n_vars,) or hi.shape != (n_vars,):
+                raise ValueError("bounding box must match dimension")
+            if np.any(lo > hi):
+                raise ValueError("bounding box has lo > hi")
+            self.bounding_box: Optional[Tuple[np.ndarray, np.ndarray]] = (lo, hi)
+        else:
+            self.bounding_box = None
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def contains(self, points: np.ndarray, tol: float = 0.0) -> np.ndarray:
+        """Boolean membership for one point or a batch.
+
+        ``tol >= 0`` loosens the test to ``g_i(x) >= -tol``.
+        """
+        pts = np.asarray(points, dtype=float)
+        single = pts.ndim == 1
+        if single:
+            pts = pts[None, :]
+        mask = np.ones(pts.shape[0], dtype=bool)
+        for g in self.constraints:
+            mask &= np.asarray(g(pts)) >= -tol
+        return bool(mask[0]) if single else mask
+
+    def violation(self, points: np.ndarray) -> np.ndarray:
+        """Max over constraints of ``max(0, -g_i(x))``; 0 means inside."""
+        pts = np.asarray(points, dtype=float)
+        single = pts.ndim == 1
+        if single:
+            pts = pts[None, :]
+        worst = np.zeros(pts.shape[0])
+        for g in self.constraints:
+            worst = np.maximum(worst, -np.asarray(g(pts)))
+        worst = np.maximum(worst, 0.0)
+        return float(worst[0]) if single else worst
+
+    def sample(
+        self, n_samples: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Uniform-ish samples via rejection from the bounding box."""
+        if self.bounding_box is None:
+            raise ValueError(
+                f"set {self.name or '<anonymous>'} needs a bounding_box to sample"
+            )
+        rng = rng or np.random.default_rng()
+        lo, hi = self.bounding_box
+        out: List[np.ndarray] = []
+        attempts = 0
+        max_attempts = 1000 * max(1, n_samples)
+        while sum(len(b) for b in out) < n_samples:
+            batch = rng.uniform(lo, hi, size=(max(64, n_samples), self.n_vars))
+            keep = batch[self.contains(batch)]
+            if len(keep):
+                out.append(keep)
+            attempts += len(batch)
+            if attempts > max_attempts:
+                raise RuntimeError(
+                    f"rejection sampling failed for set {self.name or '<anonymous>'}"
+                    " (acceptance rate too low)"
+                )
+        return np.concatenate(out)[:n_samples]
+
+    def project(self, points: np.ndarray) -> np.ndarray:
+        """Clip points into the bounding box (exact projection for boxes)."""
+        if self.bounding_box is None:
+            return np.asarray(points, dtype=float)
+        lo, hi = self.bounding_box
+        return np.clip(np.asarray(points, dtype=float), lo, hi)
+
+    def __repr__(self) -> str:
+        label = self.name or "SemialgebraicSet"
+        return f"{label}(n_vars={self.n_vars}, n_constraints={len(self.constraints)})"
+
+
+class Box(SemialgebraicSet):
+    """An axis-aligned box ``{x : lo_i <= x_i <= hi_i}``.
+
+    Each coordinate contributes one quadratic constraint
+    ``(x_i - lo_i)(hi_i - x_i) >= 0``, the standard encoding for Putinar
+    certificates on boxes.
+    """
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float], name: str = ""):
+        lo_arr = np.asarray(lo, dtype=float)
+        hi_arr = np.asarray(hi, dtype=float)
+        if lo_arr.ndim != 1 or lo_arr.shape != hi_arr.shape:
+            raise ValueError("lo and hi must be 1-D arrays of equal length")
+        n = lo_arr.shape[0]
+        constraints = []
+        for i in range(n):
+            xi = Polynomial.variable(n, i)
+            constraints.append((xi - float(lo_arr[i])) * (float(hi_arr[i]) - xi))
+        super().__init__(n, constraints, bounding_box=(lo_arr, hi_arr), name=name)
+        self.lo = lo_arr
+        self.hi = hi_arr
+
+    @classmethod
+    def cube(cls, n_vars: int, lo: float, hi: float, name: str = "") -> "Box":
+        """A cube with identical bounds per coordinate."""
+        return cls([lo] * n_vars, [hi] * n_vars, name=name)
+
+    def contains(self, points: np.ndarray, tol: float = 0.0) -> np.ndarray:
+        pts = np.asarray(points, dtype=float)
+        single = pts.ndim == 1
+        if single:
+            pts = pts[None, :]
+        mask = np.all((pts >= self.lo - tol) & (pts <= self.hi + tol), axis=1)
+        return bool(mask[0]) if single else mask
+
+    def sample(
+        self, n_samples: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        rng = rng or np.random.default_rng()
+        return rng.uniform(self.lo, self.hi, size=(n_samples, self.n_vars))
+
+    def mesh(self, spacing: float, max_points: int = 200_000) -> np.ndarray:
+        """Rectangular mesh with the given spacing (Chebyshev inclusion, §3).
+
+        Spacing is widened uniformly if the full grid would exceed
+        ``max_points`` — the Theorem 2 error bound is then reported with the
+        effective spacing actually used.
+        """
+        if spacing <= 0:
+            raise ValueError("spacing must be positive")
+        widths = self.hi - self.lo
+        counts = np.maximum(2, np.ceil(widths / spacing).astype(int) + 1)
+        while np.prod(counts.astype(float)) > max_points:
+            counts = np.maximum(2, counts - 1)
+            if np.all(counts == 2):
+                break
+        axes = [np.linspace(l, h, int(c)) for l, h, c in zip(self.lo, self.hi, counts)]
+        grid = np.meshgrid(*axes, indexing="ij")
+        return np.stack([g.ravel() for g in grid], axis=1)
+
+    def effective_spacing(self, spacing: float, max_points: int = 200_000) -> float:
+        """Largest per-axis gap of :meth:`mesh` with the same arguments."""
+        widths = self.hi - self.lo
+        counts = np.maximum(2, np.ceil(widths / spacing).astype(int) + 1)
+        while np.prod(counts.astype(float)) > max_points:
+            counts = np.maximum(2, counts - 1)
+            if np.all(counts == 2):
+                break
+        gaps = widths / (counts - 1)
+        return float(np.max(gaps))
+
+    def volume(self) -> float:
+        """Lebesgue volume of the box."""
+        return float(np.prod(self.hi - self.lo))
+
+    def __repr__(self) -> str:
+        label = self.name or "Box"
+        return f"{label}(lo={self.lo.tolist()}, hi={self.hi.tolist()})"
+
+
+class Ball(SemialgebraicSet):
+    """A Euclidean ball ``{x : ||x - center||^2 <= radius^2}``."""
+
+    def __init__(self, center: Sequence[float], radius: float, name: str = ""):
+        center_arr = np.asarray(center, dtype=float)
+        if center_arr.ndim != 1:
+            raise ValueError("center must be a 1-D array")
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        n = center_arr.shape[0]
+        g = Polynomial.constant(n, radius ** 2)
+        for i in range(n):
+            xi = Polynomial.variable(n, i)
+            g = g - (xi - float(center_arr[i])) ** 2
+        lo = center_arr - radius
+        hi = center_arr + radius
+        super().__init__(n, [g], bounding_box=(lo, hi), name=name)
+        self.center = center_arr
+        self.radius = float(radius)
+
+    def contains(self, points: np.ndarray, tol: float = 0.0) -> np.ndarray:
+        pts = np.asarray(points, dtype=float)
+        single = pts.ndim == 1
+        if single:
+            pts = pts[None, :]
+        d2 = np.sum((pts - self.center) ** 2, axis=1)
+        mask = d2 <= self.radius ** 2 + tol
+        return bool(mask[0]) if single else mask
+
+    def sample(
+        self, n_samples: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Exact uniform sampling in the ball (normalized Gaussian trick)."""
+        rng = rng or np.random.default_rng()
+        direction = rng.normal(size=(n_samples, self.n_vars))
+        direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+        r = self.radius * rng.uniform(size=(n_samples, 1)) ** (1.0 / self.n_vars)
+        return self.center + direction * r
+
+    def __repr__(self) -> str:
+        label = self.name or "Ball"
+        return f"{label}(center={self.center.tolist()}, radius={self.radius})"

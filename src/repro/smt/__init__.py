@@ -1,0 +1,37 @@
+"""A delta-decision procedure over the reals (dReal substitute).
+
+The paper's baselines (FOSSIL, NNCChecker) verify barrier conditions with an
+SMT solver for nonlinear real arithmetic.  This package provides the same
+semantics from scratch:
+
+* :mod:`repro.smt.interval` — interval arithmetic, natural interval
+  extensions of polynomials, and interval forward propagation through MLPs;
+* :mod:`repro.smt.bnp` — a branch-and-prune engine deciding
+  ``forall x in S . e(x) >= 0`` up to precision ``delta``: it either proves
+  the property, produces a concrete violating point, or returns a
+  delta-sized box that cannot be refuted (delta-sat), mirroring dReal.
+
+It exhibits the same exponential-in-dimension behaviour the paper exploits
+in Table 1 (FOSSIL/NNCChecker time out for ``n_x >= 5``).
+"""
+
+from repro.smt.interval import (
+    Interval,
+    MeanValueEnclosure,
+    mlp_interval_forward,
+    poly_enclosure,
+)
+from repro.smt.bnp import BranchAndPrune, CheckOutcome, CheckStatus
+from repro.smt.contractor import contract_box, contract_nonnegative
+
+__all__ = [
+    "Interval",
+    "poly_enclosure",
+    "MeanValueEnclosure",
+    "mlp_interval_forward",
+    "BranchAndPrune",
+    "CheckOutcome",
+    "CheckStatus",
+    "contract_box",
+    "contract_nonnegative",
+]

@@ -1,0 +1,222 @@
+"""Branch-and-prune delta-decision engine.
+
+Decides queries of the form
+
+    forall x in (Box intersect S) .  e(x) >= 0
+
+where ``S`` is cut out by constraint enclosures.  The engine maintains a
+work list of sub-boxes and, per box:
+
+1. prunes boxes provably disjoint from ``S``;
+2. discharges boxes where the enclosure of ``e`` is already nonnegative;
+3. reports a concrete violation when the enclosure is negative and a
+   violating point inside ``S`` can be sampled;
+4. splits along the widest dimension, until boxes shrink below ``delta``
+   (then reports delta-sat with the midpoint, exactly dReal's weak answer)
+   or the box budget is exhausted (unknown).
+
+The work list is explored worst-first (most negative lower bound), which
+finds real counterexamples quickly — that behaviour feeds the FOSSIL-style
+CEGIS baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.smt.interval import Interval
+
+EnclosureFn = Callable[[np.ndarray, np.ndarray], Interval]
+PointFn = Callable[[np.ndarray], np.ndarray]
+
+
+class CheckStatus(enum.Enum):
+    """Result of a forall-check."""
+
+    PROVED = "proved"
+    VIOLATED = "violated"
+    DELTA_SAT = "delta_sat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class CheckOutcome:
+    """Outcome of :meth:`BranchAndPrune.check_forall`."""
+
+    status: CheckStatus
+    witness: Optional[np.ndarray] = None
+    witness_value: Optional[float] = None
+    boxes_processed: int = 0
+    elapsed_seconds: float = 0.0
+    message: str = ""
+
+    @property
+    def proved(self) -> bool:
+        return self.status is CheckStatus.PROVED
+
+
+class BranchAndPrune:
+    """Configurable branch-and-prune engine.
+
+    Parameters
+    ----------
+    delta:
+        Minimum box width; below it the query is answered delta-sat.
+    max_boxes:
+        Budget on processed boxes before answering unknown — this is the
+        knob that makes high-dimensional problems time out like dReal does.
+    time_limit:
+        Optional wall-clock budget in seconds.
+    n_samples:
+        Concrete points sampled per box when hunting for a true violation.
+    """
+
+    def __init__(
+        self,
+        delta: float = 1e-3,
+        max_boxes: int = 200_000,
+        time_limit: Optional[float] = None,
+        n_samples: int = 8,
+        rng: Optional[np.random.Generator] = None,
+        contractor: Optional[Callable] = None,
+    ):
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = delta
+        self.max_boxes = max_boxes
+        self.time_limit = time_limit
+        self.n_samples = n_samples
+        self.rng = rng or np.random.default_rng(0)
+        #: optional box contractor ``(lo, hi) -> (lo', hi') | None`` applied
+        #: before each box is processed (None = box empty w.r.t. the region);
+        #: see :func:`repro.smt.contractor.contract_box`
+        self.contractor = contractor
+
+    # ------------------------------------------------------------------
+    def check_forall(
+        self,
+        enclosure: EnclosureFn,
+        point_eval: PointFn,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        region_enclosures: Sequence[EnclosureFn] = (),
+        region_point: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> CheckOutcome:
+        """Check ``forall x in box cap S: e(x) >= 0``.
+
+        ``enclosure(lo, hi)`` returns an interval containing
+        ``{e(x) : x in [lo, hi]}``; ``point_eval(points)`` evaluates ``e`` on
+        an ``(m, n)`` batch.  ``region_enclosures`` are enclosures of the set
+        constraints ``g_i >= 0`` defining ``S``; ``region_point`` is a
+        boolean membership test for sampled points.
+        """
+        lo = np.asarray(lo, dtype=float)
+        hi = np.asarray(hi, dtype=float)
+        start = time.perf_counter()
+        counter = itertools.count()
+        heap: List[Tuple[float, int, np.ndarray, np.ndarray]] = []
+        heapq.heappush(heap, (0.0, next(counter), lo, hi))
+        processed = 0
+        delta_witness: Optional[np.ndarray] = None
+        delta_value: Optional[float] = None
+
+        while heap:
+            if processed >= self.max_boxes:
+                return CheckOutcome(
+                    status=CheckStatus.UNKNOWN,
+                    boxes_processed=processed,
+                    elapsed_seconds=time.perf_counter() - start,
+                    message="box budget exhausted",
+                )
+            if self.time_limit is not None and (
+                time.perf_counter() - start > self.time_limit
+            ):
+                return CheckOutcome(
+                    status=CheckStatus.UNKNOWN,
+                    boxes_processed=processed,
+                    elapsed_seconds=time.perf_counter() - start,
+                    message="time limit exhausted",
+                )
+            _, _, blo, bhi = heapq.heappop(heap)
+            processed += 1
+
+            if self.contractor is not None:
+                contracted = self.contractor(blo, bhi)
+                if contracted is None:
+                    continue  # provably disjoint from the region
+                blo, bhi = contracted
+
+            # prune: box disjoint from the region?
+            disjoint = False
+            for g in region_enclosures:
+                if g(blo, bhi).hi < 0.0:
+                    disjoint = True
+                    break
+            if disjoint:
+                continue
+
+            enc = enclosure(blo, bhi)
+            if enc.lo >= 0.0:
+                continue  # property certain on this box
+
+            # hunt for a concrete violation
+            pts = self.rng.uniform(blo, bhi, size=(self.n_samples, lo.shape[0]))
+            pts = np.vstack([pts, 0.5 * (blo + bhi)])
+            if region_point is not None:
+                inside = region_point(pts)
+                pts = pts[np.asarray(inside, dtype=bool)]
+            if len(pts):
+                vals = np.asarray(point_eval(pts), dtype=float)
+                bad = np.argmin(vals)
+                if vals[bad] < 0.0:
+                    return CheckOutcome(
+                        status=CheckStatus.VIOLATED,
+                        witness=pts[bad],
+                        witness_value=float(vals[bad]),
+                        boxes_processed=processed,
+                        elapsed_seconds=time.perf_counter() - start,
+                    )
+
+            width = float(np.max(bhi - blo))
+            if width < self.delta:
+                # cannot refute at this precision: remember the weak witness
+                mid = 0.5 * (blo + bhi)
+                if delta_witness is None or enc.lo < (delta_value or 0.0):
+                    delta_witness = mid
+                    delta_value = enc.lo
+                continue
+
+            axis = int(np.argmax(bhi - blo))
+            mid = 0.5 * (blo[axis] + bhi[axis])
+            left_hi = bhi.copy()
+            left_hi[axis] = mid
+            right_lo = blo.copy()
+            right_lo[axis] = mid
+            for clo, chi in ((blo, left_hi), (right_lo, bhi)):
+                child_enc = enclosure(clo, chi)
+                if child_enc.lo >= 0.0:
+                    continue
+                heapq.heappush(heap, (child_enc.lo, next(counter), clo, chi))
+
+        elapsed = time.perf_counter() - start
+        if delta_witness is not None:
+            return CheckOutcome(
+                status=CheckStatus.DELTA_SAT,
+                witness=delta_witness,
+                witness_value=delta_value,
+                boxes_processed=processed,
+                elapsed_seconds=elapsed,
+                message=f"possible violation at delta={self.delta}",
+            )
+        return CheckOutcome(
+            status=CheckStatus.PROVED,
+            boxes_processed=processed,
+            elapsed_seconds=elapsed,
+        )

@@ -1,0 +1,188 @@
+"""Polynomial expressions affine in SOS decision variables.
+
+An :class:`SOSExpr` is a polynomial whose coefficients are *affine*
+expressions in two kinds of decision variables:
+
+* scalar free variables (coefficients of free polynomials such as the
+  multiplier ``lambda(x)`` in sub-problem (15)), and
+* Gram matrix entries of SOS polynomial variables (the ``sigma_i``,
+  ``delta_i``, ``phi_i`` multipliers of (13)-(15)).
+
+Affinity is what makes the paper's verification step convex: multiplying two
+expressions that both contain decision variables would create a bilinear
+(BMI) term, and this module raises immediately when that happens.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from repro.poly import Polynomial
+from repro.poly.monomials import Exponent, add_exponents
+
+Scalar = Union[int, float, np.floating]
+GramKey = Tuple[int, int, int]  # (block_id, i, j) with i <= j
+
+
+class LinCoeff:
+    """An affine expression ``const + sum c_f * f + sum c_g * Q_g``.
+
+    Gram keys ``(block, i, j)`` with ``i < j`` denote the *combined*
+    symmetric contribution (i.e. a coefficient ``c`` means ``c * Q_ij`` with
+    ``Q`` symmetric, both triangle entries already accounted for).
+    """
+
+    __slots__ = ("const", "free", "gram")
+
+    def __init__(
+        self,
+        const: float = 0.0,
+        free: Dict[int, float] = None,
+        gram: Dict[GramKey, float] = None,
+    ):
+        self.const = float(const)
+        self.free = dict(free) if free else {}
+        self.gram = dict(gram) if gram else {}
+
+    def copy(self) -> "LinCoeff":
+        return LinCoeff(self.const, self.free, self.gram)
+
+    def add_inplace(self, other: "LinCoeff", scale: float = 1.0) -> None:
+        self.const += scale * other.const
+        for k, v in other.free.items():
+            self.free[k] = self.free.get(k, 0.0) + scale * v
+        for k, v in other.gram.items():
+            self.gram[k] = self.gram.get(k, 0.0) + scale * v
+
+    def scaled(self, scale: float) -> "LinCoeff":
+        return LinCoeff(
+            self.const * scale,
+            {k: v * scale for k, v in self.free.items()},
+            {k: v * scale for k, v in self.gram.items()},
+        )
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.free and not self.gram
+
+    def is_trivial(self, tol: float = 0.0) -> bool:
+        return (
+            abs(self.const) <= tol
+            and all(abs(v) <= tol for v in self.free.values())
+            and all(abs(v) <= tol for v in self.gram.values())
+        )
+
+    def __repr__(self) -> str:
+        return f"LinCoeff(const={self.const}, free={self.free}, gram={self.gram})"
+
+
+class SOSExpr:
+    """A polynomial with :class:`LinCoeff` coefficients."""
+
+    __slots__ = ("n_vars", "coeffs")
+
+    def __init__(self, n_vars: int, coeffs: Dict[Exponent, LinCoeff] = None):
+        self.n_vars = int(n_vars)
+        self.coeffs: Dict[Exponent, LinCoeff] = coeffs if coeffs is not None else {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_polynomial(cls, p: Polynomial) -> "SOSExpr":
+        """Lift a known polynomial into a constant expression."""
+        return cls(p.n_vars, {a: LinCoeff(c) for a, c in p.coeffs.items()})
+
+    @classmethod
+    def zero(cls, n_vars: int) -> "SOSExpr":
+        return cls(n_vars, {})
+
+    @property
+    def degree(self) -> int:
+        """Max total degree over the (possibly symbolic) support."""
+        if not self.coeffs:
+            return 0
+        return max(sum(a) for a in self.coeffs)
+
+    def has_decision_variables(self) -> bool:
+        return any(not c.is_constant for c in self.coeffs.values())
+
+    def constant_part(self) -> Polynomial:
+        """The known-polynomial part (decision variables set to 0)."""
+        return Polynomial(self.n_vars, {a: c.const for a, c in self.coeffs.items()})
+
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> "SOSExpr":
+        if isinstance(other, SOSExpr):
+            return other
+        if isinstance(other, Polynomial):
+            return SOSExpr.from_polynomial(other)
+        if isinstance(other, (int, float, np.floating)):
+            return SOSExpr.from_polynomial(Polynomial.constant(self.n_vars, other))
+        raise TypeError(f"cannot combine SOSExpr with {type(other).__name__}")
+
+    def __add__(self, other) -> "SOSExpr":
+        other = self._coerce(other)
+        if other.n_vars != self.n_vars:
+            raise ValueError("variable count mismatch")
+        out = {a: c.copy() for a, c in self.coeffs.items()}
+        for a, c in other.coeffs.items():
+            if a in out:
+                out[a].add_inplace(c)
+            else:
+                out[a] = c.copy()
+        return SOSExpr(self.n_vars, out)
+
+    def __radd__(self, other) -> "SOSExpr":
+        return self.__add__(other)
+
+    def __neg__(self) -> "SOSExpr":
+        return SOSExpr(self.n_vars, {a: c.scaled(-1.0) for a, c in self.coeffs.items()})
+
+    def __sub__(self, other) -> "SOSExpr":
+        return self.__add__(self._coerce(other).__neg__())
+
+    def __rsub__(self, other) -> "SOSExpr":
+        return self.__neg__().__add__(other)
+
+    def __mul__(self, other) -> "SOSExpr":
+        """Multiply by a scalar or a *known* polynomial.
+
+        Multiplying two symbolic expressions is a BMI and raises.
+        """
+        if isinstance(other, (int, float, np.floating)):
+            return SOSExpr(
+                self.n_vars, {a: c.scaled(float(other)) for a, c in self.coeffs.items()}
+            )
+        if isinstance(other, SOSExpr):
+            if other.has_decision_variables() and self.has_decision_variables():
+                raise ValueError(
+                    "product of two symbolic SOS expressions is bilinear (BMI); "
+                    "the paper's convex verification requires one factor known"
+                )
+            if not other.has_decision_variables():
+                other = other.constant_part()
+            else:  # self is the constant one
+                return other.__mul__(self.constant_part())
+        if isinstance(other, Polynomial):
+            if other.n_vars != self.n_vars:
+                raise ValueError("variable count mismatch")
+            out: Dict[Exponent, LinCoeff] = {}
+            for a1, c1 in self.coeffs.items():
+                for a2, k in other.coeffs.items():
+                    alpha = add_exponents(a1, a2)
+                    if alpha in out:
+                        out[alpha].add_inplace(c1, scale=k)
+                    else:
+                        out[alpha] = c1.scaled(k)
+            return SOSExpr(self.n_vars, out)
+        raise TypeError(f"cannot multiply SOSExpr by {type(other).__name__}")
+
+    def __rmul__(self, other) -> "SOSExpr":
+        return self.__mul__(other)
+
+    def __repr__(self) -> str:
+        return (
+            f"SOSExpr(n_vars={self.n_vars}, n_terms={len(self.coeffs)}, "
+            f"degree={self.degree})"
+        )

@@ -1,0 +1,17 @@
+"""Cross-cutting utilities: serialization of certificates and results."""
+
+from repro.utils.serialize import (
+    load_certificate,
+    polynomial_from_dict,
+    polynomial_to_dict,
+    save_certificate,
+    snbc_result_to_dict,
+)
+
+__all__ = [
+    "polynomial_to_dict",
+    "polynomial_from_dict",
+    "snbc_result_to_dict",
+    "save_certificate",
+    "load_certificate",
+]

@@ -1,0 +1,96 @@
+"""JSON (de)serialization for certificates and synthesis results.
+
+A certified barrier is a long-lived artifact: these helpers let a
+verification run be archived and the certificate re-checked later (see
+``tests/test_serialize.py`` for the round-trip through a fresh
+:class:`~repro.verifier.SOSVerifier`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.poly import Polynomial
+
+
+def polynomial_to_dict(p: Polynomial) -> Dict[str, Any]:
+    """Lossless JSON-safe encoding of a polynomial."""
+    return {
+        "n_vars": p.n_vars,
+        "terms": [
+            {"exponents": list(alpha), "coefficient": c} for alpha, c in p.terms()
+        ],
+    }
+
+
+def polynomial_from_dict(data: Dict[str, Any]) -> Polynomial:
+    """Inverse of :func:`polynomial_to_dict`."""
+    try:
+        n_vars = int(data["n_vars"])
+        coeffs = {
+            tuple(int(e) for e in term["exponents"]): float(term["coefficient"])
+            for term in data["terms"]
+        }
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed polynomial payload: {exc}") from exc
+    return Polynomial(n_vars, coeffs)
+
+
+def snbc_result_to_dict(result) -> Dict[str, Any]:
+    """Archive an :class:`~repro.cegis.SNBCResult` (certificate + metadata)."""
+    payload: Dict[str, Any] = {
+        "problem": result.problem_name,
+        "success": result.success,
+        "iterations": result.iterations,
+        "timings": {
+            "inclusion": result.timings.inclusion,
+            "learning": result.timings.learning,
+            "counterexample": result.timings.counterexample,
+            "verification": result.timings.verification,
+            "total": result.timings.total,
+        },
+        "barrier": polynomial_to_dict(result.barrier) if result.barrier else None,
+        "lambda": (
+            polynomial_to_dict(result.lambda_poly) if result.lambda_poly else None
+        ),
+    }
+    if result.inclusion is not None:
+        payload["inclusion"] = {
+            "polynomials": [
+                polynomial_to_dict(h) for h in result.inclusion.polynomials
+            ],
+            "sigma_tilde": list(result.inclusion.sigma_tilde),
+            "sigma_star": list(result.inclusion.sigma_star),
+            "spacing": result.inclusion.spacing,
+            "lipschitz": result.inclusion.lipschitz,
+        }
+    return payload
+
+
+def save_certificate(result, path: str) -> None:
+    """Write an SNBC result to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(snbc_result_to_dict(result), fh, indent=2)
+
+
+def load_certificate(path: str) -> Dict[str, Any]:
+    """Load an archived result; polynomials are decoded back to objects.
+
+    Returns a dict with ``barrier``/``lambda`` as :class:`Polynomial` (or
+    ``None``) plus the stored metadata.
+    """
+    with open(path) as fh:
+        data = json.load(fh)
+    out = dict(data)
+    if data.get("barrier"):
+        out["barrier"] = polynomial_from_dict(data["barrier"])
+    if data.get("lambda"):
+        out["lambda"] = polynomial_from_dict(data["lambda"])
+    if data.get("inclusion"):
+        inc = dict(data["inclusion"])
+        inc["polynomials"] = [
+            polynomial_from_dict(h) for h in inc.get("polynomials", [])
+        ]
+        out["inclusion"] = inc
+    return out

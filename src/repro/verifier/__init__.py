@@ -1,0 +1,31 @@
+"""The SNBC Verifier: convex LMI feasibility checks of BC conditions (§4.2).
+
+Because the candidate ``B(x)`` from the Learner is *known*, the bilinear
+SOS synthesis problem (12) splits into the three convex sub-problems
+(13)-(15), each a small LMI feasibility test.  With a nonzero controller
+inclusion error the Lie condition is checked at both interval endpoints
+``w = +-sigma*`` (the expression is affine in ``w``), degenerating to the
+paper's three sub-problems when ``sigma* = 0``.
+"""
+
+from repro.verifier.sos_verifier import (
+    ConditionReport,
+    SOSVerifier,
+    VerificationResult,
+    VerifierConfig,
+)
+from repro.verifier.interval_verifier import (
+    IntervalVerificationResult,
+    IntervalVerifier,
+    IntervalVerifierConfig,
+)
+
+__all__ = [
+    "SOSVerifier",
+    "VerifierConfig",
+    "VerificationResult",
+    "ConditionReport",
+    "IntervalVerifier",
+    "IntervalVerifierConfig",
+    "IntervalVerificationResult",
+]

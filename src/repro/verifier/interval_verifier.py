@@ -1,0 +1,171 @@
+"""An independent, interval-arithmetic verifier for barrier certificates.
+
+Checks the same three conditions as :class:`~repro.verifier.SOSVerifier`
+but by branch-and-prune delta-decision instead of LMI feasibility — a
+genuinely independent code path (no SDP, no Gram matrices), useful for
+cross-checking certificates in tests or auditing a result:
+
+* condition (i)/(ii) are plain polynomial positivity queries;
+* condition (iii) needs the multiplier ``lambda`` as an *input* (interval
+  reasoning cannot synthesize one), e.g. the ``lambda_polys`` returned by
+  the SOS verifier, and is checked at every inclusion-error endpoint.
+
+Expect exponential cost in dimension (this is the engine behind the
+Table 1 ``OT`` rows); intended for `n <= 4` cross-checks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dynamics import CCDS
+from repro.poly import Polynomial, lie_derivative
+from repro.sets import SemialgebraicSet
+from repro.smt import (
+    BranchAndPrune,
+    CheckOutcome,
+    CheckStatus,
+    MeanValueEnclosure,
+    contract_box,
+    poly_enclosure,
+)
+
+
+@dataclass
+class IntervalVerifierConfig:
+    """Precision/budget knobs of the interval cross-check."""
+
+    delta: float = 1e-2
+    max_boxes_per_check: int = 100_000
+    time_limit_per_check: Optional[float] = 60.0
+    eps_unsafe: float = 1e-6
+    eps_lie: float = 1e-6
+    use_contractor: bool = True
+    seed: int = 0
+
+
+@dataclass
+class IntervalVerificationResult:
+    """Outcome: per-condition branch-and-prune answers."""
+
+    ok: bool
+    outcomes: Dict[str, CheckOutcome]
+    elapsed_seconds: float
+
+    def failed_conditions(self) -> List[str]:
+        return [
+            name
+            for name, out in self.outcomes.items()
+            if out.status is not CheckStatus.PROVED
+        ]
+
+
+class IntervalVerifier:
+    """Cross-check a barrier certificate with interval branch-and-prune."""
+
+    def __init__(
+        self,
+        problem: CCDS,
+        controller_polys: Sequence[Polynomial] = (),
+        sigma_star: Optional[Sequence[float]] = None,
+        config: Optional[IntervalVerifierConfig] = None,
+    ):
+        self.problem = problem
+        self.controller_polys = list(controller_polys)
+        m = problem.system.n_inputs
+        if len(self.controller_polys) != m:
+            raise ValueError(f"need {m} controller polynomials")
+        self.sigma_star = (
+            [0.0] * m if sigma_star is None else [float(s) for s in sigma_star]
+        )
+        self.config = config or IntervalVerifierConfig()
+
+    # ------------------------------------------------------------------
+    def _engine(self, region: SemialgebraicSet) -> BranchAndPrune:
+        cfg = self.config
+        contractor = None
+        if cfg.use_contractor and region.constraints:
+            constraints = list(region.constraints)
+            contractor = lambda lo, hi: contract_box(constraints, lo, hi)
+        return BranchAndPrune(
+            delta=cfg.delta,
+            max_boxes=cfg.max_boxes_per_check,
+            time_limit=cfg.time_limit_per_check,
+            rng=np.random.default_rng(cfg.seed),
+            contractor=contractor,
+        )
+
+    def _check(self, target: Polynomial, region: SemialgebraicSet) -> CheckOutcome:
+        engine = self._engine(region)
+        lo, hi = region.bounding_box
+        enclosure = MeanValueEnclosure(target)
+        region_encs = [
+            (lambda a, b, g=g: poly_enclosure(g, a, b)) for g in region.constraints
+        ]
+        return engine.check_forall(
+            enclosure,
+            lambda pts: target(pts),
+            lo,
+            hi,
+            region_enclosures=region_encs,
+            region_point=lambda pts: region.contains(pts),
+        )
+
+    def _endpoints(self) -> List[Tuple[float, ...]]:
+        m = self.problem.system.n_inputs
+        if m == 0 or all(s == 0.0 for s in self.sigma_star):
+            return [tuple([0.0] * m)]
+        out: List[Tuple[float, ...]] = [()]
+        for s in self.sigma_star:
+            vals = (0.0,) if s == 0.0 else (-s, +s)
+            out = [prefix + (v,) for prefix in out for v in vals]
+        return out
+
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        B: Polynomial,
+        lambda_poly: Optional[Polynomial] = None,
+    ) -> IntervalVerificationResult:
+        """Check all conditions; ``lambda_poly`` defaults to zero (then
+        condition (iii) is the plain ``L_f B > 0``, which is stricter)."""
+        if B.n_vars != self.problem.n_vars:
+            raise ValueError("certificate dimension mismatch")
+        cfg = self.config
+        lam = lambda_poly if lambda_poly is not None else Polynomial.zero(B.n_vars)
+        t0 = time.perf_counter()
+        outcomes: Dict[str, CheckOutcome] = {}
+
+        outcomes["init"] = self._check(B, self.problem.theta)
+        if outcomes["init"].status is CheckStatus.PROVED:
+            outcomes["unsafe"] = self._check(
+                -1.0 * B - cfg.eps_unsafe, self.problem.xi
+            )
+        if all(o.status is CheckStatus.PROVED for o in outcomes.values()) and len(
+            outcomes
+        ) == 2:
+            for w in self._endpoints():
+                field_w = self.problem.system.closed_loop(
+                    self.controller_polys, error=list(w)
+                )
+                margin = (
+                    lie_derivative(B, field_w) - lam * B - cfg.eps_lie
+                )
+                name = "lie" if len(self._endpoints()) == 1 else f"lie[w={list(w)}]"
+                outcomes[name] = self._check(margin, self.problem.psi)
+                if outcomes[name].status is not CheckStatus.PROVED:
+                    break
+
+        ok = (
+            len(outcomes) >= 3
+            and all(o.status is CheckStatus.PROVED for o in outcomes.values())
+        )
+        return IntervalVerificationResult(
+            ok=ok,
+            outcomes=outcomes,
+            elapsed_seconds=time.perf_counter() - t0,
+        )

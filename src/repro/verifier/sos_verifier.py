@@ -1,0 +1,315 @@
+"""SOS/LMI verification of barrier-certificate conditions."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dynamics import CCDS
+from repro.poly import Polynomial, lie_derivative
+from repro.sdp import InteriorPointOptions
+from repro.sets import SemialgebraicSet
+from repro.sos import SOSExpr, SOSProgram, validate_sos_identity
+
+
+@dataclass
+class VerifierConfig:
+    """Knobs for the LMI feasibility sub-problems.
+
+    ``eps_unsafe`` and ``eps_lie`` are the paper's strictness margins
+    ``epsilon_1`` / ``epsilon_2``; ``eps_init`` adds a tiny margin to the
+    non-strict condition (i) so the numerical validation has headroom.
+
+    ``multiplier_degree`` is a *floor*: each SOS multiplier additionally
+    gets at least the degree needed for its product to reach the target
+    expression degree.  The default floor of 0 yields the S-procedure
+    (constant multipliers) for quadratic certificates on quadratic sets —
+    the cheapest sound choice, which matters in high dimension.
+    """
+
+    multiplier_degree: int = 0
+    lambda_degree: int = 1
+    eps_init: float = 1e-4
+    eps_unsafe: float = 1e-4
+    eps_lie: float = 1e-4
+    validate: bool = True
+    psd_tolerance: float = 1e-6
+    sdp_options: InteriorPointOptions = field(
+        default_factory=lambda: InteriorPointOptions(max_iterations=100, tolerance=1e-8)
+    )
+
+
+@dataclass
+class ConditionReport:
+    """Outcome of one sub-problem (13), (14) or (15)."""
+
+    name: str
+    feasible: bool
+    validated: bool
+    elapsed_seconds: float
+    message: str = ""
+    residual_bound: float = float("nan")
+    min_gram_eigenvalue: float = float("nan")
+
+    @property
+    def ok(self) -> bool:
+        return self.feasible and self.validated
+
+
+@dataclass
+class VerificationResult:
+    """Aggregate outcome across all sub-problems.
+
+    ``lambda_polys`` maps each Lie sub-problem name to the multiplier the
+    SDP found for it.  A *different* lambda per inclusion-error endpoint is
+    sound: the invariance argument only needs ``Bdot > 0`` on the zero
+    level set of ``B``, where the ``lambda B`` term vanishes, and there the
+    affine-in-``w`` derivative is positive at both endpoints hence for all
+    intermediate ``w``.
+    """
+
+    ok: bool
+    conditions: List[ConditionReport]
+    elapsed_seconds: float
+    lambda_poly: Optional[Polynomial] = None
+    lambda_polys: Optional[dict] = None
+
+    def failed_conditions(self) -> List[str]:
+        return [c.name for c in self.conditions if not c.ok]
+
+
+class SOSVerifier:
+    """Checks Theorem 1's conditions for a *known* candidate ``B``.
+
+    Parameters
+    ----------
+    problem:
+        The CCDS safety instance (system + Theta/Psi/Xi).
+    controller_polys:
+        Polynomial inclusion ``h`` of the NN controller (one per input).
+    sigma_star:
+        Inclusion error bounds per input; the Lie condition is certified at
+        every sign combination of the endpoints (2^m LMIs; m is 1 in all
+        Table 1 benchmarks).
+    """
+
+    def __init__(
+        self,
+        problem: CCDS,
+        controller_polys: Sequence[Polynomial],
+        sigma_star: Optional[Sequence[float]] = None,
+        config: Optional[VerifierConfig] = None,
+    ):
+        self.problem = problem
+        self.controller_polys = list(controller_polys)
+        m = problem.system.n_inputs
+        if len(self.controller_polys) != m:
+            raise ValueError(f"need {m} controller polynomials")
+        self.sigma_star = (
+            [0.0] * m if sigma_star is None else [float(s) for s in sigma_star]
+        )
+        if len(self.sigma_star) != m:
+            raise ValueError("sigma_star length mismatch")
+        if m > 4 and any(s > 0 for s in self.sigma_star):
+            raise ValueError(
+                "endpoint enumeration over >4 inputs is intractable; tighten "
+                "the inclusion to sigma*=0 or reduce inputs"
+            )
+        self.config = config or VerifierConfig()
+
+    # ------------------------------------------------------------------
+    def _multiplier_degree(self, target: int, g: Polynomial) -> int:
+        """Degree for an SOS multiplier of constraint ``g`` so the product
+        reaches (at least) the target degree, floored by the config."""
+        need = max(0, target - g.degree)
+        need += need % 2  # SOS degrees are even
+        return max(self.config.multiplier_degree, need)
+
+    def _putinar_check(
+        self,
+        name: str,
+        expr_known: Polynomial,
+        region: SemialgebraicSet,
+        margin: float,
+        free_lambda_times: Optional[Polynomial] = None,
+    ) -> Tuple[ConditionReport, Optional[Polynomial]]:
+        """Feasibility of ``expr - sum sigma_i g_i - margin (+ lambda * B) in SOS``.
+
+        When ``free_lambda_times`` is given (the candidate ``B``), a free
+        polynomial ``lambda`` of ``config.lambda_degree`` multiplies it and
+        is returned with the report (sub-problem (15)).
+        """
+        t0 = time.perf_counter()
+        cfg = self.config
+        n = self.problem.n_vars
+        prog = SOSProgram(n)
+        target_deg = expr_known.degree
+        if free_lambda_times is not None:
+            target_deg = max(
+                target_deg, cfg.lambda_degree + free_lambda_times.degree
+            )
+        expr = SOSExpr.from_polynomial(expr_known - margin)
+        multipliers = []
+        for g in region.constraints:
+            s = prog.sos_poly(self._multiplier_degree(target_deg, g), label="sigma")
+            multipliers.append(s)
+            expr = expr - s * g
+        lam_expr = None
+        if free_lambda_times is not None:
+            lam_expr = prog.free_poly(cfg.lambda_degree, label="lambda")
+            expr = expr - lam_expr * free_lambda_times
+        # the slack degree must cover the full expression including the
+        # multiplier products sigma_i * g_i (expr.degree accounts for them)
+        slack = prog.require_sos(expr)
+        sol = prog.solve(cfg.sdp_options)
+        elapsed = time.perf_counter() - t0
+        if not sol.feasible:
+            return (
+                ConditionReport(
+                    name=name,
+                    feasible=False,
+                    validated=False,
+                    elapsed_seconds=elapsed,
+                    message=f"SDP status: {sol.status.value} ({sol.sdp_result.message})",
+                ),
+                None,
+            )
+        lam_poly = sol.value(lam_expr) if lam_expr is not None else None
+        if not cfg.validate:
+            return (
+                ConditionReport(name, True, True, elapsed, "validation skipped"),
+                lam_poly,
+            )
+        # rebuild the fully-substituted LHS and validate the identity
+        realized = expr_known - margin
+        for s, g in zip(multipliers, region.constraints):
+            realized = realized - sol.value(s) * g
+        if lam_poly is not None:
+            realized = realized - lam_poly * free_lambda_times
+        if region.bounding_box is not None:
+            lo, hi = region.bounding_box
+        else:  # pragma: no cover - all paper sets are bounded
+            lo, hi = -np.ones(n) * 1e3, np.ones(n) * 1e3
+        report = validate_sos_identity(
+            realized,
+            slack,
+            sol.gram(slack.block_id),
+            lo,
+            hi,
+            margin=margin if margin > 0 else 1e-6,
+            psd_tolerance=cfg.psd_tolerance,
+            extra_grams=[sol.gram(b.block_id) for b in prog._blocks if b is not slack],
+        )
+        elapsed = time.perf_counter() - t0
+        return (
+            ConditionReport(
+                name=name,
+                feasible=True,
+                validated=report.ok,
+                elapsed_seconds=elapsed,
+                message=report.notes,
+                residual_bound=report.residual_bound,
+                min_gram_eigenvalue=report.min_eigenvalue,
+            ),
+            lam_poly,
+        )
+
+    # ------------------------------------------------------------------
+    def verify(self, B: Polynomial) -> VerificationResult:
+        """Run all sub-problems for candidate ``B``; all must pass.
+
+        ``B`` is normalized to unit max-coefficient first — barrier
+        conditions are scale-invariant and learned candidates can carry
+        badly-scaled coefficients that stall the interior-point solver.
+        """
+        if B.n_vars != self.problem.n_vars:
+            raise ValueError("candidate dimension mismatch")
+        from repro.poly import linf_norm
+
+        scale = linf_norm(B)
+        if scale > 0:
+            B = B * (1.0 / scale)
+        t0 = time.perf_counter()
+        cfg = self.config
+        reports: List[ConditionReport] = []
+        lambda_poly: Optional[Polynomial] = None
+        lambda_polys: dict = {}
+
+        # (13): B >= 0 on Theta
+        rep, _ = self._putinar_check(
+            "init", B, self.problem.theta, margin=cfg.eps_init
+        )
+        reports.append(rep)
+
+        # (14): B < 0 on Xi  <=>  -B - eps1 >= 0
+        if rep.ok:
+            rep_u, _ = self._putinar_check(
+                "unsafe", -1.0 * B, self.problem.xi, margin=cfg.eps_unsafe
+            )
+            reports.append(rep_u)
+        else:
+            reports.append(
+                ConditionReport("unsafe", False, False, 0.0, "skipped (init failed)")
+            )
+
+        # (15): Lie condition at every inclusion-error endpoint
+        if all(r.ok for r in reports):
+            endpoints = self._error_endpoints()
+            for idx, w in enumerate(endpoints):
+                field_polys = self.problem.system.closed_loop(
+                    self.controller_polys, error=list(w)
+                )
+                lfb = lie_derivative(B, field_polys)
+                name = "lie" if len(endpoints) == 1 else f"lie[w={np.round(w, 6).tolist()}]"
+                rep_l, lam = self._putinar_check(
+                    name,
+                    lfb,
+                    self.problem.psi,
+                    margin=cfg.eps_lie,
+                    free_lambda_times=B,
+                )
+                reports.append(rep_l)
+                if lam is not None:
+                    lambda_polys[name] = lam
+                    if lambda_poly is None:
+                        lambda_poly = lam
+                if not rep_l.ok:
+                    break
+        else:
+            reports.append(
+                ConditionReport("lie", False, False, 0.0, "skipped (earlier failure)")
+            )
+
+        ok = all(r.ok for r in reports)
+        return VerificationResult(
+            ok=ok,
+            conditions=reports,
+            elapsed_seconds=time.perf_counter() - t0,
+            lambda_poly=lambda_poly,
+            lambda_polys=lambda_polys or None,
+        )
+
+    def _error_endpoints(self) -> List[Tuple[float, ...]]:
+        """Sign combinations of the inclusion error endpoints (vertices of
+        the ``w`` box); a single ``(0, ..., 0)`` when all errors vanish."""
+        m = self.problem.system.n_inputs
+        if m == 0 or all(s == 0.0 for s in self.sigma_star):
+            return [tuple([0.0] * m)]
+        out: List[Tuple[float, ...]] = []
+
+        def rec(prefix: List[float], j: int) -> None:
+            if j == m:
+                out.append(tuple(prefix))
+                return
+            s = self.sigma_star[j]
+            if s == 0.0:
+                rec(prefix + [0.0], j + 1)
+            else:
+                rec(prefix + [-s], j + 1)
+                rec(prefix + [+s], j + 1)
+
+        rec([], 0)
+        return out

@@ -1,0 +1,170 @@
+"""Tests for simulation, phase-portrait data and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PhasePortraitData,
+    SimulationResult,
+    Table,
+    check_empirical_safety,
+    format_table,
+    phase_portrait,
+    simulate,
+)
+from repro.analysis.simulate import barrier_along_trajectory
+from repro.dynamics import CCDS, ControlAffineSystem
+from repro.poly import Polynomial
+from repro.sets import Box
+
+
+def decay_problem(n=2):
+    xs = Polynomial.variables(n)
+    sys_n = ControlAffineSystem.autonomous([-1.0 * x for x in xs])
+    return CCDS(
+        sys_n,
+        theta=Box.cube(n, -0.5, 0.5),
+        psi=Box.cube(n, -2.0, 2.0),
+        xi=Box.cube(n, 1.5, 2.0),
+    )
+
+
+def escape_problem():
+    # xdot = +x: trajectories from Theta head into the unsafe corner
+    xs = Polynomial.variables(2)
+    sys2 = ControlAffineSystem.autonomous([1.0 * x for x in xs])
+    return CCDS(
+        sys2,
+        theta=Box([0.3, 0.3], [0.5, 0.5]),
+        psi=Box.cube(2, -2.0, 2.0),
+        xi=Box([1.0, 1.0], [2.0, 2.0]),
+    )
+
+
+# ----------------------------------------------------------------------
+# simulation
+# ----------------------------------------------------------------------
+def test_simulate_decays_to_origin():
+    prob = decay_problem()
+    res = simulate(prob, np.array([0.5, -0.5]), t_final=8.0)
+    assert isinstance(res, SimulationResult)
+    assert not res.entered_unsafe
+    assert not res.exited_domain
+    assert np.linalg.norm(res.final_state) < 1e-2
+
+
+def test_simulate_detects_unsafe_entry():
+    prob = escape_problem()
+    res = simulate(prob, np.array([0.4, 0.4]), t_final=5.0)
+    assert res.entered_unsafe
+
+
+def test_simulate_stops_on_domain_exit():
+    prob = escape_problem()
+    res = simulate(prob, np.array([0.5, 0.5]), t_final=50.0)
+    assert res.exited_domain
+    assert res.times[-1] < 50.0
+
+
+def test_simulate_controlled():
+    x = Polynomial.variable(1, 0)
+    sys1 = ControlAffineSystem.single_input([1.0 * x], [1.0])
+    prob = CCDS(sys1, Box([-0.5], [0.5]), Box([-2.0], [2.0]), Box([1.5], [2.0]))
+    res = simulate(prob, np.array([0.4]), controller=lambda x: -2.0 * x, t_final=8.0)
+    assert abs(res.final_state[0]) < 0.05  # stabilized
+
+
+def test_simulate_input_validation():
+    prob = decay_problem()
+    with pytest.raises(ValueError):
+        simulate(prob, np.zeros(3))
+    x = Polynomial.variable(1, 0)
+    sys1 = ControlAffineSystem.single_input([1.0 * x], [1.0])
+    prob1 = CCDS(sys1, Box([-0.5], [0.5]), Box([-2.0], [2.0]), Box([1.5], [2.0]))
+    with pytest.raises(ValueError):
+        simulate(prob1, np.array([0.1]), controller=lambda x: np.zeros(3))
+
+
+def test_check_empirical_safety():
+    prob = decay_problem()
+    sims = check_empirical_safety(prob, n_trajectories=5, t_final=5.0)
+    assert len(sims) == 5
+    assert not any(s.entered_unsafe for s in sims)
+
+
+def test_barrier_along_trajectory():
+    prob = decay_problem()
+    B = Polynomial.constant(2, 1.0) - Polynomial.variable(2, 0) ** 2 - Polynomial.variable(2, 1) ** 2
+    res = simulate(prob, np.array([0.4, 0.4]), t_final=5.0)
+    vals = barrier_along_trajectory(B, res)
+    assert np.all(vals >= 0.5)  # trajectory decays, B grows toward 1
+
+
+# ----------------------------------------------------------------------
+# phase portrait (Figure 3 data)
+# ----------------------------------------------------------------------
+def test_phase_portrait_data():
+    prob = decay_problem()
+    B = Polynomial.constant(2, 1.0) - 0.5 * (
+        Polynomial.variable(2, 0) ** 2 + Polynomial.variable(2, 1) ** 2
+    )
+    data = phase_portrait(
+        prob,
+        B,
+        counterexamples=[np.array([1.0, 1.0])],
+        n_trajectories=4,
+        t_final=3.0,
+        n_level_points=100,
+        rng=np.random.default_rng(0),
+    )
+    assert isinstance(data, PhasePortraitData)
+    assert len(data.trajectories) == 4
+    assert not data.any_trajectory_unsafe
+    # level-set points actually lie near B = 0 (radius sqrt(2))
+    vals = np.abs(B(data.level_set_points))
+    assert np.median(vals) < 0.05
+    assert data.counterexample_points.shape == (1, 2)
+    assert data.barrier_grid.shape[1] == 3
+    assert "trajectories" in data.summary()
+
+
+def test_phase_portrait_flags_unsafe():
+    prob = escape_problem()
+    B = Polynomial.one(2)
+    data = phase_portrait(
+        prob, B, n_trajectories=3, t_final=5.0, rng=np.random.default_rng(1)
+    )
+    assert data.any_trajectory_unsafe
+
+
+# ----------------------------------------------------------------------
+# tables
+# ----------------------------------------------------------------------
+def test_table_round_trip():
+    t = Table(columns=["name", "T_e", "ok"], title="demo")
+    t.add_row(name="C1", T_e=0.444, ok=True)
+    t.add_row(name="C2", T_e=None, ok=False)
+    text = format_table(t)
+    assert "demo" in text
+    assert "C1" in text and "0.444" in text
+    assert "yes" in text and "no" in text
+    assert "-" in text  # None rendering
+    assert t.column("T_e") == [0.444, None]
+
+
+def test_table_validation():
+    t = Table(columns=["a"])
+    with pytest.raises(ValueError):
+        t.add_row(b=1)
+    with pytest.raises(ValueError):
+        t.column("b")
+
+
+def test_table_float_formats():
+    t = Table(columns=["v"])
+    t.add_row(v=12345.6)
+    t.add_row(v=0.0000123)
+    t.add_row(v=float("nan"))
+    text = format_table(t)
+    assert "e+04" in text.replace("E", "e") or "1.235e+04" in text
+    assert "1.230e-05" in text

@@ -1,0 +1,136 @@
+"""Gradient checks for the reverse-mode autodiff engine."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, no_grad
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of a scalar function of an array."""
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp = x.copy()
+        xm = x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        g[idx] = (fn(xp) - fn(xm)) / (2 * eps)
+        it.iternext()
+    return g
+
+
+def check_grad(build, shape, seed=0, atol=1e-5):
+    """Compare autodiff gradient against finite differences."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(size=shape)
+    t = Tensor(x0, requires_grad=True)
+    out = build(t)
+    out.backward()
+    num = numeric_grad(lambda arr: build(Tensor(arr, requires_grad=True)).item(), x0)
+    np.testing.assert_allclose(t.grad, num, atol=atol)
+
+
+def test_add_mul_grad():
+    check_grad(lambda t: (t * 3.0 + 1.0).sum(), (4,))
+    check_grad(lambda t: (t * t).sum(), (3, 2))
+
+
+def test_sub_div_grad():
+    check_grad(lambda t: ((t - 2.0) / 3.0).sum(), (5,))
+    check_grad(lambda t: (1.0 / (t * t + 2.0)).sum(), (4,))
+
+
+def test_pow_grad():
+    check_grad(lambda t: (t ** 3).sum(), (4,))
+
+
+def test_matmul_grad():
+    W = np.array([[1.0, -2.0], [0.5, 1.5], [2.0, 0.0]])
+    check_grad(lambda t: (t @ Tensor(W)).sum(), (2, 3))
+
+    A = np.array([[1.0, 0.5], [-1.0, 2.0]])
+    check_grad(lambda t: (Tensor(A) @ t).sum(), (2, 4))
+
+
+def test_matmul_param_grad():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(5, 3))
+    check_grad(lambda t: (Tensor(X) @ t).sum(), (3, 2))
+
+
+def test_activation_grads():
+    check_grad(lambda t: t.tanh().sum(), (6,))
+    check_grad(lambda t: t.sigmoid().sum(), (6,))
+    check_grad(lambda t: t.exp().sum(), (4,))
+    # relu/leaky away from the kink
+    rng = np.random.default_rng(1)
+    x0 = rng.normal(size=(8,))
+    x0[np.abs(x0) < 0.1] = 0.5
+    t = Tensor(x0, requires_grad=True)
+    t.relu().sum().backward()
+    np.testing.assert_allclose(t.grad, (x0 > 0).astype(float))
+    t2 = Tensor(x0, requires_grad=True)
+    t2.leaky_relu(0.1).sum().backward()
+    np.testing.assert_allclose(t2.grad, np.where(x0 > 0, 1.0, 0.1))
+
+
+def test_abs_and_maximum():
+    check_grad(lambda t: (t * 2.0).abs().sum(), (5,), seed=7)
+    check_grad(lambda t: t.maximum(0.3).sum(), (5,), seed=8)
+
+
+def test_mean_and_reshape():
+    check_grad(lambda t: t.mean(), (6,))
+    check_grad(lambda t: t.reshape(3, 2).sum(), (6,))
+    check_grad(lambda t: (t.T @ t).sum(), (3, 2))
+
+
+def test_broadcasting_bias():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(4, 3))
+    check_grad(lambda t: (Tensor(X) + t).sum(), (3,))
+    check_grad(lambda t: (Tensor(X) * t).sum(), (3,))
+
+
+def test_sum_axis():
+    check_grad(lambda t: t.sum(axis=0).sum(), (3, 4))
+    check_grad(lambda t: (t.sum(axis=1) ** 2).sum(), (3, 4))
+
+
+def test_grad_accumulates_through_shared_node():
+    x = Tensor(np.array([2.0]), requires_grad=True)
+    y = x * x + x * 3.0  # dy/dx = 2x + 3 = 7
+    y.sum().backward()
+    np.testing.assert_allclose(x.grad, [7.0])
+
+
+def test_backward_requires_scalar():
+    x = Tensor(np.ones(3), requires_grad=True)
+    with pytest.raises(RuntimeError):
+        (x * 2.0).backward()
+
+
+def test_backward_on_no_grad_tensor():
+    x = Tensor(np.ones(1))
+    with pytest.raises(RuntimeError):
+        x.backward()
+
+
+def test_no_grad_disables_graph():
+    x = Tensor(np.ones(3), requires_grad=True)
+    with no_grad():
+        y = (x * 2.0).sum()
+    assert not y.requires_grad
+
+
+def test_detach():
+    x = Tensor(np.ones(3), requires_grad=True)
+    assert not x.detach().requires_grad
+
+
+def test_repr_and_item():
+    x = Tensor(np.array([1.5]))
+    assert x.item() == 1.5
+    assert "Tensor" in repr(x)

@@ -1,0 +1,103 @@
+"""Property-based gradient checks for the autodiff engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        xp, xm = x.copy(), x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        g[idx] = (fn(xp) - fn(xm)) / (2 * eps)
+        it.iternext()
+    return g
+
+
+def agrees(build, x0, atol=2e-4):
+    t = Tensor(x0, requires_grad=True)
+    build(t).backward()
+    num = numeric_grad(lambda arr: build(Tensor(arr, requires_grad=True)).item(), x0)
+    np.testing.assert_allclose(t.grad, num, atol=atol)
+
+
+arrays = st.integers(2, 5).flatmap(
+    lambda n: st.lists(
+        st.floats(-2, 2, allow_nan=False, allow_infinity=False),
+        min_size=n,
+        max_size=n,
+    ).map(lambda v: np.asarray(v))
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays)
+def test_polynomial_chain_gradient(x0):
+    agrees(lambda t: ((t * t + t * 3.0 - 1.0) * (t - 0.5)).sum(), x0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays)
+def test_smooth_activation_chain(x0):
+    agrees(lambda t: (t.tanh() * t.sigmoid() + (t * 0.1).exp()).sum(), x0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 4), st.integers(0, 10_000))
+def test_matmul_random_shapes(m, k, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(m, k))
+    W0 = rng.normal(size=(k, 3))
+
+    def build(t):
+        return ((Tensor(X) @ t) * (Tensor(X) @ t)).mean()
+
+    agrees(build, W0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_two_layer_network_gradient(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(6, 2))
+    W1 = rng.normal(size=(2, 4))
+    W2 = rng.normal(size=(4, 1))
+
+    def loss_for(w1):
+        h = (Tensor(X) @ Tensor(w1, requires_grad=False)).tanh()
+        return ((h @ Tensor(W2)) ** 2).mean()
+
+    t = Tensor(W1, requires_grad=True)
+    h = (Tensor(X) @ t).tanh()
+    ((h @ Tensor(W2)) ** 2).mean().backward()
+    num = numeric_grad(lambda arr: loss_for(arr).item(), W1)
+    np.testing.assert_allclose(t.grad, num, atol=2e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays, arrays)
+def test_gradient_additivity(a, b):
+    """grad of f+g equals grad f + grad g (linearity of backward)."""
+    if a.shape != b.shape:
+        return
+    x0 = a.copy()
+
+    def f(t):
+        return (t * t).sum()
+
+    def g(t):
+        return (t.tanh() * 2.0).sum()
+
+    t1 = Tensor(x0, requires_grad=True)
+    f(t1).backward()
+    t2 = Tensor(x0, requires_grad=True)
+    g(t2).backward()
+    t3 = Tensor(x0, requires_grad=True)
+    (f(t3) + g(t3)).backward()
+    np.testing.assert_allclose(t3.grad, t1.grad + t2.grad, atol=1e-10)

@@ -1,0 +1,198 @@
+"""Tests for the FOSSIL / NNCChecker / SOSTOOLS baseline tools."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BaselineStatus,
+    FossilBaseline,
+    FossilConfig,
+    NNCCheckerBaseline,
+    NNCCheckerConfig,
+    SOSToolsBaseline,
+    SOSToolsConfig,
+)
+from repro.controllers import NNController, behavior_clone
+from repro.dynamics import CCDS, ControlAffineSystem
+from repro.learner import LearnerConfig
+from repro.poly import Polynomial
+from repro.sets import Box
+
+
+def decay_problem(n=2):
+    xs = Polynomial.variables(n)
+    sys_n = ControlAffineSystem.autonomous([-1.0 * x for x in xs])
+    return CCDS(
+        sys_n,
+        theta=Box.cube(n, -0.5, 0.5, name="theta"),
+        psi=Box.cube(n, -2.0, 2.0, name="psi"),
+        xi=Box.cube(n, 1.5, 2.0, name="xi"),
+        name=f"decay{n}d",
+    )
+
+
+def controlled_1d_with_ctrl():
+    x = Polynomial.variable(1, 0)
+    sys1 = ControlAffineSystem.single_input([1.0 * x], [1.0])
+    prob = CCDS(sys1, Box([-0.5], [0.5]), Box([-2.0], [2.0]), Box([1.5], [2.0]))
+    ctrl = NNController(1, 1, hidden=(8,), rng=np.random.default_rng(0))
+    behavior_clone(
+        ctrl,
+        lambda pts: -2.0 * np.atleast_2d(pts),
+        prob.psi,
+        n_samples=512,
+        epochs=100,
+        rng=np.random.default_rng(0),
+    )
+    return prob, ctrl
+
+
+# ----------------------------------------------------------------------
+# FOSSIL-style
+# ----------------------------------------------------------------------
+def test_fossil_succeeds_on_easy_autonomous():
+    prob = decay_problem()
+    res = FossilBaseline(
+        prob,
+        learner_config=LearnerConfig(b_hidden=(5,), epochs=400, seed=0),
+        config=FossilConfig(max_iterations=6, n_samples=300, seed=0, delta=5e-2),
+    ).run()
+    assert res.success
+    assert res.tool == "fossil"
+    assert res.barrier is not None and res.degree == 2
+    assert res.total_seconds > 0
+
+
+def test_fossil_with_nn_controller_in_loop():
+    prob, ctrl = controlled_1d_with_ctrl()
+    res = FossilBaseline(
+        prob,
+        controller=ctrl,
+        learner_config=LearnerConfig(b_hidden=(5,), epochs=400, seed=0),
+        config=FossilConfig(max_iterations=8, n_samples=300, seed=0, delta=5e-2),
+    ).run()
+    assert res.status in (BaselineStatus.SUCCESS, BaselineStatus.TIMEOUT)
+
+
+def test_fossil_times_out_with_tiny_budget():
+    prob = decay_problem(3)
+    res = FossilBaseline(
+        prob,
+        learner_config=LearnerConfig(b_hidden=(5,), epochs=50, seed=0),
+        config=FossilConfig(
+            max_iterations=3,
+            n_samples=100,
+            delta=1e-6,
+            max_boxes_per_check=50,
+            time_limit=300.0,
+            seed=0,
+        ),
+    ).run()
+    # verifier budget far too small: must report timeout, never "success"
+    assert res.status in (BaselineStatus.TIMEOUT, BaselineStatus.FAILED)
+
+
+def test_fossil_requires_controller():
+    x = Polynomial.variable(1, 0)
+    sys1 = ControlAffineSystem.single_input([-1.0 * x], [1.0])
+    prob = CCDS(sys1, Box([-0.5], [0.5]), Box([-2.0], [2.0]), Box([1.5], [2.0]))
+    with pytest.raises(ValueError):
+        FossilBaseline(prob)
+
+
+# ----------------------------------------------------------------------
+# SOSTOOLS-style
+# ----------------------------------------------------------------------
+def test_sostools_direct_synthesis_easy():
+    prob = decay_problem()
+    res = SOSToolsBaseline(
+        prob, config=SOSToolsConfig(degrees=(2,), n_random_multipliers=4, seed=0)
+    ).run()
+    assert res.success
+    B = res.barrier
+    rng = np.random.default_rng(0)
+    assert np.all(B(prob.theta.sample(500, rng=rng)) >= -1e-6)
+    assert np.all(B(prob.xi.sample(500, rng=rng)) <= 0)
+
+
+def test_sostools_reports_infeasible_on_impossible_instance():
+    # unsafe inside initial: no barrier exists
+    xs = Polynomial.variables(2)
+    sys2 = ControlAffineSystem.autonomous([-1.0 * x for x in xs])
+    prob = CCDS(
+        sys2,
+        theta=Box.cube(2, -1.0, 1.0),
+        psi=Box.cube(2, -2.0, 2.0),
+        xi=Box.cube(2, -0.2, 0.2),
+    )
+    res = SOSToolsBaseline(
+        prob, config=SOSToolsConfig(degrees=(2,), n_random_multipliers=2, seed=0)
+    ).run()
+    assert res.status in (BaselineStatus.INFEASIBLE, BaselineStatus.FAILED)
+
+
+def test_sostools_with_polynomial_controller():
+    prob, _ = controlled_1d_with_ctrl()
+    h = [Polynomial(1, {(1,): -2.0})]
+    res = SOSToolsBaseline(
+        prob,
+        controller_polys=h,
+        config=SOSToolsConfig(degrees=(2,), n_random_multipliers=4, seed=0),
+    ).run()
+    assert res.status in (BaselineStatus.SUCCESS, BaselineStatus.INFEASIBLE)
+
+
+def test_sostools_controller_poly_count_checked():
+    prob, _ = controlled_1d_with_ctrl()
+    with pytest.raises(ValueError):
+        SOSToolsBaseline(prob)  # missing controller polynomial
+
+
+def test_sostools_table_cells():
+    prob = decay_problem()
+    res = SOSToolsBaseline(
+        prob, config=SOSToolsConfig(degrees=(2,), n_random_multipliers=3, seed=1)
+    ).run()
+    cells = res.table_cells()
+    assert set(cells) == {"d_B", "iters", "T_l", "T_v", "T_e"}
+
+
+# ----------------------------------------------------------------------
+# NNCChecker-style
+# ----------------------------------------------------------------------
+def test_nncchecker_on_autonomous():
+    prob = decay_problem()
+    res = NNCCheckerBaseline(
+        prob,
+        config=NNCCheckerConfig(max_refinements=2, delta=5e-2, seed=0),
+    ).run()
+    assert res.status in (
+        BaselineStatus.SUCCESS,
+        BaselineStatus.TIMEOUT,
+        BaselineStatus.INFEASIBLE,
+    )
+    assert res.tool == "nncchecker"
+
+
+def test_nncchecker_with_controller():
+    prob, ctrl = controlled_1d_with_ctrl()
+    h = [Polynomial(1, {(1,): -2.0})]
+    res = NNCCheckerBaseline(
+        prob,
+        controller=ctrl,
+        controller_polys=h,
+        config=NNCCheckerConfig(max_refinements=2, delta=5e-2, seed=0),
+    ).run()
+    assert res.status in (
+        BaselineStatus.SUCCESS,
+        BaselineStatus.TIMEOUT,
+        BaselineStatus.INFEASIBLE,
+    )
+
+
+def test_nncchecker_validation():
+    prob, ctrl = controlled_1d_with_ctrl()
+    with pytest.raises(ValueError):
+        NNCCheckerBaseline(prob)  # missing controller
+    with pytest.raises(ValueError):
+        NNCCheckerBaseline(prob, controller=ctrl)  # missing poly approx

@@ -1,0 +1,216 @@
+"""Tests for counterexample generation and the SNBC loop."""
+
+import numpy as np
+import pytest
+
+from repro.cegis import (
+    CexConfig,
+    CounterexampleGenerator,
+    SNBC,
+    SNBCConfig,
+)
+from repro.controllers import NNController
+from repro.dynamics import CCDS, ControlAffineSystem
+from repro.learner import LearnerConfig
+from repro.poly import Polynomial
+from repro.sets import Box
+
+
+def decay_problem(n=2):
+    xs = Polynomial.variables(n)
+    sys_n = ControlAffineSystem.autonomous([-1.0 * x for x in xs])
+    return CCDS(
+        sys_n,
+        theta=Box.cube(n, -0.5, 0.5, name="theta"),
+        psi=Box.cube(n, -2.0, 2.0, name="psi"),
+        xi=Box.cube(n, 1.5, 2.0, name="xi"),
+        name=f"decay{n}d",
+    )
+
+
+def controlled_1d():
+    x = Polynomial.variable(1, 0)
+    sys1 = ControlAffineSystem.single_input([1.0 * x], [1.0])  # unstable + u
+    return CCDS(
+        sys1,
+        theta=Box([-0.5], [0.5]),
+        psi=Box([-2.0], [2.0]),
+        xi=Box([1.5], [2.0]),
+        name="unstable1d",
+    )
+
+
+def radial_barrier(n, c=1.0):
+    B = Polynomial.constant(n, c)
+    for i in range(n):
+        B = B - Polynomial.variable(n, i) ** 2
+    return B
+
+
+# ----------------------------------------------------------------------
+# counterexample generation
+# ----------------------------------------------------------------------
+def test_cex_for_init_violation():
+    prob = decay_problem()
+    # B negative on part of Theta: B = x1 (negative for x1 < 0)
+    B = Polynomial.variable(2, 0)
+    lam = Polynomial.zero(2)
+    gen = CounterexampleGenerator(prob, [], config=CexConfig(seed=0))
+    cexs = gen.generate(B, lam, ["init"])
+    assert len(cexs) == 1
+    cex = cexs[0]
+    assert cex.condition == "init"
+    assert B(cex.worst_point) < 0
+    assert prob.theta.contains(cex.worst_point, tol=1e-9)
+    # worst point should be near the most-negative corner x1 = -0.5
+    assert cex.worst_point[0] == pytest.approx(-0.5, abs=0.05)
+    assert cex.gamma > 0
+    assert len(cex.points) >= 1
+    assert np.all(B(cex.points) < 0.1)  # points cluster in the violating zone
+
+
+def test_cex_for_unsafe_violation():
+    prob = decay_problem()
+    B = Polynomial.constant(2, 1.0)  # positive everywhere: violates (ii)
+    gen = CounterexampleGenerator(prob, [], config=CexConfig(seed=1))
+    cexs = gen.generate(B, Polynomial.zero(2), ["unsafe"])
+    assert len(cexs) == 1
+    assert cexs[0].condition == "unsafe"
+    assert np.all(prob.xi.contains(cexs[0].points, tol=1e-9))
+
+
+def test_cex_for_lie_violation():
+    # growing system, shrinking barrier: lie condition is violated
+    xs = Polynomial.variables(2)
+    sys2 = ControlAffineSystem.autonomous([1.0 * x for x in xs])
+    prob = CCDS(sys2, Box.cube(2, -0.5, 0.5), Box.cube(2, -2, 2), Box.cube(2, 1.5, 2))
+    B = radial_barrier(2)
+    gen = CounterexampleGenerator(prob, [], config=CexConfig(seed=2))
+    cexs = gen.generate(B, Polynomial.zero(2), ["lie"])
+    assert len(cexs) == 1
+    assert cexs[0].condition == "lie"
+    assert cexs[0].worst_violation > 0
+
+
+def test_cex_skips_satisfied_condition():
+    prob = decay_problem()
+    B = radial_barrier(2)  # valid everywhere
+    gen = CounterexampleGenerator(prob, [], config=CexConfig(seed=3))
+    cexs = gen.generate(B, Polynomial.constant(2, -0.5), ["init", "unsafe"])
+    assert cexs == []
+
+
+def test_cex_sigma_star_enters_lie_violation():
+    prob = controlled_1d()
+    B = radial_barrier(1)
+    h = [Polynomial(1, {(1,): -2.0})]  # u = -2x stabilizes: xdot = -x
+    gen0 = CounterexampleGenerator(prob, h, sigma_star=[0.0], config=CexConfig(seed=4))
+    assert gen0.generate(B, Polynomial.constant(1, -0.5), ["lie"]) == []
+    # enormous inclusion error makes the robust margin fail
+    gen_big = CounterexampleGenerator(
+        prob, h, sigma_star=[100.0], config=CexConfig(seed=4)
+    )
+    cexs = gen_big.generate(B, Polynomial.constant(1, -0.5), ["lie"])
+    assert len(cexs) == 1
+
+
+def test_cex_unknown_condition():
+    prob = decay_problem()
+    gen = CounterexampleGenerator(prob, [])
+    with pytest.raises(ValueError):
+        gen.generate(radial_barrier(2), Polynomial.zero(2), ["bogus"])
+
+
+# ----------------------------------------------------------------------
+# SNBC loop
+# ----------------------------------------------------------------------
+def test_snbc_autonomous_success():
+    prob = decay_problem()
+    res = SNBC(
+        prob,
+        learner_config=LearnerConfig(b_hidden=(5,), epochs=400, seed=0),
+        config=SNBCConfig(max_iterations=6, n_samples=300, seed=0),
+    ).run()
+    assert res.success
+    assert res.barrier is not None
+    assert res.verification.ok
+    assert res.iterations >= 1
+    assert res.timings.total > 0
+    assert res.timings.learning > 0
+
+
+def test_snbc_controlled_success():
+    prob = controlled_1d()
+    ctrl = NNController(1, 1, hidden=(8,), rng=np.random.default_rng(0))
+    # quick cloning of a stabilizing law u = -2x
+    from repro.controllers import behavior_clone
+
+    behavior_clone(
+        ctrl,
+        lambda x: -2.0 * np.atleast_2d(x),
+        prob.psi,
+        n_samples=512,
+        epochs=100,
+        rng=np.random.default_rng(0),
+    )
+    res = SNBC(
+        prob,
+        controller=ctrl,
+        learner_config=LearnerConfig(b_hidden=(5,), epochs=400, seed=0),
+        config=SNBCConfig(max_iterations=6, n_samples=300, seed=0),
+    ).run()
+    assert res.success
+    assert res.inclusion is not None
+    assert res.inclusion.sigma_star[0] < 1.0
+    # the certified barrier separates: check numerically
+    B = res.barrier
+    rng = np.random.default_rng(1)
+    assert np.all(B(prob.theta.sample(500, rng=rng)) >= -1e-6)
+    assert np.all(B(prob.xi.sample(500, rng=rng)) < 0)
+
+
+def test_snbc_requires_controller_for_controlled_system():
+    prob = controlled_1d()
+    with pytest.raises(ValueError):
+        SNBC(prob)
+
+
+def test_snbc_failure_reports_history():
+    # impossible instance: unsafe set INSIDE the initial set
+    xs = Polynomial.variables(2)
+    sys2 = ControlAffineSystem.autonomous([-1.0 * x for x in xs])
+    prob = CCDS(
+        sys2,
+        theta=Box.cube(2, -1.0, 1.0),
+        psi=Box.cube(2, -2.0, 2.0),
+        xi=Box.cube(2, -0.2, 0.2),  # overlaps Theta: no BC can exist
+    )
+    res = SNBC(
+        prob,
+        learner_config=LearnerConfig(b_hidden=(4,), epochs=50, seed=0),
+        config=SNBCConfig(max_iterations=2, n_samples=100, seed=0),
+    ).run()
+    assert not res.success
+    assert len(res.history) == 2
+    assert res.iterations == 2
+
+
+def test_snbc_warm_start_disabled_still_works():
+    prob = decay_problem()
+    res = SNBC(
+        prob,
+        learner_config=LearnerConfig(b_hidden=(5,), epochs=600, seed=0, warm_start=False),
+        config=SNBCConfig(max_iterations=8, n_samples=300, seed=0),
+    ).run()
+    assert res.success
+
+
+def test_snbc_result_metadata():
+    prob = decay_problem()
+    res = SNBC(
+        prob,
+        learner_config=LearnerConfig(b_hidden=(4,), epochs=200, seed=0),
+        config=SNBCConfig(max_iterations=4, n_samples=200, seed=0),
+    ).run()
+    assert res.problem_name == "decay2d"
+    assert res.total_time == res.timings.total

@@ -1,0 +1,172 @@
+"""Tests for NN controllers, LQR cloning and the polynomial inclusion."""
+
+import numpy as np
+import pytest
+
+from repro.controllers import (
+    NNController,
+    behavior_clone,
+    linear_feedback_fn,
+    linearize,
+    lqr_gain,
+    polynomial_inclusion,
+)
+from repro.dynamics import ControlAffineSystem
+from repro.poly import Polynomial
+from repro.sets import Box
+
+
+def double_integrator():
+    x, v = Polynomial.variables(2)
+    return ControlAffineSystem.single_input([v, Polynomial.zero(2)], [0.0, 1.0])
+
+
+# ----------------------------------------------------------------------
+# controller wrapper
+# ----------------------------------------------------------------------
+def test_controller_shapes():
+    k = NNController(3, 1, hidden=(8,), rng=np.random.default_rng(0))
+    single = k(np.zeros(3))
+    assert single.shape == (1,)
+    batch = k(np.zeros((5, 3)))
+    assert batch.shape == (5, 1)
+    assert k.lipschitz_bound() > 0
+    assert "NNController" in repr(k)
+
+
+def test_controller_validation():
+    with pytest.raises(ValueError):
+        NNController(0, 1)
+    with pytest.raises(ValueError):
+        NNController(2, 0)
+
+
+# ----------------------------------------------------------------------
+# LQR
+# ----------------------------------------------------------------------
+def test_linearize_double_integrator():
+    A, B = linearize(double_integrator())
+    np.testing.assert_allclose(A, [[0, 1], [0, 0]])
+    np.testing.assert_allclose(B, [[0], [1]])
+
+
+def test_linearize_nonlinear_terms_vanish():
+    x, y = Polynomial.variables(2)
+    sys2 = ControlAffineSystem.single_input([y + x * x, -1.0 * x + y ** 3], [0.0, 1.0])
+    A, _ = linearize(sys2)
+    np.testing.assert_allclose(A, [[0, 1], [-1, 0]])
+
+
+def test_lqr_stabilizes_linearization():
+    sys2 = double_integrator()
+    K = lqr_gain(sys2)
+    A, B = linearize(sys2)
+    eigs = np.linalg.eigvals(A - B @ K)
+    assert np.all(eigs.real < 0)
+
+
+def test_lqr_requires_input():
+    x = Polynomial.variable(1, 0)
+    with pytest.raises(ValueError):
+        lqr_gain(ControlAffineSystem.autonomous([-1.0 * x]))
+
+
+def test_linear_feedback_fn():
+    K = np.array([[1.0, 2.0]])
+    f = linear_feedback_fn(K)
+    np.testing.assert_allclose(f(np.array([1.0, 1.0])), [[-3.0]])
+
+
+# ----------------------------------------------------------------------
+# behaviour cloning
+# ----------------------------------------------------------------------
+def test_behavior_clone_imitates_lqr():
+    rng = np.random.default_rng(1)
+    sys2 = double_integrator()
+    K = lqr_gain(sys2)
+    k = NNController(2, 1, hidden=(16,), rng=rng)
+    box = Box.cube(2, -1.0, 1.0)
+    mse = behavior_clone(
+        k, linear_feedback_fn(K), box, n_samples=1024, epochs=120, rng=rng
+    )
+    assert mse < 0.01
+
+
+def test_behavior_clone_shape_mismatch():
+    k = NNController(2, 1, rng=np.random.default_rng(2))
+    box = Box.cube(2, -1, 1)
+    with pytest.raises(ValueError):
+        behavior_clone(k, lambda x: np.zeros((len(x), 3)), box, n_samples=64, epochs=1)
+
+
+# ----------------------------------------------------------------------
+# polynomial inclusion (§3)
+# ----------------------------------------------------------------------
+def test_inclusion_exact_for_polynomial_controller():
+    # a controller that IS a polynomial: sigma~ must be ~0
+    p = Polynomial(2, {(1, 0): -2.0, (0, 1): -1.0, (2, 0): 0.5})
+
+    def ctrl(pts):
+        return p(pts)[:, None]
+
+    box = Box.cube(2, -1.0, 1.0)
+    inc = polynomial_inclusion(ctrl, box, degree=2, spacing=0.2, lipschitz=5.0)
+    assert inc.sigma_tilde[0] == pytest.approx(0.0, abs=1e-8)
+    assert inc.polynomials[0].is_close(p, tol=1e-6)
+    assert inc.sigma_star[0] == pytest.approx(0.5 * inc.spacing * 5.0, abs=1e-8)
+
+
+def test_inclusion_theorem2_bound_sound():
+    rng = np.random.default_rng(3)
+    k = NNController(2, 1, hidden=(8,), rng=rng)
+    box = Box.cube(2, -1.0, 1.0)
+    inc = polynomial_inclusion(k, box, degree=3, spacing=0.1)
+    pts = box.sample(3000, rng=rng)
+    err = np.abs(k(pts)[:, 0] - inc.polynomials[0](pts))
+    assert float(np.max(err)) <= inc.sigma_star[0] + 1e-9
+    assert inc.sigma_tilde[0] <= inc.sigma_star[0]
+
+
+def test_inclusion_tightens_with_mesh():
+    """Remark 1: smaller spacing -> smaller (or equal) sigma~ and sigma*."""
+    rng = np.random.default_rng(4)
+    k = NNController(1, 1, hidden=(6,), rng=rng)
+    box = Box([-1.0], [1.0])
+    coarse = polynomial_inclusion(k, box, degree=3, spacing=0.5)
+    fine = polynomial_inclusion(k, box, degree=3, spacing=0.05)
+    # sigma~ underestimates on coarse meshes (few points are easy to
+    # interpolate); the verified bound sigma* must tighten as s shrinks.
+    assert fine.sigma_star[0] <= coarse.sigma_star[0] + 1e-9
+    # and sigma~ <= sigma* always (Theorem 2 sandwich)
+    assert fine.sigma_tilde[0] <= fine.sigma_star[0]
+
+
+def test_inclusion_multi_output():
+    rng = np.random.default_rng(5)
+    k = NNController(2, 2, hidden=(6,), rng=rng)
+    box = Box.cube(2, -1.0, 1.0)
+    inc = polynomial_inclusion(k, box, degree=2, spacing=0.25)
+    assert len(inc.polynomials) == 2
+    assert len(inc.sigma_star) == 2
+    assert inc.worst_sigma_star == max(inc.sigma_star)
+    lo, hi = inc.error_intervals()[0]
+    assert lo == -hi
+
+
+def test_inclusion_validation():
+    box = Box.cube(2, -1, 1)
+    with pytest.raises(ValueError):
+        polynomial_inclusion(lambda pts: pts[:, :1], box, degree=1)  # no lipschitz
+    with pytest.raises(ValueError):
+        polynomial_inclusion(
+            lambda pts: pts[:, :1], box, degree=-1, lipschitz=1.0
+        )
+
+
+def test_inclusion_mesh_cap_widens_spacing():
+    rng = np.random.default_rng(6)
+    k = NNController(3, 1, hidden=(4,), rng=rng)
+    box = Box.cube(3, -1.0, 1.0)
+    inc = polynomial_inclusion(k, box, degree=2, spacing=0.01, max_mesh_points=500)
+    assert inc.n_mesh_points <= 500
+    assert inc.spacing > 0.01  # got widened and honestly reported

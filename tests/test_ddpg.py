@@ -1,0 +1,119 @@
+"""Tests for the DDPG trainer components (smoke-scale)."""
+
+import numpy as np
+import pytest
+
+from repro.controllers.ddpg import DDPGConfig, DDPGTrainer, OUNoise, ReplayBuffer
+from repro.dynamics import CCDS, ControlAffineSystem
+from repro.poly import Polynomial
+from repro.sets import Box
+
+
+def simple_problem():
+    x, v = Polynomial.variables(2)
+    sys2 = ControlAffineSystem.single_input([v, Polynomial.zero(2)], [0.0, 1.0])
+    return CCDS(
+        sys2,
+        theta=Box.cube(2, -0.3, 0.3),
+        psi=Box.cube(2, -3.0, 3.0),
+        xi=Box.cube(2, 2.5, 3.0),
+    )
+
+
+# ----------------------------------------------------------------------
+# replay buffer
+# ----------------------------------------------------------------------
+def test_replay_buffer_push_and_sample():
+    buf = ReplayBuffer(10, 2, 1)
+    for i in range(5):
+        buf.push(np.full(2, i), np.array([i]), float(i), np.full(2, i + 1), False)
+    assert len(buf) == 5
+    s, a, r, s2, d = buf.sample(3, np.random.default_rng(0))
+    assert s.shape == (3, 2) and a.shape == (3, 1)
+    assert np.all(d == 0)
+
+
+def test_replay_buffer_wraps_around():
+    buf = ReplayBuffer(4, 1, 1)
+    for i in range(10):
+        buf.push([i], [0.0], 0.0, [i], False)
+    assert len(buf) == 4
+    assert set(buf.states[:, 0]) == {6.0, 7.0, 8.0, 9.0}
+
+
+def test_replay_buffer_validation():
+    with pytest.raises(ValueError):
+        ReplayBuffer(0, 1, 1)
+
+
+# ----------------------------------------------------------------------
+# OU noise
+# ----------------------------------------------------------------------
+def test_ou_noise_mean_reverts():
+    noise = OUNoise(1, theta=0.5, sigma=0.0, rng=np.random.default_rng(0))
+    noise.state = np.array([10.0])
+    for _ in range(50):
+        noise.sample()
+    assert abs(noise.state[0]) < 0.1
+
+
+def test_ou_noise_reset():
+    noise = OUNoise(3, rng=np.random.default_rng(0))
+    noise.sample()
+    noise.reset()
+    np.testing.assert_allclose(noise.state, 0.0)
+
+
+# ----------------------------------------------------------------------
+# trainer
+# ----------------------------------------------------------------------
+def test_ddpg_runs_and_updates():
+    prob = simple_problem()
+    cfg = DDPGConfig(
+        episodes=3,
+        steps_per_episode=40,
+        warmup_steps=32,
+        batch_size=16,
+        seed=0,
+    )
+    trainer = DDPGTrainer(prob, cfg)
+    before = [p.copy() for p in trainer.actor.net.state_dict()]
+    actor = trainer.train()
+    after = actor.net.state_dict()
+    # training must have changed the actor parameters
+    changed = any(not np.allclose(b, a) for b, a in zip(before, after))
+    assert changed
+    assert len(trainer.episode_returns) == 3
+    # action saturation respected
+    u = actor(np.array([[3.0, 3.0]]))
+    assert np.all(np.abs(u) <= cfg.action_limit + 1e-9)
+
+
+def test_ddpg_requires_controlled_system():
+    x = Polynomial.variable(1, 0)
+    sys1 = ControlAffineSystem.autonomous([-1.0 * x])
+    prob = CCDS(sys1, Box([-0.3], [0.3]), Box([-2.0], [2.0]), Box([1.5], [2.0]))
+    with pytest.raises(ValueError):
+        DDPGTrainer(prob)
+
+
+def test_ddpg_longer_run_stays_stable():
+    """A longer run must keep finite returns and a bounded policy (RL
+    improvement itself is too noisy at smoke scale to assert)."""
+    prob = simple_problem()
+    cfg = DDPGConfig(
+        episodes=12,
+        steps_per_episode=60,
+        warmup_steps=64,
+        batch_size=32,
+        seed=1,
+    )
+    trainer = DDPGTrainer(prob, cfg)
+    actor = trainer.train()
+    rets = np.asarray(trainer.episode_returns)
+    assert rets.shape == (12,)
+    assert np.all(np.isfinite(rets))
+    probe = prob.psi.sample(100, rng=np.random.default_rng(0))
+    u = actor(probe)
+    assert np.all(np.isfinite(u))
+    assert np.all(np.abs(u) <= cfg.action_limit + 1e-9)

@@ -1,0 +1,108 @@
+"""Tests for the control-affine system model."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import CCDS, ControlAffineSystem
+from repro.poly import Polynomial
+from repro.sets import Box
+
+
+def academic_3d():
+    """The paper's Example 1 plant (18)."""
+    x, y, z = Polynomial.variables(3)
+    f0 = [z + 8.0 * y, -1.0 * y + z, -1.0 * z - x * x]
+    return ControlAffineSystem.single_input(f0, [0.0, 0.0, 1.0])
+
+
+def test_construction_and_degree():
+    sys3 = academic_3d()
+    assert sys3.n_vars == 3
+    assert sys3.n_inputs == 1
+    assert sys3.degree() == 2
+
+
+def test_autonomous():
+    x = Polynomial.variable(1, 0)
+    sys1 = ControlAffineSystem.autonomous([-1.0 * x])
+    assert sys1.n_inputs == 0
+    np.testing.assert_allclose(sys1.rhs(np.array([[2.0]])), [[-2.0]])
+
+
+def test_validation():
+    x, y = Polynomial.variables(2)
+    with pytest.raises(ValueError):
+        ControlAffineSystem([], [])
+    with pytest.raises(ValueError):
+        ControlAffineSystem([x, Polynomial.one(3)], [[1.0], [0.0]])
+    with pytest.raises(ValueError):
+        ControlAffineSystem([x, y], [[1.0]])  # wrong row count
+    with pytest.raises(ValueError):
+        ControlAffineSystem([x, y], [[1.0], [1.0, 2.0]])  # ragged
+    with pytest.raises(ValueError):
+        ControlAffineSystem([x, y], [[Polynomial.one(3)], [1.0]])
+
+
+def test_closed_loop_polynomial():
+    sys3 = academic_3d()
+    x, y, z = Polynomial.variables(3)
+    h = -2.0 * x - y  # polynomial controller
+    field = sys3.closed_loop([h])
+    # third component: -z - x^2 + h(x)
+    expected = -1.0 * z - x * x + h
+    assert field[2].is_close(expected)
+    # first two unchanged
+    assert field[0].is_close(z + 8.0 * y)
+
+
+def test_closed_loop_with_error_offset():
+    sys3 = academic_3d()
+    h = Polynomial.zero(3)
+    field_plus = sys3.closed_loop([h], error=[0.5])
+    field_zero = sys3.closed_loop([h])
+    diff = field_plus[2] - field_zero[2]
+    assert diff.is_close(Polynomial.constant(3, 0.5))
+
+
+def test_closed_loop_validation():
+    sys3 = academic_3d()
+    with pytest.raises(ValueError):
+        sys3.closed_loop([])
+    with pytest.raises(ValueError):
+        sys3.closed_loop([Polynomial.zero(3)], error=[0.1, 0.2])
+
+
+def test_rhs_matches_closed_loop():
+    rng = np.random.default_rng(0)
+    sys3 = academic_3d()
+    x, y, z = Polynomial.variables(3)
+    h = -1.5 * x + 0.3 * z
+    field = sys3.closed_loop([h])
+    pts = rng.uniform(-1, 1, size=(20, 3))
+    u = h(pts)[:, None]
+    numeric = sys3.rhs(pts, u)
+    symbolic = np.stack([f(pts) for f in field], axis=1)
+    np.testing.assert_allclose(numeric, symbolic, atol=1e-12)
+
+
+def test_input_gain_polys():
+    sys3 = academic_3d()
+    B = Polynomial(3, {(0, 0, 1): 2.0})  # B = 2z
+    gains = sys3.input_gain_polys(B.grad())
+    # grad B = (0, 0, 2); G column = (0, 0, 1) => gain = 2
+    assert gains[0].is_close(Polynomial.constant(3, 2.0))
+
+
+def test_ccds_validation():
+    sys3 = academic_3d()
+    box3 = Box.cube(3, -1, 1)
+    box2 = Box.cube(2, -1, 1)
+    prob = CCDS(sys3, box3, box3, box3, name="demo")
+    assert prob.n_vars == 3
+    assert "demo" in repr(prob)
+    with pytest.raises(ValueError):
+        CCDS(sys3, box2, box3, box3)
+
+
+def test_repr():
+    assert "n_vars=3" in repr(academic_3d())

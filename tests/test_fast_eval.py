@@ -1,0 +1,89 @@
+"""Tests for compiled polynomial evaluation."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.poly import Polynomial
+from repro.poly.fast_eval import CompiledPolynomial, compile_field
+from repro.poly.monomials import monomials_upto
+
+
+def test_matches_direct_evaluation():
+    rng = np.random.default_rng(0)
+    p = Polynomial(3, {(2, 0, 1): 1.5, (0, 1, 0): -2.0, (0, 0, 0): 0.25})
+    cp = CompiledPolynomial(p)
+    pts = rng.uniform(-2, 2, size=(100, 3))
+    np.testing.assert_allclose(cp(pts), p(pts), atol=1e-12)
+
+
+def test_single_point_and_scalar_return():
+    p = Polynomial(2, {(1, 0): 2.0})
+    cp = CompiledPolynomial(p)
+    assert cp(np.array([3.0, 0.0])) == pytest.approx(6.0)
+
+
+def test_field_compilation():
+    rng = np.random.default_rng(1)
+    x, y = Polynomial.variables(2)
+    field = [y, -1.0 * x + 0.3 * x ** 3]
+    cf = compile_field(field)
+    pts = rng.uniform(-1, 1, size=(50, 2))
+    expected = np.stack([f(pts) for f in field], axis=1)
+    np.testing.assert_allclose(cf(pts), expected, atol=1e-12)
+    single = cf(pts[0])
+    np.testing.assert_allclose(single, expected[0], atol=1e-12)
+
+
+def test_zero_polynomial():
+    cp = CompiledPolynomial(Polynomial.zero(2))
+    np.testing.assert_allclose(cp(np.zeros((5, 2))), np.zeros(5))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CompiledPolynomial([])
+    with pytest.raises(ValueError):
+        CompiledPolynomial([Polynomial.one(2), Polynomial.one(3)])
+    cp = CompiledPolynomial(Polynomial.one(2))
+    with pytest.raises(ValueError):
+        cp(np.zeros((3, 4)))
+
+
+def test_faster_on_vector_fields():
+    """The point of compiling: a k-component field shares the monomial
+    work, beating k independent sparse evaluations."""
+    rng = np.random.default_rng(2)
+    basis = monomials_upto(6, 3)
+    field = [
+        Polynomial(6, {a: float(rng.normal()) for a in basis}) for _ in range(6)
+    ]
+    cf = compile_field(field)
+    pts = rng.uniform(-1, 1, size=(5000, 6))
+    cf(pts)  # warm up
+    t0 = time.perf_counter()
+    for _ in range(5):
+        cf(pts)
+    fast = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(5):
+        np.stack([f(pts) for f in field], axis=1)
+    slow = time.perf_counter() - t0
+    assert fast < slow * 1.1  # compiled wins (small slack for timer noise)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(list(monomials_upto(2, 4))),
+        st.floats(-5, 5, allow_nan=False),
+        max_size=8,
+    )
+)
+def test_agreement_property(coeffs):
+    p = Polynomial(2, coeffs)
+    cp = CompiledPolynomial(p)
+    pts = np.random.default_rng(9).uniform(-1.5, 1.5, size=(60, 2))
+    np.testing.assert_allclose(cp(pts), p(pts), atol=1e-9)

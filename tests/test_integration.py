@@ -1,0 +1,116 @@
+"""Cross-module integration tests: the full pipeline on real benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_empirical_safety
+from repro.benchmarks import get_benchmark
+from repro.cegis import SNBC
+from repro.poly import lie_derivative
+from repro.verifier import SOSVerifier
+
+
+@pytest.fixture(scope="module")
+def example1_run():
+    spec = get_benchmark("example1")
+    problem = spec.make_problem()
+    controller = spec.make_controller()
+    result = SNBC(
+        problem,
+        controller=controller,
+        learner_config=spec.learner_config(),
+        config=spec.snbc_config("smoke"),
+    ).run()
+    return spec, problem, controller, result
+
+
+def test_example1_synthesizes(example1_run):
+    _, _, _, result = example1_run
+    assert result.success
+    assert result.barrier.degree == 2  # paper's certificate (19) is degree 2
+    assert result.iterations <= 4
+
+
+def test_example1_certificate_conditions_hold_empirically(example1_run):
+    """The certified B must satisfy Theorem 1 on dense random samples.
+
+    The Lie condition is checked in its safety-relevant form: near the zero
+    level set of B (where the lambda term vanishes) the derivative along
+    the closed loop must be positive at *both* inclusion-error endpoints —
+    which, by affinity in w, covers every admissible w.
+    """
+    _, problem, _, result = example1_run
+    B = result.barrier
+    rng = np.random.default_rng(0)
+    assert np.min(B(problem.theta.sample(5000, rng=rng))) >= -1e-6
+    assert np.max(B(problem.xi.sample(5000, rng=rng))) < 0
+
+    h = result.inclusion.polynomials
+    sigma = result.inclusion.sigma_star[0]
+    pts = problem.psi.sample(100_000, rng=rng)
+    b_vals = np.abs(B(pts))
+    near_zero = pts[b_vals < np.quantile(b_vals, 0.01)]
+    assert len(near_zero) > 0
+    # certified: L_f B > lambda B everywhere, so near the level set
+    # Bdot >= -max|lambda| * max|B| on those points
+    assert result.verification.lambda_polys
+    delta = float(np.max(np.abs(B(near_zero))))
+    lam_bound = max(
+        float(np.max(np.abs(lam(near_zero))))
+        for lam in result.verification.lambda_polys.values()
+    )
+    for w in (-sigma, +sigma):
+        field_w = problem.system.closed_loop(h, error=[w])
+        lfb_w = lie_derivative(B, field_w)
+        assert np.min(lfb_w(near_zero)) > -lam_bound * delta - 1e-6
+
+
+def test_example1_simulation_agrees(example1_run):
+    """No simulated closed-loop trajectory (true NN in the loop) reaches Xi."""
+    _, problem, controller, result = example1_run
+    sims = check_empirical_safety(
+        problem, controller, n_trajectories=8, t_final=8.0,
+        rng=np.random.default_rng(1),
+    )
+    assert not any(s.entered_unsafe for s in sims)
+    # and B stays nonnegative along every in-domain trajectory
+    for s in sims:
+        inside = problem.psi.contains(s.states)
+        assert np.all(result.barrier(s.states[inside]) > -1e-6)
+
+
+def test_certificate_survives_reverification(example1_run):
+    """Verifying the found certificate again (fresh verifier) passes."""
+    _, problem, _, result = example1_run
+    verifier = SOSVerifier(
+        problem, result.inclusion.polynomials, result.inclusion.sigma_star
+    )
+    again = verifier.verify(result.barrier)
+    assert again.ok
+
+
+def test_perturbed_certificate_fails(example1_run):
+    """A clearly corrupted certificate must NOT verify (soundness check)."""
+    from repro.poly import Polynomial
+
+    _, problem, _, result = example1_run
+    bad = result.barrier + Polynomial.constant(3, 1000.0)  # positive on Xi now
+    verifier = SOSVerifier(
+        problem, result.inclusion.polynomials, result.inclusion.sigma_star
+    )
+    assert not verifier.verify(bad).ok
+
+
+@pytest.mark.parametrize("name", ["C2", "C5", "C11"])
+def test_more_benchmarks_end_to_end(name):
+    spec = get_benchmark(name)
+    problem = spec.make_problem()
+    controller = spec.make_controller()
+    result = SNBC(
+        problem,
+        controller=controller,
+        learner_config=spec.learner_config(),
+        config=spec.snbc_config("smoke"),
+    ).run()
+    assert result.success, f"{name} failed: {result.history}"
+    assert result.barrier.degree == 2

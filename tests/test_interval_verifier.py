@@ -1,0 +1,119 @@
+"""Tests for the interval cross-check verifier (agreement with the SOS one)."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import CCDS, ControlAffineSystem
+from repro.poly import Polynomial
+from repro.sets import Box
+from repro.verifier import (
+    IntervalVerifier,
+    IntervalVerifierConfig,
+    SOSVerifier,
+)
+
+
+def decay_problem(n=2):
+    xs = Polynomial.variables(n)
+    sys_n = ControlAffineSystem.autonomous([-1.0 * x for x in xs])
+    return CCDS(
+        sys_n,
+        theta=Box.cube(n, -0.5, 0.5, name="theta"),
+        psi=Box.cube(n, -2.0, 2.0, name="psi"),
+        xi=Box.cube(n, 1.5, 2.0, name="xi"),
+    )
+
+
+def radial_barrier(n, c=1.0, scale=0.5):
+    B = Polynomial.constant(n, c)
+    for i in range(n):
+        B = B - scale * Polynomial.variable(n, i) ** 2
+    return B
+
+
+def test_valid_certificate_proved():
+    prob = decay_problem()
+    B = radial_barrier(2)
+    lam = Polynomial.constant(2, -0.1)
+    result = IntervalVerifier(prob, []).verify(B, lam)
+    assert result.ok
+    assert result.failed_conditions() == []
+    assert set(result.outcomes) == {"init", "unsafe", "lie"}
+
+
+def test_invalid_certificate_rejected_with_witness():
+    prob = decay_problem()
+    bad = -1.0 * radial_barrier(2)  # negative on Theta
+    result = IntervalVerifier(prob, []).verify(bad)
+    assert not result.ok
+    assert "init" in result.failed_conditions()
+    witness = result.outcomes["init"].witness
+    assert witness is not None
+    assert bad(witness) < 0
+    assert prob.theta.contains(witness, tol=1e-9)
+
+
+def test_agrees_with_sos_verifier():
+    """Both verifiers accept the same valid certificate and reject the same
+    corrupted one — two independent code paths agreeing."""
+    prob = decay_problem()
+    B = radial_barrier(2)
+    sos = SOSVerifier(prob, [])
+    sos_result = sos.verify(B)
+    assert sos_result.ok
+    iv = IntervalVerifier(prob, [])
+    iv_result = iv.verify(B, sos_result.lambda_poly)
+    assert iv_result.ok
+
+    corrupted = B + Polynomial.constant(2, 50.0)
+    assert not sos.verify(corrupted).ok
+    assert not iv.verify(corrupted, sos_result.lambda_poly).ok
+
+
+def test_controlled_with_endpoints():
+    x = Polynomial.variable(1, 0)
+    sys1 = ControlAffineSystem.single_input([-1.0 * x], [1.0])
+    prob = CCDS(sys1, Box([-0.5], [0.5]), Box([-2.0], [2.0]), Box([1.5], [2.0]))
+    B = radial_barrier(1)
+    iv = IntervalVerifier(prob, [Polynomial.zero(1)], sigma_star=[0.05])
+    result = iv.verify(B, Polynomial.constant(1, -0.5))
+    assert result.ok
+    lie_names = [n for n in result.outcomes if n.startswith("lie")]
+    assert len(lie_names) == 2  # both error endpoints checked
+
+
+def test_zero_lambda_default_is_stricter():
+    # xdot = -x with B = 1 - 0.5 x^2: L_f B = x^2 which is 0 at the origin,
+    # so the strict check without lambda fails (or is delta-sat), while a
+    # negative constant lambda rescues it.
+    prob = decay_problem(1)
+    B = radial_barrier(1)
+    iv = IntervalVerifier(
+        prob, [], config=IntervalVerifierConfig(delta=1e-3, eps_lie=1e-4)
+    )
+    without = iv.verify(B)  # lambda = 0
+    assert not without.ok
+    with_lam = iv.verify(B, Polynomial.constant(1, -0.5))
+    assert with_lam.ok
+
+
+def test_validation_errors():
+    prob = decay_problem()
+    with pytest.raises(ValueError):
+        IntervalVerifier(prob, [Polynomial.zero(2)])  # autonomous
+    iv = IntervalVerifier(prob, [])
+    with pytest.raises(ValueError):
+        iv.verify(radial_barrier(3))  # dimension mismatch
+
+
+def test_contractor_toggle():
+    prob = decay_problem()
+    B = radial_barrier(2)
+    lam = Polynomial.constant(2, -0.1)
+    with_c = IntervalVerifier(
+        prob, [], config=IntervalVerifierConfig(use_contractor=True)
+    ).verify(B, lam)
+    without_c = IntervalVerifier(
+        prob, [], config=IntervalVerifierConfig(use_contractor=False)
+    ).verify(B, lam)
+    assert with_c.ok and without_c.ok

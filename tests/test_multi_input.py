@@ -1,0 +1,109 @@
+"""End-to-end tests for systems with multiple control inputs.
+
+The paper treats single-output controllers; the pipeline here handles the
+multi-output case component-wise (per-output polynomial inclusion and
+endpoint enumeration over the error box's vertices in the Verifier).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cegis import SNBC, SNBCConfig
+from repro.controllers import NNController, behavior_clone, polynomial_inclusion
+from repro.dynamics import CCDS, ControlAffineSystem
+from repro.learner import LearnerConfig
+from repro.poly import Polynomial
+from repro.sets import Box
+from repro.verifier import SOSVerifier
+
+
+def two_input_problem():
+    # double integrator pair, each axis with its own control
+    x1, x2 = Polynomial.variables(2)
+    system = ControlAffineSystem(
+        [0.5 * x1, 0.5 * x2],  # unstable drift on both axes
+        [[1.0, 0.0], [0.0, 1.0]],
+    )
+    return CCDS(
+        system,
+        theta=Box.cube(2, -0.4, 0.4, name="theta"),
+        psi=Box.cube(2, -2.0, 2.0, name="psi"),
+        xi=Box([1.4, 1.4], [1.8, 1.8], name="xi"),
+        name="two-input",
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_controller():
+    prob = two_input_problem()
+    ctrl = NNController(2, 2, hidden=(10,), rng=np.random.default_rng(0))
+    behavior_clone(
+        ctrl,
+        lambda pts: -2.0 * np.atleast_2d(pts),  # u_i = -2 x_i stabilizes
+        prob.psi,
+        n_samples=1024,
+        epochs=150,
+        rng=np.random.default_rng(0),
+    )
+    return prob, ctrl
+
+
+def test_multi_output_inclusion(trained_controller):
+    prob, ctrl = trained_controller
+    inc = polynomial_inclusion(ctrl, prob.psi, degree=2, spacing=0.15)
+    assert len(inc.polynomials) == 2
+    assert all(s < 1.0 for s in inc.sigma_star)
+    # each h_j approximates the j-th output
+    pts = prob.psi.sample(500, rng=np.random.default_rng(1))
+    u = ctrl(pts)
+    for j in range(2):
+        err = np.abs(u[:, j] - inc.polynomials[j](pts))
+        assert np.max(err) <= inc.sigma_star[j] + 1e-9
+
+
+def test_verifier_enumerates_four_endpoints(trained_controller):
+    prob, ctrl = trained_controller
+    inc = polynomial_inclusion(ctrl, prob.psi, degree=2, spacing=0.15)
+    B = Polynomial.constant(2, 1.0)
+    for i in range(2):
+        B = B - 0.4 * Polynomial.variable(2, i) ** 2
+    verifier = SOSVerifier(prob, inc.polynomials, inc.sigma_star)
+    result = verifier.verify(B)
+    lie_names = [c.name for c in result.conditions if c.name.startswith("lie")]
+    # 2 inputs with nonzero error -> up to 2^2 = 4 endpoint LMIs (early
+    # break on failure can shorten the list, but success needs all 4)
+    if result.ok:
+        assert len(lie_names) == 4
+
+
+def test_multi_input_snbc_end_to_end(trained_controller):
+    prob, ctrl = trained_controller
+    result = SNBC(
+        prob,
+        controller=ctrl,
+        learner_config=LearnerConfig(b_hidden=(10,), epochs=500, seed=0),
+        config=SNBCConfig(max_iterations=8, n_samples=400, seed=0),
+    ).run()
+    assert result.success
+    B = result.barrier
+    rng = np.random.default_rng(2)
+    assert np.all(B(prob.theta.sample(1000, rng=rng)) >= -1e-6)
+    assert np.all(B(prob.xi.sample(1000, rng=rng)) < 0)
+
+
+def test_too_many_inputs_with_error_rejected():
+    n = 5
+    xs = Polynomial.variables(n)
+    G = [[1.0 if i == j else 0.0 for j in range(5)] for i in range(n)]
+    system = ControlAffineSystem([-1.0 * x for x in xs], G)
+    prob = CCDS(
+        system,
+        theta=Box.cube(n, -0.4, 0.4),
+        psi=Box.cube(n, -2.0, 2.0),
+        xi=Box.cube(n, 1.5, 2.0),
+    )
+    h = [Polynomial.zero(n)] * 5
+    with pytest.raises(ValueError, match="intractable"):
+        SOSVerifier(prob, h, sigma_star=[0.1] * 5)
+    # zero error is fine (no endpoint blow-up)
+    SOSVerifier(prob, h, sigma_star=[0.0] * 5)

@@ -1,0 +1,78 @@
+"""Tests for network serialization (save/load round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    ConstantMultiplier,
+    LinearMultiplier,
+    QuadraticNetwork,
+    SquareNetwork,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda rng: MLP([2, 8, 1], rng=rng),
+        lambda rng: MLP([3, 6, 2], activation="relu", output_scale=2.5, rng=rng),
+        lambda rng: QuadraticNetwork([2, 5], rng=rng),
+        lambda rng: QuadraticNetwork([3, 4, 2], output_bias=False, rng=rng),
+        lambda rng: SquareNetwork([2, 4], rng=rng),
+        lambda rng: LinearMultiplier([3, 5, 1], rng=rng),
+    ],
+)
+def test_roundtrip_preserves_function(factory, tmp_path):
+    rng = np.random.default_rng(0)
+    net = factory(rng)
+    path = tmp_path / "net.json"
+    save_network(net, str(path))
+    loaded = load_network(str(path))
+    pts = rng.uniform(-1, 1, size=(50, net.layer_sizes[0]))
+    np.testing.assert_allclose(loaded.predict(pts), net.predict(pts), atol=1e-12)
+
+
+def test_constant_multiplier_roundtrip():
+    net = ConstantMultiplier(4, init=-0.25)
+    loaded = network_from_dict(network_to_dict(net))
+    assert loaded.to_polynomial().coeff((0, 0, 0, 0)) == -0.25
+
+
+def test_quadratic_roundtrip_preserves_polynomial():
+    rng = np.random.default_rng(1)
+    net = QuadraticNetwork([2, 4], rng=rng)
+    loaded = network_from_dict(network_to_dict(net))
+    assert loaded.to_polynomial().is_close(net.to_polynomial(), tol=1e-12)
+
+
+def test_malformed_payloads():
+    with pytest.raises(ValueError):
+        network_from_dict({})
+    with pytest.raises(ValueError):
+        network_from_dict({"architecture": {"kind": "transformer"}, "parameters": []})
+    with pytest.raises(TypeError):
+        network_to_dict(object())
+
+
+def test_controller_archival_workflow(tmp_path):
+    """Train -> save -> load -> identical polynomial inclusion."""
+    from repro.controllers import NNController, polynomial_inclusion
+    from repro.sets import Box
+
+    rng = np.random.default_rng(2)
+    ctrl = NNController(2, 1, hidden=(6,), rng=rng)
+    box = Box.cube(2, -1.0, 1.0)
+    path = tmp_path / "controller.json"
+    save_network(ctrl.net, str(path))
+
+    restored = NNController(2, 1, hidden=(6,))
+    restored.net = load_network(str(path))
+    inc_a = polynomial_inclusion(ctrl, box, degree=2, spacing=0.25)
+    inc_b = polynomial_inclusion(restored, box, degree=2, spacing=0.25)
+    assert inc_a.polynomials[0].is_close(inc_b.polynomials[0], tol=1e-9)
+    assert inc_a.sigma_star[0] == pytest.approx(inc_b.sigma_star[0], abs=1e-9)

@@ -1,0 +1,126 @@
+"""Tests for NN layers, optimizers and the controller MLP."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import MLP, SGD, Adam, Dense, LeakyReLU, Sequential, Tanh
+from repro.nn.layers import Parameter
+
+
+def test_dense_shapes_and_params():
+    rng = np.random.default_rng(0)
+    layer = Dense(3, 5, rng=rng)
+    out = layer(Tensor(np.zeros((7, 3))))
+    assert out.shape == (7, 5)
+    assert len(layer.parameters()) == 2
+    assert layer.n_parameters() == 3 * 5 + 5
+
+
+def test_dense_no_bias():
+    layer = Dense(2, 2, bias=False)
+    assert len(layer.parameters()) == 1
+
+
+def test_sequential_composition():
+    rng = np.random.default_rng(1)
+    net = Sequential(Dense(2, 4, rng=rng), Tanh(), Dense(4, 1, rng=rng))
+    out = net(Tensor(np.zeros((3, 2))))
+    assert out.shape == (3, 1)
+    assert len(net) == 3
+    assert len(net.parameters()) == 4
+
+
+def test_state_dict_roundtrip():
+    rng = np.random.default_rng(2)
+    net = Sequential(Dense(2, 3, rng=rng), Dense(3, 1, rng=rng))
+    state = net.state_dict()
+    x = np.ones((1, 2))
+    y0 = net.predict(x)
+    for p in net.parameters():
+        p.data = p.data + 1.0
+    assert not np.allclose(net.predict(x), y0)
+    net.load_state_dict(state)
+    np.testing.assert_allclose(net.predict(x), y0)
+    with pytest.raises(ValueError):
+        net.load_state_dict(state[:-1])
+
+
+def test_mlp_shapes_and_repr():
+    net = MLP([2, 8, 8, 1], rng=np.random.default_rng(3))
+    out = net.predict(np.zeros((5, 2)))
+    assert out.shape == (5, 1)
+    assert "2-8-8-1" in repr(net)
+
+
+def test_mlp_output_scale_saturates():
+    net = MLP([1, 4, 1], output_scale=2.0, rng=np.random.default_rng(4))
+    big = net.predict(np.array([[1e3]]))
+    assert np.abs(big).max() <= 2.0 + 1e-9
+
+
+def test_mlp_validation():
+    with pytest.raises(ValueError):
+        MLP([2])
+    with pytest.raises(ValueError):
+        MLP([2, 3, 1], activation="swish")
+
+
+def test_optimizer_validation():
+    p = Parameter(np.zeros(2))
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+    with pytest.raises(ValueError):
+        SGD([p], lr=-1.0)
+    with pytest.raises(ValueError):
+        Adam([p], lr=0.0)
+
+
+def test_sgd_minimizes_quadratic():
+    p = Parameter(np.array([5.0]))
+    opt = SGD([p], lr=0.1, momentum=0.5)
+    for _ in range(200):
+        opt.zero_grad()
+        loss = (p * p).sum()
+        loss.backward()
+        opt.step()
+    assert abs(p.data[0]) < 1e-3
+
+
+def test_adam_fits_linear_regression():
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(100, 3))
+    w_true = np.array([[1.0], [-2.0], [0.5]])
+    y = X @ w_true
+    layer = Dense(3, 1, rng=rng)
+    opt = Adam(layer.parameters(), lr=0.05)
+    for _ in range(400):
+        opt.zero_grad()
+        pred = layer(Tensor(X))
+        err = pred - Tensor(y)
+        loss = (err * err).mean()
+        loss.backward()
+        opt.step()
+    np.testing.assert_allclose(layer.W.data, w_true, atol=0.05)
+
+
+def test_mlp_fits_nonlinear_function():
+    rng = np.random.default_rng(6)
+    X = rng.uniform(-1, 1, size=(256, 1))
+    y = np.sin(2.0 * X)
+    net = MLP([1, 16, 16, 1], rng=rng)
+    opt = Adam(net.parameters(), lr=0.01)
+    for _ in range(500):
+        opt.zero_grad()
+        err = net(Tensor(X)) - Tensor(y)
+        loss = (err * err).mean()
+        loss.backward()
+        opt.step()
+    final = float(((net.predict(X) - y) ** 2).mean())
+    assert final < 0.01
+
+
+def test_leaky_relu_module():
+    x = Tensor(np.array([[-1.0, 2.0]]))
+    out = LeakyReLU(0.1)(x)
+    np.testing.assert_allclose(out.numpy(), [[-0.1, 2.0]])

@@ -1,0 +1,111 @@
+"""Tests for multiplier networks and Lipschitz bounds."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import (
+    MLP,
+    Adam,
+    ConstantMultiplier,
+    LinearMultiplier,
+    empirical_lipschitz_lower_bound,
+    spectral_lipschitz_bound,
+)
+from repro.nn.lipschitz import spectral_norm
+
+
+# ----------------------------------------------------------------------
+# multipliers
+# ----------------------------------------------------------------------
+def test_linear_multiplier_is_affine():
+    rng = np.random.default_rng(0)
+    net = LinearMultiplier([3, 5, 1], rng=rng)
+    p = net.to_polynomial()
+    assert p.degree <= 1
+    pts = rng.uniform(-2, 2, size=(20, 3))
+    np.testing.assert_allclose(net.predict(pts).reshape(-1), p(pts), atol=1e-9)
+
+
+def test_linear_multiplier_deep_stack_still_affine():
+    rng = np.random.default_rng(1)
+    net = LinearMultiplier([2, 5, 5, 1], rng=rng)
+    pts = rng.uniform(-1, 1, size=(10, 2))
+    p = net.to_polynomial()
+    np.testing.assert_allclose(net.predict(pts).reshape(-1), p(pts), atol=1e-9)
+
+
+def test_linear_multiplier_trains():
+    rng = np.random.default_rng(2)
+    net = LinearMultiplier([2, 4, 1], rng=rng)
+    X = rng.uniform(-1, 1, size=(200, 2))
+    y = 2.0 * X[:, 0] - X[:, 1] + 0.5
+    opt = Adam(net.parameters(), lr=0.02)
+    for _ in range(300):
+        opt.zero_grad()
+        err = net(Tensor(X)) - Tensor(y)
+        ((err * err).mean()).backward()
+        opt.step()
+    w, c = net.affine_coefficients()
+    np.testing.assert_allclose(w, [2.0, -1.0], atol=0.05)
+    assert c == pytest.approx(0.5, abs=0.05)
+
+
+def test_linear_multiplier_validation():
+    with pytest.raises(ValueError):
+        LinearMultiplier([3])
+    with pytest.raises(ValueError):
+        LinearMultiplier([3, 2])  # scalar output required
+
+
+def test_constant_multiplier():
+    net = ConstantMultiplier(3, init=-2.0)
+    out = net(Tensor(np.zeros((5, 3))))
+    np.testing.assert_allclose(out.numpy(), -2.0 * np.ones(5))
+    assert net.to_polynomial().coeff((0, 0, 0)) == -2.0
+    # trainable
+    (out.sum()).backward()
+    assert net.value.grad is not None
+    assert "ConstantMultiplier" in repr(net)
+
+
+# ----------------------------------------------------------------------
+# Lipschitz bounds
+# ----------------------------------------------------------------------
+def test_spectral_norm_matches_numpy():
+    rng = np.random.default_rng(3)
+    A = rng.normal(size=(6, 4))
+    assert spectral_norm(A) == pytest.approx(np.linalg.norm(A, 2), rel=1e-6)
+    assert spectral_norm(np.zeros((3, 3))) == 0.0
+
+
+def test_spectral_bound_sandwiches_truth():
+    rng = np.random.default_rng(4)
+    net = MLP([2, 8, 1], rng=rng)
+    upper = spectral_lipschitz_bound(net)
+    lower = empirical_lipschitz_lower_bound(
+        net, [-2, -2], [2, 2], rng=np.random.default_rng(5)
+    )
+    assert 0 < lower <= upper * (1 + 1e-9)
+
+
+def test_spectral_bound_linear_network_is_exact():
+    # With no hidden activation (single Dense), bound equals ||W||_2.
+    net = MLP([3, 1], rng=np.random.default_rng(6))
+    assert spectral_lipschitz_bound(net) == pytest.approx(
+        np.linalg.norm(net.net.modules[0].W.data, 2), rel=1e-6
+    )
+
+
+def test_spectral_bound_output_scale():
+    net1 = MLP([2, 4, 1], rng=np.random.default_rng(7))
+    net2 = MLP([2, 4, 1], output_scale=3.0, rng=np.random.default_rng(7))
+    # same weights (same seed) so bound scales by 3
+    assert spectral_lipschitz_bound(net2) == pytest.approx(
+        3.0 * spectral_lipschitz_bound(net1), rel=1e-9
+    )
+
+
+def test_spectral_bound_type_error():
+    with pytest.raises(TypeError):
+        spectral_lipschitz_bound("not a net")

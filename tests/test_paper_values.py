@@ -1,0 +1,67 @@
+"""Consistency tests between the registry and the paper's Table 1 data."""
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.benchmarks.paper_values import (
+    PAPER_CLAIMS,
+    PAPER_TABLE1,
+    paper_verify_fraction,
+    verification_dominates_high_dim,
+)
+
+
+def test_paper_table_complete():
+    assert set(PAPER_TABLE1) == {f"C{i}" for i in range(1, 15)}
+
+
+def test_registry_matches_paper_dimensions():
+    for name, row in PAPER_TABLE1.items():
+        spec = get_benchmark(name)
+        assert spec.n_x == row.n_x, name
+        assert spec.d_f == row.d_f, name
+
+
+def test_paper_row_timings_consistent():
+    """T_l + T_c + T_v == T_e for each SNBC row (as printed, small slack)."""
+    for name, row in PAPER_TABLE1.items():
+        total = row.snbc_t_learn + row.snbc_t_cex + row.snbc_t_verify
+        assert total == pytest.approx(row.snbc_t_total, abs=0.02), name
+
+
+def test_paper_solved_counts():
+    fossil = sum(1 for r in PAPER_TABLE1.values() if r.fossil_t_total is not None)
+    nnc = sum(1 for r in PAPER_TABLE1.values() if r.nnc_t_total is not None)
+    sos = sum(1 for r in PAPER_TABLE1.values() if r.sos_t_total is not None)
+    assert fossil == PAPER_CLAIMS["fossil_solved"]
+    assert nnc == PAPER_CLAIMS["nncchecker_solved"]
+    assert sos == PAPER_CLAIMS["sostools_solved"]
+
+
+def test_paper_speedup_claims_recomputable():
+    """The 922x / 25.6x claims follow from the 8 jointly-solved rows."""
+    joint = [
+        name for name, r in PAPER_TABLE1.items() if r.fossil_t_total is not None
+    ]
+    assert len(joint) == 8
+    fossil_mean = sum(PAPER_TABLE1[n].fossil_t_total for n in joint) / len(joint)
+    snbc_mean = sum(PAPER_TABLE1[n].snbc_t_total for n in joint) / len(joint)
+    assert fossil_mean / snbc_mean == pytest.approx(
+        PAPER_CLAIMS["fossil_speedup_vs_snbc"], rel=0.01
+    )
+
+
+def test_paper_sostools_crossover():
+    """SOSTOOLS beats SNBC for n_x <= 3 and loses from n_x >= 4 (paper)."""
+    for name, row in PAPER_TABLE1.items():
+        if row.sos_t_total is None:
+            continue
+        if row.n_x <= 3:
+            assert row.sos_t_total < row.snbc_t_total, name
+        if row.n_x >= 4:
+            assert row.sos_t_total > row.snbc_t_total, name
+
+
+def test_verification_fraction_shape():
+    assert verification_dominates_high_dim()
+    assert paper_verify_fraction("C14") > 0.9  # 967.6 of 1002.8 s

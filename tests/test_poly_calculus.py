@@ -1,0 +1,58 @@
+"""Tests for gradients, Jacobians and Lie derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.poly import Polynomial, gradient, jacobian, lie_derivative
+
+
+def test_gradient_of_quadratic_form():
+    # p = x^2 + 2 y^2; grad = (2x, 4y)
+    p = Polynomial(2, {(2, 0): 1.0, (0, 2): 2.0})
+    g = gradient(p)
+    assert g[0] == Polynomial(2, {(1, 0): 2.0})
+    assert g[1] == Polynomial(2, {(0, 1): 4.0})
+
+
+def test_jacobian_shape():
+    x, y = Polynomial.variables(2)
+    field = [x * y, x + y]
+    jac = jacobian(field)
+    assert len(jac) == 2 and len(jac[0]) == 2
+    assert jac[0][0] == y
+    assert jac[1][1] == Polynomial.one(2)
+
+
+def test_jacobian_empty_field():
+    with pytest.raises(ValueError):
+        jacobian([])
+
+
+def test_lie_derivative_linear_system():
+    # xdot = -x, ydot = -y, V = x^2 + y^2 -> L_f V = -2x^2 - 2y^2
+    x, y = Polynomial.variables(2)
+    V = x * x + y * y
+    lf = lie_derivative(V, [-1.0 * x, -1.0 * y])
+    assert lf.is_close(-2.0 * V)
+
+
+def test_lie_derivative_matches_finite_difference():
+    rng = np.random.default_rng(1)
+    x, y = Polynomial.variables(2)
+    B = 2.0 * x * x - x * y + 3.0 * y + 1.0
+    field = [y, -x + 0.5 * x * x]
+    lf = lie_derivative(B, field)
+    for _ in range(10):
+        p0 = rng.uniform(-1, 1, size=2)
+        dt = 1e-6
+        f0 = np.array([field[0](p0), field[1](p0)])
+        num = (B(p0 + dt * f0) - B(p0)) / dt
+        assert lf(p0) == pytest.approx(num, abs=1e-4)
+
+
+def test_lie_derivative_dimension_mismatch():
+    x, y = Polynomial.variables(2)
+    with pytest.raises(ValueError):
+        lie_derivative(x + y, [x])
+    with pytest.raises(ValueError):
+        lie_derivative(x + y, [x, Polynomial.one(3)])

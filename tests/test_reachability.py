@@ -1,0 +1,98 @@
+"""Tests for Monte-Carlo reachability estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import estimate_reachability
+from repro.dynamics import CCDS, ControlAffineSystem
+from repro.poly import Polynomial
+from repro.sets import Box
+
+
+def decay_problem(n=2):
+    xs = Polynomial.variables(n)
+    sys_n = ControlAffineSystem.autonomous([-1.0 * x for x in xs])
+    return CCDS(
+        sys_n,
+        theta=Box.cube(n, -0.5, 0.5),
+        psi=Box.cube(n, -2.0, 2.0),
+        xi=Box.cube(n, 1.5, 2.0),
+    )
+
+
+def escape_problem():
+    xs = Polynomial.variables(2)
+    sys2 = ControlAffineSystem.autonomous([1.0 * x for x in xs])
+    return CCDS(
+        sys2,
+        theta=Box([0.3, 0.3], [0.5, 0.5]),
+        psi=Box.cube(2, -2.0, 2.0),
+        xi=Box([1.0, 1.0], [2.0, 2.0]),
+    )
+
+
+def test_stable_system_is_empirically_safe():
+    prob = decay_problem()
+    report = estimate_reachability(
+        prob, n_trajectories=15, t_final=6.0, rng=np.random.default_rng(0)
+    )
+    assert report.empirically_safe
+    assert report.n_exited_domain == 0
+    # the tube must contract toward the origin
+    lo0, hi0 = report.tube.lower[0], report.tube.upper[0]
+    lof, hif = report.tube.final_bounds
+    assert np.all(hif <= hi0 + 1e-9)
+    assert np.max(np.abs(hif)) < 0.2  # decayed
+    assert report.min_unsafe_distance > 1.0
+
+
+def test_unsafe_system_detected():
+    prob = escape_problem()
+    report = estimate_reachability(
+        prob, n_trajectories=10, t_final=6.0, rng=np.random.default_rng(1)
+    )
+    assert not report.empirically_safe
+    assert report.n_unsafe > 0
+
+
+def test_barrier_margin_tracked():
+    prob = decay_problem()
+    B = Polynomial.constant(2, 1.0)
+    for i in range(2):
+        B = B - 0.5 * Polynomial.variable(2, i) ** 2
+    report = estimate_reachability(
+        prob,
+        n_trajectories=10,
+        t_final=5.0,
+        barrier=B,
+        rng=np.random.default_rng(2),
+    )
+    assert report.min_barrier_value is not None
+    assert report.min_barrier_value >= 0.5  # B >= 0.75 on Theta, grows inward
+
+
+def test_tube_contains_its_own_trajectories():
+    prob = decay_problem()
+    rng = np.random.default_rng(3)
+    report = estimate_reachability(prob, n_trajectories=8, t_final=4.0, rng=rng)
+    # the tube is built from sampled trajectories, so a trajectory from one
+    # of the same starts must lie inside it (up to bucket-edge effects)
+    from repro.analysis import simulate
+
+    start = prob.theta.sample(8, rng=np.random.default_rng(3))[0]
+    sim = simulate(prob, start, t_final=4.0)
+    hits = sum(
+        report.tube.contains(t, x) for t, x in zip(sim.times[::20], sim.states[::20])
+    )
+    assert hits >= 1
+    # structural checks
+    assert report.tube.lower.shape == report.tube.upper.shape
+    assert np.all(report.tube.lower <= report.tube.upper + 1e-12)
+
+
+def test_validation():
+    prob = decay_problem()
+    with pytest.raises(ValueError):
+        estimate_reachability(prob, n_trajectories=0)
+    with pytest.raises(ValueError):
+        estimate_reachability(prob, n_buckets=0)

@@ -1,0 +1,53 @@
+"""Tests for the markdown report generator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import (
+    Table1Row,
+    render_markdown,
+    render_text,
+    run_snbc_rows,
+)
+
+
+def fake_rows():
+    return [
+        Table1Row("C1", 2, 3, "2-10-1", "2-5-1", True, 2, 1, 0.5, 0.0, 0.2, 0.7),
+        Table1Row("C9", 5, 2, "5-10-1", "5-5-1", False, None, 4, 1.0, 0.5, 0.5, 2.0),
+    ]
+
+
+def test_render_markdown():
+    text = render_markdown(fake_rows(), "smoke")
+    assert "| C1 |" in text
+    assert "| x |" in text  # failed row marked
+    assert "1/2" in text
+    assert "Mean T_e" in text
+
+
+def test_render_text():
+    text = render_text(fake_rows(), "smoke")
+    assert "C1" in text and "C9" in text
+    assert "T_e" in text
+
+
+def test_run_snbc_rows_single_system():
+    seen = []
+    rows = run_snbc_rows(["C1"], scale="smoke", progress=seen.append)
+    assert len(rows) == 1
+    assert rows[0].success
+    assert rows[0].d_b == 2
+    assert seen and seen[0].name == "C1"
+
+
+def test_cli_main(tmp_path, capsys):
+    from repro.analysis.report import main
+
+    out = tmp_path / "report.md"
+    code = main(["--systems", "C1", "--scale", "smoke", "--output", str(out)])
+    assert code == 0
+    content = out.read_text()
+    assert "| C1 |" in content
+    stdout = capsys.readouterr().out
+    assert "C1: ok" in stdout

@@ -1,0 +1,128 @@
+"""Tests for the inequality-form LMI interface and LipSDP bounds."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP
+from repro.nn.lipschitz import (
+    empirical_lipschitz_lower_bound,
+    lipsdp_lipschitz_bound,
+    spectral_lipschitz_bound,
+)
+from repro.sdp import solve_lmi
+
+
+# ----------------------------------------------------------------------
+# solve_lmi
+# ----------------------------------------------------------------------
+def test_lmi_max_eigenvalue():
+    # lambda_max(A) = min t s.t. t I - A PSD
+    rng = np.random.default_rng(0)
+    A = rng.normal(size=(5, 5))
+    A = 0.5 * (A + A.T)
+    res = solve_lmi(-A, [np.eye(5)], [1.0])
+    assert res.ok
+    lam_max = np.linalg.eigvalsh(A)[-1]
+    assert res.objective == pytest.approx(lam_max, abs=1e-5)
+    assert res.slack_eigenvalue >= -1e-6
+
+
+def test_lmi_feasibility_point():
+    # find y with [[1, y], [y, 1]] PSD -> any |y| <= 1; c = 0
+    F0 = np.eye(2)
+    F1 = np.array([[0.0, 1.0], [1.0, 0.0]])
+    res = solve_lmi(F0, [F1], [0.0])
+    assert res.ok
+    assert abs(res.y[0]) <= 1.0 + 1e-6
+
+
+def test_lmi_bounded_minimization():
+    # min y s.t. [[1+y, 0], [0, 1-y]] PSD -> y = -1
+    F0 = np.eye(2)
+    F1 = np.diag([1.0, -1.0])
+    res = solve_lmi(F0, [F1], [1.0])
+    assert res.ok
+    assert res.objective == pytest.approx(-1.0, abs=1e-5)
+
+
+def test_lmi_validation():
+    with pytest.raises(ValueError):
+        solve_lmi(np.zeros((2, 3)), [], [])
+    with pytest.raises(ValueError):
+        solve_lmi(np.eye(2), [np.eye(3)], [1.0])
+    with pytest.raises(ValueError):
+        solve_lmi(np.eye(2), [np.eye(2)], [1.0, 2.0])
+
+
+# ----------------------------------------------------------------------
+# LipSDP
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_lipsdp_sandwich(seed):
+    net = MLP([2, 8, 1], rng=np.random.default_rng(seed))
+    lower = empirical_lipschitz_lower_bound(
+        net, [-2, -2], [2, 2], rng=np.random.default_rng(100 + seed)
+    )
+    sdp = lipsdp_lipschitz_bound(net)
+    spectral = spectral_lipschitz_bound(net)
+    assert lower <= sdp * (1 + 1e-6)
+    assert sdp <= spectral * (1 + 1e-6)  # LipSDP is never looser
+
+
+def test_lipsdp_linear_in_output_scale():
+    net1 = MLP([2, 6, 1], rng=np.random.default_rng(3))
+    net2 = MLP([2, 6, 1], output_scale=2.0, rng=np.random.default_rng(3))
+    assert lipsdp_lipschitz_bound(net2) == pytest.approx(
+        2.0 * lipsdp_lipschitz_bound(net1), rel=1e-4
+    )
+
+
+def test_lipsdp_exact_for_linear_activation_regime():
+    """For a 'network' whose hidden layer barely saturates, the true
+    Lipschitz constant approaches ||W1 W0||; LipSDP must stay above it."""
+    rng = np.random.default_rng(4)
+    net = MLP([3, 5, 2], rng=rng)
+    # shrink weights so tanh operates in its linear regime
+    for mod in net.net.modules:
+        if hasattr(mod, "W"):
+            mod.W.data = 0.05 * mod.W.data
+    W0 = net.net.modules[0].W.data
+    W1 = net.net.modules[2].W.data
+    linear_gain = np.linalg.norm(W0 @ W1, 2)
+    bound = lipsdp_lipschitz_bound(net)
+    assert bound >= linear_gain * (1 - 1e-6)
+    assert bound <= linear_gain * 1.5  # and not wildly loose
+
+
+def test_lipsdp_multi_output():
+    net = MLP([2, 6, 3], rng=np.random.default_rng(5))
+    bound = lipsdp_lipschitz_bound(net)
+    lower = empirical_lipschitz_lower_bound(
+        net, [-1, -1], [1, 1], rng=np.random.default_rng(6)
+    )
+    assert 0 < lower <= bound * (1 + 1e-6)
+
+
+def test_lipsdp_rejects_deep_networks():
+    net = MLP([2, 4, 4, 1], rng=np.random.default_rng(7))
+    with pytest.raises(ValueError):
+        lipsdp_lipschitz_bound(net)
+    with pytest.raises(TypeError):
+        lipsdp_lipschitz_bound("not a net")
+
+
+def test_controller_lipschitz_method_selection():
+    from repro.controllers import NNController
+
+    k = NNController(2, 1, hidden=(8,), rng=np.random.default_rng(8))
+    auto = k.lipschitz_bound()
+    spectral = k.lipschitz_bound(method="spectral")
+    sdp = k.lipschitz_bound(method="lipsdp")
+    assert auto == pytest.approx(min(spectral, sdp), rel=1e-9)
+    with pytest.raises(ValueError):
+        k.lipschitz_bound(method="magic")
+    # deep controller: auto falls back to spectral
+    deep = NNController(2, 1, hidden=(6, 6), rng=np.random.default_rng(9))
+    assert deep.lipschitz_bound() == pytest.approx(
+        deep.lipschitz_bound(method="spectral")
+    )

@@ -1,0 +1,182 @@
+"""Tests for the interior-point SDP solver on problems with known answers."""
+
+import numpy as np
+import pytest
+
+from repro.sdp import (
+    InteriorPointOptions,
+    SDPProblem,
+    SDPStatus,
+    solve_sdp,
+)
+
+
+def unit(n, i, j):
+    """Symmetric unit matrix E_ij + E_ji (or E_ii)."""
+    E = np.zeros((n, n))
+    E[i, j] += 0.5
+    E[j, i] += 0.5
+    if i == j:
+        E[i, i] = 1.0
+    return E
+
+
+# ----------------------------------------------------------------------
+# basic problems
+# ----------------------------------------------------------------------
+def test_min_trace_with_fixed_entry():
+    # min tr(X) s.t. X_11 = 2, X 2x2 PSD  ->  X = diag(2, 0), value 2
+    prob = SDPProblem([2])
+    prob.set_trace_objective()
+    prob.add_constraint([unit(2, 0, 0)], 2.0)
+    res = solve_sdp(prob)
+    assert res.status == SDPStatus.OPTIMAL
+    assert res.primal_objective == pytest.approx(2.0, abs=1e-5)
+    assert res.X[0][0, 0] == pytest.approx(2.0, abs=1e-5)
+
+
+def test_min_eigenvalue_formulation():
+    # min <A, X> s.t. tr X = 1, X PSD  ->  lambda_min(A)
+    rng = np.random.default_rng(5)
+    A = rng.normal(size=(4, 4))
+    A = 0.5 * (A + A.T)
+    prob = SDPProblem([4])
+    prob.set_objective([A])
+    prob.add_constraint([np.eye(4)], 1.0)
+    res = solve_sdp(prob)
+    assert res.status == SDPStatus.OPTIMAL
+    lam_min = np.linalg.eigvalsh(A)[0]
+    assert res.primal_objective == pytest.approx(lam_min, abs=1e-5)
+
+
+def test_two_blocks():
+    # min tr(X1) + tr(X2) with X1_11 = 1, X2_22 = 3
+    prob = SDPProblem([2, 3])
+    prob.set_trace_objective()
+    prob.add_constraint([unit(2, 0, 0), None], 1.0)
+    prob.add_constraint([None, unit(3, 1, 1)], 3.0)
+    res = solve_sdp(prob)
+    assert res.status == SDPStatus.OPTIMAL
+    assert res.primal_objective == pytest.approx(4.0, abs=1e-5)
+
+
+def test_feasibility_recovers_psd_completion():
+    # X_12 = 1 with min trace => X = [[1,1],[1,1]] (rank-1, trace 2)
+    prob = SDPProblem([2])
+    prob.set_trace_objective()
+    prob.add_constraint([unit(2, 0, 1)], 1.0)
+    res = solve_sdp(prob)
+    assert res.status == SDPStatus.OPTIMAL
+    assert res.primal_objective == pytest.approx(2.0, abs=1e-4)
+    assert np.linalg.eigvalsh(res.X[0])[0] >= -1e-7
+
+
+def test_primal_infeasible_detected():
+    # X_11 = -1 impossible for PSD X
+    prob = SDPProblem([2])
+    prob.set_trace_objective()
+    prob.add_constraint([unit(2, 0, 0)], -1.0)
+    res = solve_sdp(prob, InteriorPointOptions(max_iterations=200))
+    assert res.status in (
+        SDPStatus.PRIMAL_INFEASIBLE,
+        SDPStatus.MAX_ITERATIONS,
+        SDPStatus.NUMERICAL_ERROR,
+    )
+    assert not res.feasible
+
+
+def test_inconsistent_constraints_detected():
+    prob = SDPProblem([2])
+    prob.add_constraint([unit(2, 0, 0)], 1.0)
+    prob.add_constraint([unit(2, 0, 0)], 2.0)
+    res = solve_sdp(prob)
+    assert res.status == SDPStatus.INCONSISTENT
+
+
+def test_redundant_constraints_presolved():
+    prob = SDPProblem([2])
+    prob.set_trace_objective()
+    prob.add_constraint([unit(2, 0, 0)], 1.0)
+    prob.add_constraint([unit(2, 0, 0)], 1.0)  # duplicate
+    prob.add_constraint([2.0 * unit(2, 0, 0)], 2.0)  # scaled duplicate
+    res = solve_sdp(prob)
+    assert res.status == SDPStatus.OPTIMAL
+    assert res.X[0][0, 0] == pytest.approx(1.0, abs=1e-5)
+    assert res.y is not None and res.y.shape == (3,)
+
+
+def test_no_constraints():
+    prob = SDPProblem([3])
+    res = solve_sdp(prob)
+    assert res.status == SDPStatus.OPTIMAL
+    np.testing.assert_allclose(res.X[0], np.zeros((3, 3)))
+
+
+# ----------------------------------------------------------------------
+# randomized problems with a constructed KKT-optimal pair
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n,m,seed", [(3, 4, 0), (5, 8, 1), (6, 10, 2), (8, 12, 3)])
+def test_random_sdp_with_known_optimum(n, m, seed):
+    rng = np.random.default_rng(seed)
+    # strictly complementary optimal pair: X* = U diag(p, 0) U^T, Z* = U diag(0, q) U^T
+    U, _ = np.linalg.qr(rng.normal(size=(n, n)))
+    r = n // 2
+    p = rng.uniform(0.5, 2.0, size=r)
+    q = rng.uniform(0.5, 2.0, size=n - r)
+    X_star = U @ np.diag(np.concatenate([p, np.zeros(n - r)])) @ U.T
+    Z_star = U @ np.diag(np.concatenate([np.zeros(r), q])) @ U.T
+    y_star = rng.normal(size=m)
+    A_mats = []
+    for _ in range(m):
+        Ai = rng.normal(size=(n, n))
+        A_mats.append(0.5 * (Ai + Ai.T))
+    C = Z_star + sum(y_star[i] * A_mats[i] for i in range(m))
+    prob = SDPProblem([n])
+    prob.set_objective([C])
+    for Ai in A_mats:
+        prob.add_constraint([Ai], float(np.sum(Ai * X_star)))
+    res = solve_sdp(prob)
+    assert res.status == SDPStatus.OPTIMAL
+    expected = float(np.sum(C * X_star))
+    assert res.primal_objective == pytest.approx(expected, abs=1e-4 * (1 + abs(expected)))
+    assert res.dual_objective == pytest.approx(expected, abs=1e-4 * (1 + abs(expected)))
+
+
+def test_result_diagnostics():
+    prob = SDPProblem([2])
+    prob.set_trace_objective()
+    prob.add_constraint([unit(2, 0, 0)], 1.0)
+    res = solve_sdp(prob)
+    eigs = res.min_eigenvalues()
+    assert len(eigs) == 1
+    assert eigs[0] >= -1e-8
+    assert res.gap < 1e-6
+    assert res.iterations > 0
+
+
+# ----------------------------------------------------------------------
+# problem container validation
+# ----------------------------------------------------------------------
+def test_problem_validation():
+    with pytest.raises(ValueError):
+        SDPProblem([])
+    with pytest.raises(ValueError):
+        SDPProblem([0])
+    prob = SDPProblem([2])
+    with pytest.raises(ValueError):
+        prob.add_constraint([np.zeros((3, 3))], 0.0)
+    with pytest.raises(ValueError):
+        prob.add_constraint([np.zeros((2, 2)), np.zeros((2, 2))], 0.0)
+    with pytest.raises(ValueError):
+        prob.set_objective([np.zeros((3, 3))])
+    with pytest.raises(ValueError):
+        prob.add_constraint_svec([np.zeros(5)], 0.0)
+
+
+def test_constraint_matrix_and_split():
+    prob = SDPProblem([2, 2])
+    prob.add_constraint([unit(2, 0, 0), unit(2, 1, 1)], 1.0)
+    mat = prob.constraint_matrix()
+    assert mat.shape == (1, 6)
+    parts = prob.split_svec(mat[0])
+    assert len(parts) == 2 and parts[0].shape == (3,)

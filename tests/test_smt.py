@@ -1,0 +1,203 @@
+"""Tests for interval arithmetic and the branch-and-prune engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP
+from repro.poly import Polynomial
+from repro.smt import (
+    BranchAndPrune,
+    CheckStatus,
+    Interval,
+    mlp_interval_forward,
+    poly_enclosure,
+)
+
+
+# ----------------------------------------------------------------------
+# Interval arithmetic
+# ----------------------------------------------------------------------
+def test_interval_basics():
+    a = Interval(-1.0, 2.0)
+    assert a.width == 3.0
+    assert a.mid == 0.5
+    assert a.contains(0.0) and not a.contains(3.0)
+    with pytest.raises(ValueError):
+        Interval(1.0, 0.0)
+
+
+def test_interval_arithmetic():
+    a = Interval(-1.0, 2.0)
+    b = Interval(3.0, 4.0)
+    assert (a + b) == Interval(2.0, 6.0)
+    assert (a - b) == Interval(-5.0, -1.0)
+    assert (a * b) == Interval(-4.0, 8.0)
+    assert (-a) == Interval(-2.0, 1.0)
+    assert (a + 1.0) == Interval(0.0, 3.0)
+    assert (2.0 * a) == Interval(-2.0, 4.0)
+    assert (1.0 - a) == Interval(-1.0, 2.0)
+
+
+def test_interval_power():
+    a = Interval(-2.0, 1.0)
+    assert a ** 2 == Interval(0.0, 4.0)
+    assert a ** 3 == Interval(-8.0, 1.0)
+    assert a ** 0 == Interval(1.0, 1.0)
+    with pytest.raises(ValueError):
+        a ** -1
+
+
+def test_interval_intersect():
+    assert Interval(0, 2).intersect(Interval(1, 3)) == Interval(1, 2)
+
+
+def test_poly_enclosure_sound():
+    rng = np.random.default_rng(0)
+    p = Polynomial(2, {(2, 0): 1.0, (1, 1): -2.0, (0, 0): 0.3})
+    lo, hi = np.array([-1.0, 0.0]), np.array([0.5, 2.0])
+    enc = poly_enclosure(p, lo, hi)
+    pts = rng.uniform(lo, hi, size=(500, 2))
+    vals = p(pts)
+    assert np.all(vals >= enc.lo - 1e-9)
+    assert np.all(vals <= enc.hi + 1e-9)
+
+
+def test_mlp_interval_forward_sound():
+    rng = np.random.default_rng(1)
+    for scale in (None, 1.5):
+        net = MLP([2, 8, 1], output_scale=scale, rng=rng)
+        lo, hi = np.array([-1.0, -1.0]), np.array([1.0, 1.0])
+        out_lo, out_hi = mlp_interval_forward(net, lo, hi)
+        pts = rng.uniform(lo, hi, size=(500, 2))
+        vals = net.predict(pts)
+        assert np.all(vals >= out_lo - 1e-9)
+        assert np.all(vals <= out_hi + 1e-9)
+
+
+def test_mlp_interval_relu_variants():
+    for act in ("relu", "leaky_relu", "sigmoid"):
+        net = MLP([2, 6, 1], activation=act, rng=np.random.default_rng(2))
+        lo, hi = np.array([-0.5, -0.5]), np.array([0.5, 0.5])
+        out_lo, out_hi = mlp_interval_forward(net, lo, hi)
+        pts = np.random.default_rng(3).uniform(lo, hi, size=(300, 2))
+        vals = net.predict(pts)
+        assert np.all(vals >= out_lo - 1e-9)
+        assert np.all(vals <= out_hi + 1e-9)
+
+
+# ----------------------------------------------------------------------
+# Branch and prune
+# ----------------------------------------------------------------------
+def make_poly_check(p, lo, hi, **kwargs):
+    engine = BranchAndPrune(**kwargs)
+    return engine.check_forall(
+        lambda a, b: poly_enclosure(p, a, b),
+        lambda pts: p(pts),
+        np.asarray(lo, dtype=float),
+        np.asarray(hi, dtype=float),
+    )
+
+
+def test_proves_true_property():
+    # x^2 + 1 >= 0 everywhere
+    p = Polynomial(1, {(2,): 1.0, (0,): 1.0})
+    out = make_poly_check(p, [-3], [3])
+    assert out.status == CheckStatus.PROVED
+
+
+def test_finds_violation():
+    # x^2 - 1 >= 0 fails on (-1, 1)
+    p = Polynomial(1, {(2,): 1.0, (0,): -1.0})
+    out = make_poly_check(p, [-3], [3])
+    assert out.status == CheckStatus.VIOLATED
+    assert abs(out.witness[0]) < 1.0
+    assert out.witness_value < 0
+
+
+def test_tight_property_delta_sat_or_proved():
+    # x^2 >= 0 touches zero: must not report a violation
+    p = Polynomial(1, {(2,): 1.0})
+    out = make_poly_check(p, [-1], [1], delta=1e-2)
+    assert out.status in (CheckStatus.PROVED, CheckStatus.DELTA_SAT)
+
+
+def test_budget_exhaustion_returns_unknown():
+    # hard near-tie with a tiny budget
+    p = Polynomial(2, {(2, 0): 1.0, (0, 2): 1.0, (0, 0): 1e-9})
+    engine = BranchAndPrune(delta=1e-9, max_boxes=10)
+    out = engine.check_forall(
+        lambda a, b: poly_enclosure(p, a, b),
+        lambda pts: p(pts),
+        np.array([-1.0, -1.0]),
+        np.array([1.0, 1.0]),
+    )
+    assert out.status in (CheckStatus.UNKNOWN, CheckStatus.PROVED, CheckStatus.DELTA_SAT)
+
+
+def test_region_constraints_prune():
+    # B(x) = x >= 0 required only on region x >= 0.5 inside box [-1, 1]
+    x = Polynomial.variable(1, 0)
+    g = x - 0.5  # region constraint
+    engine = BranchAndPrune(delta=1e-3)
+    out = engine.check_forall(
+        lambda a, b: poly_enclosure(x, a, b),
+        lambda pts: x(pts),
+        np.array([-1.0]),
+        np.array([1.0]),
+        region_enclosures=[lambda a, b: poly_enclosure(g, a, b)],
+        region_point=lambda pts: g(pts) >= 0,
+    )
+    assert out.status == CheckStatus.PROVED
+
+
+def test_region_constraints_violation_inside_region():
+    # x >= 0 on region x <= -0.5: false, witness must be in the region
+    x = Polynomial.variable(1, 0)
+    g = -1.0 * x - 0.5
+    engine = BranchAndPrune(delta=1e-3)
+    out = engine.check_forall(
+        lambda a, b: poly_enclosure(x, a, b),
+        lambda pts: x(pts),
+        np.array([-1.0]),
+        np.array([1.0]),
+        region_enclosures=[lambda a, b: poly_enclosure(g, a, b)],
+        region_point=lambda pts: g(pts) >= 0,
+    )
+    assert out.status == CheckStatus.VIOLATED
+    assert out.witness[0] <= -0.5 + 1e-9
+
+
+def test_time_limit():
+    p = Polynomial(3, {(2, 0, 0): 1.0, (0, 2, 0): 1.0, (0, 0, 2): 1.0, (0, 0, 0): 1e-12})
+    engine = BranchAndPrune(delta=1e-12, max_boxes=10**9, time_limit=0.05)
+    out = engine.check_forall(
+        lambda a, b: poly_enclosure(p, a, b),
+        lambda pts: p(pts),
+        -np.ones(3),
+        np.ones(3),
+    )
+    assert out.elapsed_seconds < 5.0
+
+
+def test_invalid_delta():
+    with pytest.raises(ValueError):
+        BranchAndPrune(delta=0.0)
+
+
+def test_higher_dimension_cost_grows():
+    """Boxes processed grow with dimension on a tight query (the Table 1
+    blow-up mechanism for SMT-based verification)."""
+    counts = []
+    for n in (1, 2, 3):
+        coeffs = {tuple(2 if i == j else 0 for i in range(n)): 1.0 for j in range(n)}
+        coeffs[(0,) * n] = 1e-4
+        p = Polynomial(n, coeffs)
+        engine = BranchAndPrune(delta=0.05, max_boxes=100_000)
+        out = engine.check_forall(
+            lambda a, b: poly_enclosure(p, a, b),
+            lambda pts: p(pts),
+            -np.ones(n),
+            np.ones(n),
+        )
+        counts.append(out.boxes_processed)
+    assert counts[0] <= counts[1] <= counts[2]

@@ -1,0 +1,85 @@
+"""Tests for SOS expression arithmetic and BMI rejection."""
+
+import numpy as np
+import pytest
+
+from repro.poly import Polynomial
+from repro.sos import SOSExpr, SOSProgram
+from repro.sos.expr import LinCoeff
+
+
+def test_from_polynomial_roundtrip():
+    p = Polynomial(2, {(1, 0): 2.0, (0, 0): -1.0})
+    e = SOSExpr.from_polynomial(p)
+    assert e.constant_part() == p
+    assert not e.has_decision_variables()
+    assert e.degree == 1
+
+
+def test_add_and_scale():
+    p = Polynomial(1, {(1,): 1.0})
+    e = SOSExpr.from_polynomial(p) * 3.0 + 2.0
+    q = e.constant_part()
+    assert q.coeff((1,)) == 3.0
+    assert q.coeff((0,)) == 2.0
+
+
+def test_sub_and_rsub():
+    p = SOSExpr.from_polynomial(Polynomial(1, {(1,): 1.0}))
+    assert (1.0 - p).constant_part().coeff((0,)) == 1.0
+    assert (p - 1.0).constant_part().coeff((0,)) == -1.0
+
+
+def test_mul_by_polynomial_distributes():
+    prog = SOSProgram(1)
+    s = prog.sos_poly(2)
+    g = Polynomial(1, {(2,): -1.0, (0,): 1.0})  # 1 - x^2
+    prod = s * g
+    assert prod.degree == s.degree + 2
+    assert prod.has_decision_variables()
+
+
+def test_bmi_product_rejected():
+    prog = SOSProgram(2)
+    s1 = prog.sos_poly(2)
+    s2 = prog.sos_poly(2)
+    with pytest.raises(ValueError, match="bilinear"):
+        s1 * s2
+    f = prog.free_poly(1)
+    with pytest.raises(ValueError, match="bilinear"):
+        s1 * f
+
+
+def test_constant_symbolic_product_ok():
+    prog = SOSProgram(1)
+    s = prog.sos_poly(2)
+    const_expr = SOSExpr.from_polynomial(Polynomial.constant(1, 2.0))
+    assert (const_expr * s).has_decision_variables()
+    assert (s * const_expr).has_decision_variables()
+
+
+def test_type_errors():
+    e = SOSExpr.zero(2)
+    with pytest.raises(TypeError):
+        e + "nope"
+    with pytest.raises(TypeError):
+        e * object()
+
+
+def test_nvars_mismatch():
+    with pytest.raises(ValueError):
+        SOSExpr.zero(2) + SOSExpr.zero(3)
+    with pytest.raises(ValueError):
+        SOSExpr.zero(2) * Polynomial.one(3)
+
+
+def test_lincoeff_ops():
+    a = LinCoeff(1.0, {0: 2.0}, {(0, 0, 0): 1.0})
+    b = LinCoeff(0.5, {0: -2.0})
+    a.add_inplace(b)
+    assert a.const == 1.5
+    assert a.free[0] == 0.0
+    c = a.scaled(2.0)
+    assert c.const == 3.0
+    assert not a.is_constant
+    assert LinCoeff(0.0).is_trivial()

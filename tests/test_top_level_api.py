@@ -1,0 +1,43 @@
+"""Tests for the package-level convenience API."""
+
+import numpy as np
+
+import repro
+from repro import synthesize_barrier
+from repro.dynamics import CCDS, ControlAffineSystem
+from repro.poly import Polynomial
+from repro.sets import Box
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_synthesize_barrier_autonomous():
+    xs = Polynomial.variables(2)
+    system = ControlAffineSystem.autonomous([-1.0 * x for x in xs])
+    problem = CCDS(
+        system,
+        theta=Box.cube(2, -0.5, 0.5),
+        psi=Box.cube(2, -2.0, 2.0),
+        xi=Box.cube(2, 1.5, 2.0),
+        name="api-demo",
+    )
+    result = synthesize_barrier(problem, n_samples=300, seed=0)
+    assert result.success
+    assert result.barrier.degree == 2
+    rng = np.random.default_rng(0)
+    assert np.all(result.barrier(problem.theta.sample(500, rng=rng)) >= -1e-6)
+
+
+def test_synthesize_barrier_constant_multiplier():
+    xs = Polynomial.variables(2)
+    system = ControlAffineSystem.autonomous([-1.0 * x for x in xs])
+    problem = CCDS(
+        system,
+        theta=Box.cube(2, -0.5, 0.5),
+        psi=Box.cube(2, -2.0, 2.0),
+        xi=Box.cube(2, 1.5, 2.0),
+    )
+    result = synthesize_barrier(problem, lambda_hidden=None, n_samples=300)
+    assert result.success
