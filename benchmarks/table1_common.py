@@ -16,6 +16,12 @@ from typing import Dict, List, Optional, Tuple
 from repro.benchmarks import BenchmarkSpec, get_benchmark
 from repro.cegis import SNBC, SNBCResult
 from repro.controllers import NNController, PolynomialInclusion, polynomial_inclusion
+from repro.telemetry import session as telemetry_session
+
+#: every Table-1 run emits its trace + manifest here (overwritten per run)
+TELEMETRY_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "results", "telemetry"
+)
 
 
 def bench_scale() -> str:
@@ -67,12 +73,46 @@ def prepared_inclusion(name: str) -> PolynomialInclusion:
 
 
 def run_snbc(name: str, scale: Optional[str] = None) -> SNBCResult:
-    """One SNBC run with the spec's Table 1 configuration."""
+    """One SNBC run with the spec's Table 1 configuration.
+
+    Telemetry is on for every harness run: a JSONL span trace plus a run
+    manifest land in ``results/telemetry/<name>-<scale>.jsonl`` /
+    ``....manifest.json``; render them with
+    ``python -m repro.telemetry.report <trace>``.
+    """
+    scale = scale or bench_scale()
     spec, problem, controller = prepared(name)
-    snbc = SNBC(
-        problem,
-        controller=controller,
-        learner_config=spec.learner_config(),
-        config=spec.snbc_config(scale or bench_scale()),
+    snbc_config = spec.snbc_config(scale)
+    learner_config = spec.learner_config()
+    trace_path = os.path.join(
+        os.path.normpath(TELEMETRY_DIR), f"{name}-{scale}.jsonl"
     )
-    return snbc.run()
+    with telemetry_session(
+        trace_path,
+        name=f"table1/{name}",
+        config={
+            "scale": scale,
+            "snbc": snbc_config,
+            "learner": learner_config,
+        },
+        seed=snbc_config.seed,
+    ) as tel:
+        snbc = SNBC(
+            problem,
+            controller=controller,
+            learner_config=learner_config,
+            config=snbc_config,
+        )
+        result = snbc.run()
+        tel.manifest.finish(
+            "success" if result.success else "failure",
+            iterations=result.iterations,
+            timings={
+                "inclusion": result.timings.inclusion,
+                "learning": result.timings.learning,
+                "counterexample": result.timings.counterexample,
+                "verification": result.timings.verification,
+                "total": result.timings.total,
+            },
+        )
+    return result

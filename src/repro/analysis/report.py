@@ -11,12 +11,15 @@ EXPERIMENTS.md and a reproducibility artifact in its own right:
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import Table, format_table
 from repro.benchmarks import get_benchmark, list_benchmarks
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -72,6 +75,13 @@ def run_snbc_rows(
                 t_verify=result.timings.verification,
                 t_total=result.timings.total,
             )
+        )
+        logger.info(
+            "%s: %s in %.2fs (%d iterations)",
+            name,
+            "ok" if result.success else "FAIL",
+            result.timings.total,
+            result.iterations,
         )
         if progress is not None:
             progress(rows[-1])

@@ -23,6 +23,7 @@ import numpy as np
 from repro.dynamics import CCDS
 from repro.poly import Polynomial, lie_derivative
 from repro.sets import SemialgebraicSet
+from repro.telemetry import get_telemetry
 
 
 @dataclass
@@ -88,6 +89,7 @@ class CounterexampleGenerator:
         controller_polys: Sequence[Polynomial],
         sigma_star: Optional[Sequence[float]] = None,
         config: Optional[CexConfig] = None,
+        rng: Optional[np.random.Generator] = None,
     ):
         self.problem = problem
         self.controller_polys = list(controller_polys)
@@ -96,7 +98,9 @@ class CounterexampleGenerator:
             [0.0] * m if sigma_star is None else [float(s) for s in sigma_star]
         )
         self.config = config or CexConfig()
-        self.rng = np.random.default_rng(self.config.seed)
+        # an injected generator lets SNBC derive all component streams
+        # from one seed chain; standalone use keeps the config seed
+        self.rng = rng if rng is not None else np.random.default_rng(self.config.seed)
 
     # ------------------------------------------------------------------
     def _violation_fn(self, condition: str, B: Polynomial, lam: Polynomial) -> Tuple[_ViolationFn, SemialgebraicSet]:
@@ -208,15 +212,31 @@ class CounterexampleGenerator:
         value <= 0, e.g. the SOS certificate failed only numerically) are
         skipped.
         """
+        tel = get_telemetry()
         out: List[Counterexample] = []
         for cond in conditions:
             key = "lie" if cond.startswith("lie") else cond
-            fn, region = self._violation_fn(key, B, lam)
-            worst, value = self._ascend(fn, region)
-            if value <= 0.0:
-                continue
-            gamma = self._max_radius(fn, region, worst)
-            points = self._sample_ball(region, worst, gamma)
+            with tel.span("cex.generate", condition=key) as span:
+                fn, region = self._violation_fn(key, B, lam)
+                worst, value = self._ascend(fn, region)
+                tel.metrics.inc(
+                    "cex.ascent_steps", self.config.n_steps * self.config.n_starts
+                )
+                if value <= 0.0:
+                    span.set_attrs(spurious=True, worst_violation=value)
+                    tel.metrics.inc("cex.spurious")
+                    continue
+                gamma = self._max_radius(fn, region, worst)
+                points = self._sample_ball(region, worst, gamma)
+                span.set_attrs(
+                    spurious=False,
+                    worst_violation=value,
+                    gamma=gamma,
+                    n_points=len(points),
+                )
+                if tel.enabled:
+                    tel.metrics.observe("cex.violation", value)
+                    tel.metrics.observe("cex.gamma", gamma)
             out.append(
                 Counterexample(
                     condition=key,

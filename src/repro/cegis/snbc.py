@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -14,6 +13,7 @@ from repro.dynamics import CCDS
 from repro.learner import BarrierLearner, LearnerConfig, TrainingData
 from repro.poly import Polynomial
 from repro.sets import Ball, Box
+from repro.telemetry import Telemetry, get_telemetry
 from repro.verifier import SOSVerifier, VerificationResult, VerifierConfig
 
 
@@ -96,6 +96,7 @@ class SNBC:
         verifier_config: Optional[VerifierConfig] = None,
         cex_config: Optional[CexConfig] = None,
         config: Optional[SNBCConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.problem = problem
         self.controller = controller
@@ -110,11 +111,26 @@ class SNBC:
             verifier_config = VerifierConfig(lambda_degree=lam_deg)
         self.verifier_config = verifier_config
         self.cex_config = cex_config or CexConfig(seed=self.config.seed)
-        self.rng = np.random.default_rng(self.config.seed)
+        self._telemetry = telemetry
+        # One deterministic generator chain: `config.seed` spawns
+        # independent child streams for sampling/inclusion, learner
+        # initialization, and counterexample ball sampling, so the whole
+        # run is reproducible from the single seed regardless of how many
+        # draws each component makes.
+        children = np.random.SeedSequence(self.config.seed).spawn(3)
+        self.rng = np.random.default_rng(children[0])
+        self._learner_rng = np.random.default_rng(children[1])
+        self._cex_rng = np.random.default_rng(children[2])
         if problem.system.n_inputs > 0 and controller is None and inclusion is None:
             raise ValueError(
                 "a controlled system needs a controller or a polynomial inclusion"
             )
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """Explicit instance if one was injected, else the process default
+        (resolved at use time so harness sessions apply)."""
+        return self._telemetry or get_telemetry()
 
     # ------------------------------------------------------------------
     def _ensure_inclusion(self, timings: PhaseTimings) -> None:
@@ -123,17 +139,23 @@ class SNBC:
         if self.inclusion is None:
             if not isinstance(self.problem.psi, Box):
                 raise ValueError("polynomial inclusion needs a box domain Psi")
-            t0 = time.perf_counter()
-            self.inclusion = polynomial_inclusion(
-                self.controller,
-                self.problem.psi,
-                degree=self.config.inclusion_degree,
-                spacing=self.config.inclusion_spacing,
-                max_mesh_points=self.config.inclusion_max_mesh,
-                error_mode=self.config.inclusion_error_mode,
-                rng=self.rng,
-            )
-            timings.inclusion += time.perf_counter() - t0
+            with self.telemetry.span(
+                "snbc.inclusion", phase="inclusion"
+            ) as span:
+                self.inclusion = polynomial_inclusion(
+                    self.controller,
+                    self.problem.psi,
+                    degree=self.config.inclusion_degree,
+                    spacing=self.config.inclusion_spacing,
+                    max_mesh_points=self.config.inclusion_max_mesh,
+                    error_mode=self.config.inclusion_error_mode,
+                    rng=self.rng,
+                )
+                span.set_attrs(
+                    n_mesh_points=self.inclusion.n_mesh_points,
+                    worst_sigma_star=self.inclusion.worst_sigma_star,
+                )
+            timings.inclusion += span.duration
 
     def _controller_polys(self) -> Sequence[Polynomial]:
         if self.problem.system.n_inputs == 0:
@@ -205,6 +227,17 @@ class SNBC:
 
     def run(self) -> SNBCResult:
         """Execute Algorithm 1 and return the synthesis outcome."""
+        tel = self.telemetry
+        with tel.span(
+            "snbc.run", problem=self.problem.name, seed=self.config.seed
+        ) as run_span:
+            result = self._run_inner(tel)
+            run_span.set_attrs(
+                success=result.success, iterations=result.iterations
+            )
+        return result
+
+    def _run_inner(self, tel: Telemetry) -> SNBCResult:
         cfg = self.config
         timings = PhaseTimings()
         history: List[IterationRecord] = []
@@ -225,14 +258,17 @@ class SNBC:
         active_sigma = [s for s in sigma if s > 0.0]
 
         data = TrainingData.sample(self.problem, cfg.n_samples, rng=self.rng)
-        learner = BarrierLearner(self.problem.n_vars, self.learner_config)
+        learner = BarrierLearner(
+            self.problem.n_vars, self.learner_config, rng=self._learner_rng
+        )
         if self.learner_config.warm_start:
             self._warm_start(learner, field_polys, data)
         verifier = SOSVerifier(
             self.problem, h_polys, sigma, config=self.verifier_config
         )
         cex_gen = CounterexampleGenerator(
-            self.problem, h_polys, sigma, config=self.cex_config
+            self.problem, h_polys, sigma, config=self.cex_config,
+            rng=self._cex_rng,
         )
 
         verification: Optional[VerificationResult] = None
@@ -242,61 +278,82 @@ class SNBC:
         retrain_epochs = cfg.retrain_epochs or max(1, self.learner_config.epochs // 2)
 
         for iteration in range(1, cfg.max_iterations + 1):
-            t0 = time.perf_counter()
-            epochs = first_epochs if iteration == 1 else retrain_epochs
-            terms = learner.fit(
-                data,
-                field_polys,
-                epochs=epochs,
-                gain_fields=gain_fields,
-                sigma_star=active_sigma,
-            )
-            timings.learning += time.perf_counter() - t0
+            tel.metrics.inc("cegis.iterations")
+            with tel.span("snbc.iteration", iteration=iteration) as it_span:
+                with tel.span(
+                    "snbc.learning", phase="learning", iteration=iteration
+                ) as sp:
+                    epochs = first_epochs if iteration == 1 else retrain_epochs
+                    terms = learner.fit(
+                        data,
+                        field_polys,
+                        epochs=epochs,
+                        gain_fields=gain_fields,
+                        sigma_star=active_sigma,
+                    )
+                    sp.set_attrs(epochs=epochs, loss=terms.total)
+                timings.learning += sp.duration
+                tel.metrics.gauge("cegis.loss", terms.total)
 
-            barrier, lam_poly = learner.candidate()
+                barrier, lam_poly = learner.candidate()
 
-            t0 = time.perf_counter()
-            verification = verifier.verify(barrier)
-            timings.verification += time.perf_counter() - t0
+                with tel.span(
+                    "snbc.verification", phase="verification", iteration=iteration
+                ) as sp:
+                    verification = verifier.verify(barrier)
+                    sp.set_attrs(
+                        ok=verification.ok,
+                        failed=verification.failed_conditions(),
+                    )
+                timings.verification += sp.duration
 
-            if verification.ok:
-                history.append(
-                    IterationRecord(iteration, terms.total, True, [], 0)
-                )
-                return SNBCResult(
-                    success=True,
-                    barrier=barrier,
-                    lambda_poly=verification.lambda_poly or lam_poly,
-                    iterations=iteration,
-                    timings=timings,
-                    history=history,
-                    verification=verification,
-                    inclusion=self.inclusion,
-                    problem_name=self.problem.name,
-                )
+                if verification.ok:
+                    history.append(
+                        IterationRecord(iteration, terms.total, True, [], 0)
+                    )
+                    it_span.set_attr("verified", True)
+                    return SNBCResult(
+                        success=True,
+                        barrier=barrier,
+                        lambda_poly=verification.lambda_poly or lam_poly,
+                        iterations=iteration,
+                        timings=timings,
+                        history=history,
+                        verification=verification,
+                        inclusion=self.inclusion,
+                        problem_name=self.problem.name,
+                    )
 
-            t0 = time.perf_counter()
-            failed = verification.failed_conditions()
-            cexs = cex_gen.generate(barrier, lam_poly, failed)
-            n_cex = 0
-            for cex in cexs:
-                n_cex += len(cex.points)
-                if cex.condition == "init":
-                    data.add_init(cex.points)
-                elif cex.condition == "unsafe":
-                    data.add_unsafe(cex.points)
-                else:
-                    data.add_domain(cex.points)
-            if n_cex == 0:
-                # certificate failed only numerically (no true violation
-                # found): refresh with new random samples to perturb training
-                extra = TrainingData.sample(
-                    self.problem, max(16, cfg.n_samples // 8), rng=self.rng
-                )
-                data.add_init(extra.s_init)
-                data.add_unsafe(extra.s_unsafe)
-                data.add_domain(extra.s_domain)
-            timings.counterexample += time.perf_counter() - t0
+                with tel.span(
+                    "snbc.counterexample",
+                    phase="counterexample",
+                    iteration=iteration,
+                ) as sp:
+                    failed = verification.failed_conditions()
+                    cexs = cex_gen.generate(barrier, lam_poly, failed)
+                    n_cex = 0
+                    for cex in cexs:
+                        n_cex += len(cex.points)
+                        if cex.condition == "init":
+                            data.add_init(cex.points)
+                        elif cex.condition == "unsafe":
+                            data.add_unsafe(cex.points)
+                        else:
+                            data.add_domain(cex.points)
+                    if n_cex == 0:
+                        # certificate failed only numerically (no true
+                        # violation found): refresh with new random samples
+                        # to perturb training
+                        extra = TrainingData.sample(
+                            self.problem, max(16, cfg.n_samples // 8), rng=self.rng
+                        )
+                        data.add_init(extra.s_init)
+                        data.add_unsafe(extra.s_unsafe)
+                        data.add_domain(extra.s_domain)
+                    sp.set_attrs(n_counterexamples=n_cex, failed=failed)
+                timings.counterexample += sp.duration
+                tel.metrics.inc("cegis.counterexamples", n_cex)
+                it_span.set_attr("verified", False)
 
             history.append(
                 IterationRecord(iteration, terms.total, False, failed, n_cex)

@@ -23,6 +23,7 @@ from repro.controllers.controller import NNController
 from repro.poly import Polynomial
 from repro.poly.monomials import monomials_upto
 from repro.sets import Box
+from repro.telemetry import get_telemetry
 
 
 @dataclass
@@ -152,6 +153,7 @@ def polynomial_inclusion(
         else:
             lipschitz = float("nan")
     rng = rng or np.random.default_rng(0)
+    tel = get_telemetry()
     if error_mode == "lipschitz":
         mesh = domain.mesh(spacing, max_points=max_mesh_points)
         eff_spacing = domain.effective_spacing(spacing, max_points=max_mesh_points)
@@ -164,23 +166,41 @@ def polynomial_inclusion(
     n_outputs = values.shape[1]
     phi = _design_matrix(mesh, degree)
 
+    tel.metrics.gauge("inclusion.mesh_points", mesh.shape[0])
     polys: List[Polynomial] = []
     sigma_tilde: List[float] = []
     sigma_star: List[float] = []
     for j in range(n_outputs):
-        h_coeffs, t_opt = _chebyshev_lp(phi, values[:, j])
-        h_poly = Polynomial.from_coeff_vector(domain.n_vars, degree, h_coeffs)
-        polys.append(h_poly)
-        sigma_tilde.append(t_opt)
-        if error_mode == "lipschitz":
-            sigma_star.append(t_opt + 0.5 * eff_spacing * float(lipschitz))
-        else:
-            fresh = domain.sample(empirical_samples, rng=rng)
-            fresh_vals = np.atleast_2d(np.asarray(controller(fresh), dtype=float))
-            if fresh_vals.shape[0] != fresh.shape[0]:
-                fresh_vals = fresh_vals.T
-            err = float(np.max(np.abs(fresh_vals[:, j] - h_poly(fresh))))
-            sigma_star.append(max(t_opt, err) * empirical_safety)
+        with tel.span(
+            "inclusion.lp", output=j, n_mesh_points=int(mesh.shape[0]),
+            degree=degree, error_mode=error_mode,
+        ) as span:
+            h_coeffs, t_opt = _chebyshev_lp(phi, values[:, j])
+            h_poly = Polynomial.from_coeff_vector(domain.n_vars, degree, h_coeffs)
+            polys.append(h_poly)
+            sigma_tilde.append(t_opt)
+            if error_mode == "lipschitz":
+                sigma_star.append(t_opt + 0.5 * eff_spacing * float(lipschitz))
+            else:
+                fresh = domain.sample(empirical_samples, rng=rng)
+                fresh_vals = np.atleast_2d(np.asarray(controller(fresh), dtype=float))
+                if fresh_vals.shape[0] != fresh.shape[0]:
+                    fresh_vals = fresh_vals.T
+                err = float(np.max(np.abs(fresh_vals[:, j] - h_poly(fresh))))
+                sigma_star.append(max(t_opt, err) * empirical_safety)
+            span.set_attrs(
+                sigma_tilde=t_opt,
+                sigma_star=sigma_star[-1],
+                lipschitz_slack=sigma_star[-1] - t_opt,
+            )
+        if tel.enabled:
+            tel.metrics.observe("inclusion.lp_seconds", span.duration)
+            tel.metrics.observe("inclusion.sigma_tilde", t_opt)
+            tel.metrics.observe("inclusion.sigma_star", sigma_star[-1])
+            tel.metrics.observe(
+                "inclusion.lipschitz_slack", sigma_star[-1] - t_opt
+            )
+    tel.metrics.gauge("inclusion.lipschitz", float(lipschitz))
     return PolynomialInclusion(
         polynomials=polys,
         sigma_tilde=sigma_tilde,

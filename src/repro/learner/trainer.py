@@ -17,6 +17,7 @@ from repro.nn import (
     SquareNetwork,
 )
 from repro.poly import Polynomial
+from repro.telemetry import get_telemetry
 
 
 @dataclass
@@ -55,10 +56,17 @@ class BarrierLearner:
     refines the current candidate rather than restarting from scratch.
     """
 
-    def __init__(self, n_vars: int, config: Optional[LearnerConfig] = None):
+    def __init__(
+        self,
+        n_vars: int,
+        config: Optional[LearnerConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
         self.n_vars = int(n_vars)
         self.config = config or LearnerConfig()
-        rng = np.random.default_rng(self.config.seed)
+        # an injected generator lets SNBC derive all component streams
+        # from one seed chain; standalone use keeps the config seed
+        rng = rng if rng is not None else np.random.default_rng(self.config.seed)
         arch = [n_vars, *self.config.b_hidden]
         if self.config.b_architecture == "quadratic":
             self.b_net = QuadraticNetwork(arch, rng=rng)
@@ -94,31 +102,57 @@ class BarrierLearner:
         :func:`repro.learner.loss.barrier_loss`).
         """
         cfg = self.config
+        tel = get_telemetry()
         f_vals = field_values(closed_loop_field, data.s_domain)
         g_vals = [field_values(g, data.s_domain) for g in gain_fields]
         last: Optional[BarrierLossTerms] = None
-        for _ in range(epochs if epochs is not None else cfg.epochs):
-            self.optimizer.zero_grad()
-            loss, terms = barrier_loss(
-                self.b_net,
-                self.lambda_net,
-                data,
-                f_vals,
-                eps=cfg.eps,
-                etas=cfg.etas,
-                negative_slope=cfg.negative_slope,
-                paper_printed_form=cfg.paper_printed_form,
-                gain_field_values=g_vals,
-                sigma_star=sigma_star,
+        max_epochs = epochs if epochs is not None else cfg.epochs
+        with tel.span(
+            "learner.fit", epochs=max_epochs, n_domain=len(data.s_domain)
+        ) as span:
+            epochs_run = 0
+            converged = False
+            for _ in range(max_epochs):
+                self.optimizer.zero_grad()
+                loss, terms = barrier_loss(
+                    self.b_net,
+                    self.lambda_net,
+                    data,
+                    f_vals,
+                    eps=cfg.eps,
+                    etas=cfg.etas,
+                    negative_slope=cfg.negative_slope,
+                    paper_printed_form=cfg.paper_printed_form,
+                    gain_field_values=g_vals,
+                    sigma_star=sigma_star,
+                )
+                loss.backward()
+                if tel.enabled:
+                    tel.metrics.observe("learner.epoch_loss", terms.total)
+                    tel.metrics.observe("learner.grad_norm", self._grad_norm())
+                self.optimizer.step()
+                epochs_run += 1
+                last = terms
+                self.loss_history.append(terms)
+                if terms.total < cfg.loss_tolerance:
+                    converged = True
+                    break
+            tel.metrics.inc("learner.epochs", epochs_run)
+            if converged:
+                tel.metrics.observe("learner.epochs_to_converge", epochs_run)
+            assert last is not None
+            span.set_attrs(
+                epochs_run=epochs_run, converged=converged, final_loss=last.total
             )
-            loss.backward()
-            self.optimizer.step()
-            last = terms
-            self.loss_history.append(terms)
-            if terms.total < cfg.loss_tolerance:
-                break
-        assert last is not None
         return last
+
+    def _grad_norm(self) -> float:
+        """Global l2 norm of all parameter gradients (diagnostics)."""
+        total = 0.0
+        for p in self.b_net.parameters() + self.lambda_net.parameters():
+            if p.grad is not None:
+                total += float(np.sum(np.asarray(p.grad) ** 2))
+        return float(np.sqrt(total))
 
     def candidate(self) -> Tuple[Polynomial, Polynomial]:
         """Extract the symbolic candidate ``(B~, lambda~)``."""

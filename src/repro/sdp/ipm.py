@@ -13,6 +13,7 @@ complement ``M`` with entries ``M_ij = tr(A_i X A_j Z^{-1})``.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -22,6 +23,9 @@ from scipy.linalg import cho_factor, cho_solve, cholesky, solve_triangular
 from repro.sdp.problem import SDPProblem
 from repro.sdp.result import SDPResult, SDPStatus
 from repro.sdp.svec import smat, svec, sym
+from repro.telemetry import get_telemetry
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -36,6 +40,7 @@ class InteriorPointOptions:
     infeasibility_threshold: float = 1e8
     #: initial scaling floor for X and Z
     init_scale: float = 10.0
+    #: log per-iteration progress at INFO instead of DEBUG
     verbose: bool = False
 
 
@@ -63,18 +68,39 @@ def solve_sdp(
     primal blocks (see :mod:`repro.sos.validate`).
     """
     opts = options or InteriorPointOptions()
-    reduced, info = problem.presolved()
-    if info.inconsistent:
-        return SDPResult(
-            status=SDPStatus.INCONSISTENT,
-            message="equality constraints are inconsistent (presolve)",
+    tel = get_telemetry()
+    with tel.span(
+        "sdp.solve",
+        n_constraints=problem.n_constraints,
+        n_blocks=len(problem.block_dims),
+        total_dim=problem.total_dim,
+    ) as span:
+        reduced, info = problem.presolved()
+        if info.inconsistent:
+            span.set_attr("status", SDPStatus.INCONSISTENT.value)
+            return SDPResult(
+                status=SDPStatus.INCONSISTENT,
+                message="equality constraints are inconsistent (presolve)",
+            )
+        result = _solve_reduced(reduced, opts)
+        # Expand dual variables back to the original constraint indexing.
+        if result.y is not None and info.dropped_rows:
+            y_full = np.zeros(problem.n_constraints)
+            y_full[np.asarray(info.kept_rows, dtype=int)] = result.y
+            result.y = y_full
+        span.set_attrs(
+            status=result.status.value,
+            iterations=result.iterations,
+            gap=result.gap,
+            primal_residual=result.primal_residual,
+            dual_residual=result.dual_residual,
         )
-    result = _solve_reduced(reduced, opts)
-    # Expand dual variables back to the original constraint indexing.
-    if result.y is not None and info.dropped_rows:
-        y_full = np.zeros(problem.n_constraints)
-        y_full[np.asarray(info.kept_rows, dtype=int)] = result.y
-        result.y = y_full
+        if tel.enabled:
+            tel.metrics.observe("sdp.iterations", result.iterations)
+            tel.metrics.observe("sdp.final_gap", result.gap)
+            tel.metrics.observe("sdp.primal_residual", result.primal_residual)
+            tel.metrics.observe("sdp.dual_residual", result.dual_residual)
+            tel.metrics.inc(f"sdp.status.{result.status.value}")
     return result
 
 
@@ -171,11 +197,11 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
             np.sqrt(sum(np.linalg.norm(r) ** 2 for r in Rd))
         ) / (1.0 + norm_C)
 
-        if opts.verbose:
-            print(
-                f"  ipm it={iteration:3d} mu={mu:9.2e} gap={rel_gap:9.2e} "
-                f"pres={prim_res:9.2e} dres={dual_res:9.2e} pobj={pobj:+.6e}"
-            )
+        logger.log(
+            logging.INFO if opts.verbose else logging.DEBUG,
+            "ipm it=%3d mu=%9.2e gap=%9.2e pres=%9.2e dres=%9.2e pobj=%+.6e",
+            iteration, mu, rel_gap, prim_res, dual_res, pobj,
+        )
 
         if not np.isfinite(mu) or mu < 0:
             status, message = SDPStatus.NUMERICAL_ERROR, "mu became invalid"

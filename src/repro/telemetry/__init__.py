@@ -1,0 +1,54 @@
+"""Structured telemetry for the SNBC pipeline.
+
+Zero-dependency (stdlib-only) observability layer: hierarchical span
+tracing, a metrics registry, run manifests, and a trace-report CLI.
+
+Three entry levels:
+
+* **Library users** pay nothing: the default :class:`Telemetry` instance
+  is disabled (null sink) and every instrumentation point degrades to a
+  cheap no-op.
+* **Harnesses** (the Table 1 benchmarks) call :func:`session` to route
+  spans and metrics into a JSONL trace plus a JSON run manifest under
+  ``results/``.
+* **Humans** render a trace with ``python -m repro.telemetry.report
+  trace.jsonl`` — per-phase time breakdown and metric summaries.
+
+The span/metric event schema is documented in :mod:`repro.telemetry.spans`.
+"""
+
+from repro.telemetry.manifest import RunManifest, collect_git_sha, platform_info
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.runtime import (
+    Telemetry,
+    configure,
+    disable,
+    get_telemetry,
+    session,
+)
+from repro.telemetry.spans import (
+    InMemorySink,
+    JSONLSink,
+    NullSink,
+    Span,
+    Tracer,
+    load_events,
+)
+
+__all__ = [
+    "InMemorySink",
+    "JSONLSink",
+    "MetricsRegistry",
+    "NullSink",
+    "RunManifest",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "collect_git_sha",
+    "configure",
+    "disable",
+    "get_telemetry",
+    "load_events",
+    "platform_info",
+    "session",
+]

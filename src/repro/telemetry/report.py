@@ -1,0 +1,215 @@
+"""Render a telemetry trace as a human-readable report.
+
+    python -m repro.telemetry.report results/telemetry/C1-smoke.jsonl
+    python -m repro.telemetry.report trace.jsonl --format markdown
+    python -m repro.telemetry.report trace.jsonl --manifest run.manifest.json
+
+Sections:
+
+* **Phases** — total seconds per pipeline phase (spans carrying a
+  ``phase`` attribute: inclusion / learning / verification /
+  counterexample), with share-of-total.  These totals match
+  ``SNBCResult.timings`` because both are filled from the same spans.
+* **Spans** — per-span-name aggregate (count, total, mean, max).
+* **Metrics** — counters, gauges, and histogram summaries from the
+  trailing ``metrics`` event.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.spans import load_events
+
+#: canonical pipeline order for the phase table
+PHASE_ORDER = ["inclusion", "learning", "verification", "counterexample"]
+
+
+def phase_totals(events: Sequence[Dict[str, Any]]) -> Dict[str, float]:
+    """Sum span durations per ``phase`` attribute.
+
+    Only spans that *carry* the attribute count, so nested helper spans
+    (e.g. SDP solves inside a verification span) are not double-counted.
+    """
+    totals: Dict[str, float] = {}
+    for e in events:
+        if e.get("type") != "span":
+            continue
+        phase = e.get("attrs", {}).get("phase")
+        if phase:
+            totals[phase] = totals.get(phase, 0.0) + float(e.get("duration", 0.0))
+    return totals
+
+
+def span_aggregates(
+    events: Sequence[Dict[str, Any]],
+) -> List[Tuple[str, int, float, float, float]]:
+    """Per-name (count, total, mean, max) rows sorted by total desc."""
+    acc: Dict[str, List[float]] = {}
+    for e in events:
+        if e.get("type") == "span":
+            acc.setdefault(e["name"], []).append(float(e.get("duration", 0.0)))
+    rows = [
+        (name, len(ds), sum(ds), sum(ds) / len(ds), max(ds))
+        for name, ds in acc.items()
+    ]
+    rows.sort(key=lambda r: r[2], reverse=True)
+    return rows
+
+
+def metrics_summary(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """The last ``metrics`` event's summary (empty if none was emitted)."""
+    summary: Dict[str, Any] = {}
+    for e in events:
+        if e.get("type") == "metrics":
+            summary = e.get("summary", {})
+    return summary
+
+
+def _fmt(x: float) -> str:
+    return f"{x:.4g}" if abs(x) < 1e-3 or abs(x) >= 1e5 else f"{x:.3f}"
+
+
+def _table(
+    header: Sequence[str], rows: Sequence[Sequence[str]], markdown: bool
+) -> List[str]:
+    if markdown:
+        out = ["| " + " | ".join(header) + " |",
+               "|" + "|".join("---" for _ in header) + "|"]
+        out += ["| " + " | ".join(r) + " |" for r in rows]
+        return out
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    out = [line, "-" * len(line)]
+    out += ["  ".join(r[i].ljust(widths[i]) for i in range(len(header))) for r in rows]
+    return out
+
+
+def render_report(
+    events: Sequence[Dict[str, Any]],
+    fmt: str = "text",
+    manifest: Optional[Dict[str, Any]] = None,
+    max_span_rows: int = 20,
+) -> str:
+    """Build the full report string (``fmt``: ``text`` or ``markdown``)."""
+    markdown = fmt == "markdown"
+    h = (lambda s: f"## {s}") if markdown else (lambda s: f"== {s} ==")
+    lines: List[str] = []
+
+    if manifest:
+        lines.append(h("Run"))
+        for key in ("name", "outcome", "seed", "git_sha", "started_at",
+                    "finished_at", "elapsed_seconds"):
+            if manifest.get(key) is not None:
+                lines.append(f"- {key}: {manifest[key]}")
+        lines.append("")
+
+    totals = phase_totals(events)
+    if totals:
+        grand = sum(totals.values())
+        ordered = [p for p in PHASE_ORDER if p in totals]
+        ordered += sorted(set(totals) - set(ordered))
+        rows = [
+            [p, f"{totals[p]:.3f}", f"{100.0 * totals[p] / grand:.1f}%"]
+            for p in ordered
+        ]
+        rows.append(["total", f"{grand:.3f}", "100.0%"])
+        lines.append(h("Phases"))
+        lines += _table(["phase", "seconds", "share"], rows, markdown)
+        lines.append("")
+
+    span_rows = span_aggregates(events)
+    if span_rows:
+        rows = [
+            [name, str(count), f"{total:.3f}", f"{mean:.4f}", f"{mx:.4f}"]
+            for name, count, total, mean, mx in span_rows[:max_span_rows]
+        ]
+        lines.append(h("Spans"))
+        lines += _table(["span", "count", "total s", "mean s", "max s"], rows, markdown)
+        if len(span_rows) > max_span_rows:
+            lines.append(f"... {len(span_rows) - max_span_rows} more span names")
+        lines.append("")
+
+    summary = metrics_summary(events)
+    counters = summary.get("counters", {})
+    gauges = summary.get("gauges", {})
+    hists = summary.get("histograms", {})
+    if counters or gauges:
+        rows = [[k, "counter", _fmt(v)] for k, v in sorted(counters.items())]
+        rows += [[k, "gauge", _fmt(v)] for k, v in sorted(gauges.items())]
+        lines.append(h("Metrics"))
+        lines += _table(["metric", "kind", "value"], rows, markdown)
+        lines.append("")
+    if hists:
+        rows = [
+            [k, str(int(s["count"])), _fmt(s["mean"]), _fmt(s["p50"]),
+             _fmt(s["p95"]), _fmt(s["max"])]
+            for k, s in sorted(hists.items())
+        ]
+        lines.append(h("Histograms"))
+        lines += _table(["metric", "count", "mean", "p50", "p95", "max"],
+                        rows, markdown)
+        lines.append("")
+
+    if not lines:
+        lines.append("(empty trace)")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("trace", help="JSONL trace file")
+    parser.add_argument("--format", choices=["text", "markdown"], default="text")
+    parser.add_argument("--manifest", default=None,
+                        help="run manifest JSON to include (auto-detected "
+                             "from <trace>.manifest.json when present)")
+    parser.add_argument("--max-span-rows", type=int, default=20)
+    args = parser.parse_args(argv)
+
+    # tolerate truncated/corrupt lines: a crashed run leaves a partial
+    # final record, and its trace is exactly the one worth reading
+    events: List[Dict[str, Any]] = []
+    skipped = 0
+    try:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError:
+                    skipped += 1
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    if skipped:
+        print(f"warning: skipped {skipped} malformed line(s)", file=sys.stderr)
+    manifest: Optional[Dict[str, Any]] = None
+    manifest_path = args.manifest
+    if manifest_path is None:
+        base = args.trace[:-6] if args.trace.endswith(".jsonl") else args.trace
+        candidate = base + ".manifest.json"
+        import os
+        if os.path.exists(candidate):
+            manifest_path = candidate
+    if manifest_path:
+        from repro.telemetry.manifest import RunManifest
+        manifest = RunManifest.load(manifest_path)
+
+    print(render_report(events, fmt=args.format, manifest=manifest,
+                        max_span_rows=args.max_span_rows), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""The process-default Telemetry instance and harness sessions.
+
+Instrumented library code calls :func:`get_telemetry` at use time, so a
+harness that installs a session *after* objects were constructed is
+still picked up.  The default instance is disabled: spans still time
+(callers rely on durations) but nothing is recorded or written.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.telemetry.manifest import RunManifest
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import JSONLSink, NullSink, Tracer
+
+
+class Telemetry:
+    """A tracer + metrics registry + optional manifest, as one handle."""
+
+    def __init__(
+        self,
+        sink: Optional[Any] = None,
+        enabled: bool = True,
+        manifest: Optional[RunManifest] = None,
+    ) -> None:
+        self.sink = sink or NullSink()
+        self.enabled = bool(enabled) and not isinstance(self.sink, NullSink)
+        self.tracer = Tracer(self.sink, enabled=self.enabled)
+        self.metrics = MetricsRegistry(enabled=self.enabled)
+        self.manifest = manifest
+
+    # -- span/metric passthrough ---------------------------------------
+    def span(self, name: str, **attrs: Any):
+        return self.tracer.span(name, **attrs)
+
+    def event(self, event_type: str, **payload: Any) -> None:
+        self.tracer.emit_event(event_type, **payload)
+
+    # -- lifecycle ------------------------------------------------------
+    def flush(self) -> None:
+        """Emit the metrics summary as a trailing trace event."""
+        if self.enabled:
+            self.sink.emit({"type": "metrics", "summary": self.metrics.summary()})
+
+    def close(self) -> None:
+        self.flush()
+        self.sink.close()
+
+
+_lock = threading.Lock()
+_default = Telemetry(NullSink(), enabled=False)
+
+
+def get_telemetry() -> Telemetry:
+    """The process-default instance (a disabled no-op unless configured)."""
+    return _default
+
+
+def configure(sink: Optional[Any] = None, manifest: Optional[RunManifest] = None) -> Telemetry:
+    """Install a new default Telemetry writing to ``sink``; returns it."""
+    global _default
+    with _lock:
+        _default = Telemetry(sink, enabled=sink is not None, manifest=manifest)
+        return _default
+
+
+def disable() -> None:
+    """Reset the default instance to the disabled no-op."""
+    global _default
+    with _lock:
+        _default = Telemetry(NullSink(), enabled=False)
+
+
+@contextmanager
+def session(
+    trace_path: str,
+    name: str = "run",
+    config: Any = None,
+    seed: Optional[int] = None,
+    manifest_path: Optional[str] = None,
+    **extra: Any,
+) -> Iterator[Telemetry]:
+    """Route default telemetry into ``trace_path`` for the block.
+
+    Writes a JSONL trace, appends the metrics summary on exit, and — when
+    ``manifest_path`` is given (default: ``<trace>.manifest.json``) — a
+    run manifest.  The previous default instance is restored afterwards,
+    so nested/parallel harness code cannot leak a sink.
+
+    The manifest outcome defaults to ``success``/``error``; set
+    ``telemetry.manifest.finish(...)`` inside the block to override.
+    """
+    global _default
+    os.makedirs(os.path.dirname(os.path.abspath(trace_path)), exist_ok=True)
+    if manifest_path is None:
+        base = trace_path[:-6] if trace_path.endswith(".jsonl") else trace_path
+        manifest_path = base + ".manifest.json"
+    manifest = RunManifest.create(
+        name, config=config, seed=seed, trace_path=trace_path, **extra
+    )
+    tel = Telemetry(JSONLSink(trace_path), manifest=manifest)
+    with _lock:
+        previous = _default
+        _default = tel
+    try:
+        yield tel
+        if manifest.outcome is None:
+            manifest.finish("success")
+    except BaseException as exc:
+        if manifest.outcome is None:
+            manifest.finish("error", error=f"{type(exc).__name__}: {exc}")
+        raise
+    finally:
+        with _lock:
+            _default = previous
+        tel.close()
+        manifest.write(manifest_path)

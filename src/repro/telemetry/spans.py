@@ -1,0 +1,204 @@
+"""Hierarchical span tracing with pluggable sinks.
+
+Every finished span becomes one event dict::
+
+    {"type": "span", "name": "snbc.learning", "span_id": 7, "parent_id": 3,
+     "thread": 140234, "t_start": 1.234, "t_end": 2.345, "duration": 1.111,
+     "wall_start": 1722873600.0, "attrs": {"phase": "learning", ...}}
+
+``t_start``/``t_end`` come from ``time.perf_counter()`` (monotonic,
+comparable within one process); ``wall_start`` is epoch seconds for
+cross-run correlation.  Sinks receive plain dicts, so any sink doubles as
+a serialization boundary.
+
+The tracer *always* times spans (callers read ``Span.duration`` to fill
+result structs like ``PhaseTimings``) but only forwards events to the
+sink when enabled — the disabled path is two ``perf_counter()`` calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, TextIO
+
+
+class NullSink:
+    """Swallows every event; the default for library users."""
+
+    def emit(self, event: Dict[str, Any]) -> None:  # pragma: no cover - never called
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class InMemorySink:
+    """Collects events in a list (tests, notebooks)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    # -- convenience filters -------------------------------------------
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        out = [e for e in self.events if e.get("type") == "span"]
+        if name is not None:
+            out = [e for e in out if e.get("name") == name]
+        return out
+
+    def phases(self) -> List[str]:
+        """Distinct ``phase`` attributes in emission order."""
+        seen: List[str] = []
+        for e in self.spans():
+            ph = e.get("attrs", {}).get("phase")
+            if ph and ph not in seen:
+                seen.append(ph)
+        return seen
+
+
+class JSONLSink:
+    """Appends one JSON object per line to ``path`` (thread-safe)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._fh: Optional[TextIO] = open(self.path, "w", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        line = json.dumps(event, default=_json_default, separators=(",", ":"))
+        with self._lock:
+            if self._fh is not None:
+                self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                self._fh.close()
+                self._fh = None
+
+
+def _json_default(obj: Any) -> Any:
+    """Best-effort serialization for numpy scalars/arrays without
+    importing numpy (telemetry stays stdlib-only)."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    return str(obj)
+
+
+def load_events(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL trace back into a list of event dicts."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+@dataclass
+class Span:
+    """One timed region.  Created by :meth:`Tracer.span`."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    t_start: float
+    wall_start: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    t_end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (up to now if the span is still open)."""
+        end = self.t_end if self.t_end is not None else time.perf_counter()
+        return end - self.t_start
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def set_attrs(self, **kv: Any) -> None:
+        self.attrs.update(kv)
+
+    def to_event(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": threading.get_ident(),
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "duration": self.duration,
+            "wall_start": self.wall_start,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Context-manager span API with a per-thread parent stack."""
+
+    def __init__(self, sink: Optional[Any] = None, enabled: bool = True) -> None:
+        self.sink = sink or NullSink()
+        self.enabled = bool(enabled)
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span; always yields a timed :class:`Span` even
+        when tracing is disabled (so callers can read ``duration``)."""
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        sp = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent,
+            t_start=time.perf_counter(),
+            wall_start=time.time(),
+            attrs=dict(attrs) if attrs else {},
+        )
+        stack.append(sp)
+        try:
+            yield sp
+        except Exception as exc:
+            sp.set_attr("error", f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            sp.t_end = time.perf_counter()
+            stack.pop()
+            if self.enabled:
+                self.sink.emit(sp.to_event())
+
+    def emit_event(self, event_type: str, **payload: Any) -> None:
+        """Emit a free-form event (not a span) to the sink."""
+        if not self.enabled:
+            return
+        self.sink.emit({"type": event_type, "wall": time.time(), **payload})

@@ -13,6 +13,10 @@ from repro.poly import Polynomial, lie_derivative
 from repro.sdp import InteriorPointOptions
 from repro.sets import SemialgebraicSet
 from repro.sos import SOSExpr, SOSProgram, validate_sos_identity
+from repro.telemetry import get_telemetry
+
+#: paper numbering of the three sub-problem families (conditions (13)-(15))
+PAPER_CONDITION_NUMBERS = {"init": 13, "unsafe": 14, "lie": 15}
 
 
 @dataclass
@@ -144,78 +148,94 @@ class SOSVerifier:
         """
         t0 = time.perf_counter()
         cfg = self.config
-        n = self.problem.n_vars
-        prog = SOSProgram(n)
-        target_deg = expr_known.degree
-        if free_lambda_times is not None:
-            target_deg = max(
-                target_deg, cfg.lambda_degree + free_lambda_times.degree
+        tel = get_telemetry()
+        base = "lie" if name.startswith("lie") else name
+        with tel.span(
+            "verifier.condition",
+            condition=name,
+            paper_condition=PAPER_CONDITION_NUMBERS.get(base),
+        ) as span:
+            n = self.problem.n_vars
+            prog = SOSProgram(n)
+            target_deg = expr_known.degree
+            if free_lambda_times is not None:
+                target_deg = max(
+                    target_deg, cfg.lambda_degree + free_lambda_times.degree
+                )
+            expr = SOSExpr.from_polynomial(expr_known - margin)
+            multipliers = []
+            for g in region.constraints:
+                s = prog.sos_poly(self._multiplier_degree(target_deg, g), label="sigma")
+                multipliers.append(s)
+                expr = expr - s * g
+            lam_expr = None
+            if free_lambda_times is not None:
+                lam_expr = prog.free_poly(cfg.lambda_degree, label="lambda")
+                expr = expr - lam_expr * free_lambda_times
+            # the slack degree must cover the full expression including the
+            # multiplier products sigma_i * g_i (expr.degree accounts for them)
+            slack = prog.require_sos(expr)
+            sol = prog.solve(cfg.sdp_options)
+            elapsed = time.perf_counter() - t0
+            if not sol.feasible:
+                message = f"SDP status: {sol.status.value} ({sol.sdp_result.message})"
+                span.set_attrs(feasible=False, validated=False, message=message)
+                tel.metrics.inc(f"verifier.infeasible.{base}")
+                return (
+                    ConditionReport(
+                        name=name,
+                        feasible=False,
+                        validated=False,
+                        elapsed_seconds=elapsed,
+                        message=message,
+                    ),
+                    None,
+                )
+            lam_poly = sol.value(lam_expr) if lam_expr is not None else None
+            if not cfg.validate:
+                span.set_attrs(feasible=True, validated=True)
+                return (
+                    ConditionReport(name, True, True, elapsed, "validation skipped"),
+                    lam_poly,
+                )
+            # rebuild the fully-substituted LHS and validate the identity
+            realized = expr_known - margin
+            for s, g in zip(multipliers, region.constraints):
+                realized = realized - sol.value(s) * g
+            if lam_poly is not None:
+                realized = realized - lam_poly * free_lambda_times
+            if region.bounding_box is not None:
+                lo, hi = region.bounding_box
+            else:  # pragma: no cover - all paper sets are bounded
+                lo, hi = -np.ones(n) * 1e3, np.ones(n) * 1e3
+            report = validate_sos_identity(
+                realized,
+                slack,
+                sol.gram(slack.block_id),
+                lo,
+                hi,
+                margin=margin if margin > 0 else 1e-6,
+                psd_tolerance=cfg.psd_tolerance,
+                extra_grams=[sol.gram(b.block_id) for b in prog._blocks if b is not slack],
             )
-        expr = SOSExpr.from_polynomial(expr_known - margin)
-        multipliers = []
-        for g in region.constraints:
-            s = prog.sos_poly(self._multiplier_degree(target_deg, g), label="sigma")
-            multipliers.append(s)
-            expr = expr - s * g
-        lam_expr = None
-        if free_lambda_times is not None:
-            lam_expr = prog.free_poly(cfg.lambda_degree, label="lambda")
-            expr = expr - lam_expr * free_lambda_times
-        # the slack degree must cover the full expression including the
-        # multiplier products sigma_i * g_i (expr.degree accounts for them)
-        slack = prog.require_sos(expr)
-        sol = prog.solve(cfg.sdp_options)
-        elapsed = time.perf_counter() - t0
-        if not sol.feasible:
+            elapsed = time.perf_counter() - t0
+            span.set_attrs(
+                feasible=True, validated=report.ok, message=report.notes
+            )
+            if not report.ok:
+                tel.metrics.inc(f"verifier.validation_failed.{base}")
             return (
                 ConditionReport(
                     name=name,
-                    feasible=False,
-                    validated=False,
+                    feasible=True,
+                    validated=report.ok,
                     elapsed_seconds=elapsed,
-                    message=f"SDP status: {sol.status.value} ({sol.sdp_result.message})",
+                    message=report.notes,
+                    residual_bound=report.residual_bound,
+                    min_gram_eigenvalue=report.min_eigenvalue,
                 ),
-                None,
-            )
-        lam_poly = sol.value(lam_expr) if lam_expr is not None else None
-        if not cfg.validate:
-            return (
-                ConditionReport(name, True, True, elapsed, "validation skipped"),
                 lam_poly,
             )
-        # rebuild the fully-substituted LHS and validate the identity
-        realized = expr_known - margin
-        for s, g in zip(multipliers, region.constraints):
-            realized = realized - sol.value(s) * g
-        if lam_poly is not None:
-            realized = realized - lam_poly * free_lambda_times
-        if region.bounding_box is not None:
-            lo, hi = region.bounding_box
-        else:  # pragma: no cover - all paper sets are bounded
-            lo, hi = -np.ones(n) * 1e3, np.ones(n) * 1e3
-        report = validate_sos_identity(
-            realized,
-            slack,
-            sol.gram(slack.block_id),
-            lo,
-            hi,
-            margin=margin if margin > 0 else 1e-6,
-            psd_tolerance=cfg.psd_tolerance,
-            extra_grams=[sol.gram(b.block_id) for b in prog._blocks if b is not slack],
-        )
-        elapsed = time.perf_counter() - t0
-        return (
-            ConditionReport(
-                name=name,
-                feasible=True,
-                validated=report.ok,
-                elapsed_seconds=elapsed,
-                message=report.notes,
-                residual_bound=report.residual_bound,
-                min_gram_eigenvalue=report.min_eigenvalue,
-            ),
-            lam_poly,
-        )
 
     # ------------------------------------------------------------------
     def verify(self, B: Polynomial) -> VerificationResult:
@@ -284,6 +304,10 @@ class SOSVerifier:
             )
 
         ok = all(r.ok for r in reports)
+        tel = get_telemetry()
+        tel.metrics.inc("verifier.verifications")
+        if not ok:
+            tel.metrics.inc("verifier.rejections")
         return VerificationResult(
             ok=ok,
             conditions=reports,

@@ -214,3 +214,56 @@ def test_snbc_result_metadata():
     ).run()
     assert res.problem_name == "decay2d"
     assert res.total_time == res.timings.total
+
+
+def test_snbc_deterministic_history_from_seed():
+    """The single config seed drives one generator chain: two identical
+    runs must produce byte-identical iteration histories."""
+
+    def one_run():
+        return SNBC(
+            decay_problem(),
+            learner_config=LearnerConfig(b_hidden=(4,), epochs=60, seed=0),
+            config=SNBCConfig(max_iterations=2, n_samples=150, seed=123),
+        ).run()
+
+    a, b = one_run(), one_run()
+    assert a.success == b.success
+    assert a.iterations == b.iterations
+    assert a.history == b.history  # exact float equality, not approx
+    if a.barrier is not None:
+        assert a.barrier == b.barrier
+
+
+def test_snbc_emits_spans_for_all_four_phases():
+    """A controlled run with a failing first candidate traverses every
+    pipeline phase, and the trace's per-phase totals must agree with
+    ``SNBCResult.timings``."""
+    from repro.telemetry import InMemorySink, Telemetry
+    from repro.telemetry.report import phase_totals
+
+    prob = controlled_1d()
+    ctrl = NNController(1, 1, hidden=(4,), rng=np.random.default_rng(0))
+    sink = InMemorySink()
+    tel = Telemetry(sink)
+    res = SNBC(
+        prob,
+        controller=ctrl,
+        learner_config=LearnerConfig(
+            b_hidden=(4,), epochs=2, seed=0, warm_start=False
+        ),
+        config=SNBCConfig(max_iterations=2, n_samples=100, seed=0),
+        telemetry=tel,
+    ).run()
+    phases = sink.phases()
+    assert set(phases) == {
+        "inclusion", "learning", "verification", "counterexample"
+    }
+    # the spans are the source of truth for PhaseTimings: totals match
+    totals = phase_totals(sink.events)
+    assert totals["inclusion"] == pytest.approx(res.timings.inclusion)
+    assert totals["learning"] == pytest.approx(res.timings.learning)
+    assert totals["verification"] == pytest.approx(res.timings.verification)
+    assert totals["counterexample"] == pytest.approx(
+        res.timings.counterexample
+    )

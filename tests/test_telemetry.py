@@ -1,0 +1,305 @@
+"""Tests for the telemetry subsystem (spans, metrics, manifest, report)."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.telemetry import (
+    InMemorySink,
+    JSONLSink,
+    MetricsRegistry,
+    NullSink,
+    RunManifest,
+    Telemetry,
+    Tracer,
+    configure,
+    disable,
+    get_telemetry,
+    load_events,
+    platform_info,
+    session,
+)
+from repro.telemetry.metrics import percentile
+from repro.telemetry.report import (
+    metrics_summary,
+    phase_totals,
+    render_report,
+    span_aggregates,
+)
+from repro.telemetry.report import main as report_main
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+def test_nested_spans_record_parent_ids():
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    with tracer.span("outer") as outer:
+        with tracer.span("middle") as middle:
+            with tracer.span("inner"):
+                pass
+        assert middle.parent_id == outer.span_id
+    events = sink.spans()
+    assert [e["name"] for e in events] == ["inner", "middle", "outer"]
+    by_name = {e["name"]: e for e in events}
+    assert by_name["inner"]["parent_id"] == by_name["middle"]["span_id"]
+    assert by_name["middle"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["outer"]["parent_id"] is None
+
+
+def test_span_durations_and_attrs():
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    with tracer.span("work", kind="test") as sp:
+        time.sleep(0.01)
+        sp.set_attr("items", 3)
+    event = sink.spans("work")[0]
+    assert event["duration"] >= 0.01
+    assert event["t_end"] >= event["t_start"]
+    assert event["attrs"] == {"kind": "test", "items": 3}
+
+
+def test_span_records_exceptions_and_reraises():
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+    with pytest.raises(RuntimeError):
+        with tracer.span("explodes"):
+            raise RuntimeError("boom")
+    event = sink.spans("explodes")[0]
+    assert "RuntimeError: boom" in event["attrs"]["error"]
+
+
+def test_disabled_tracer_times_but_emits_nothing():
+    sink = InMemorySink()
+    tracer = Tracer(sink, enabled=False)
+    with tracer.span("quiet") as sp:
+        pass
+    assert sp.duration >= 0.0
+    assert sink.events == []
+
+
+def test_noop_span_overhead_is_small():
+    tel = Telemetry(NullSink(), enabled=False)
+    n = 5000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with tel.span("hot"):
+            pass
+        tel.metrics.inc("c")
+        tel.metrics.observe("h", 1.0)
+    per_call = (time.perf_counter() - t0) / n
+    # generous CI bound; the actual cost is a few microseconds
+    assert per_call < 200e-6
+
+
+def test_tracer_is_thread_safe():
+    sink = InMemorySink()
+    tracer = Tracer(sink)
+
+    def worker(tag):
+        for _ in range(50):
+            with tracer.span(f"w{tag}"):
+                pass
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(sink.spans()) == 200
+    ids = [e["span_id"] for e in sink.spans()]
+    assert len(set(ids)) == len(ids)  # unique ids across threads
+
+
+# ----------------------------------------------------------------------
+# JSONL round-trip
+# ----------------------------------------------------------------------
+def test_jsonl_round_trip(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    sink = JSONLSink(path)
+    tracer = Tracer(sink)
+    with tracer.span("phase1", phase="learning"):
+        with tracer.span("sub", detail=1):
+            pass
+    tracer.emit_event("note", text="hello")
+    sink.close()
+
+    events = load_events(path)
+    assert [e["type"] for e in events] == ["span", "span", "note"]
+    spans = [e for e in events if e["type"] == "span"]
+    assert spans[0]["name"] == "sub"
+    assert spans[1]["attrs"]["phase"] == "learning"
+    assert spans[0]["parent_id"] == spans[1]["span_id"]
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+def test_percentile_interpolation():
+    vals = sorted(float(v) for v in range(1, 101))
+    assert percentile(vals, 0.0) == 1.0
+    assert percentile(vals, 100.0) == 100.0
+    assert percentile(vals, 50.0) == pytest.approx(50.5)
+    assert percentile(vals, 95.0) == pytest.approx(95.05)
+    assert percentile([7.0], 95.0) == 7.0
+    with pytest.raises(ValueError):
+        percentile([], 50.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 150.0)
+
+
+def test_metrics_registry_summary():
+    reg = MetricsRegistry()
+    reg.inc("runs")
+    reg.inc("runs", 2)
+    reg.gauge("loss", 0.5)
+    reg.gauge("loss", 0.25)
+    for v in range(1, 101):
+        reg.observe("lat", float(v))
+    summary = reg.summary()
+    assert summary["counters"]["runs"] == 3.0
+    assert summary["gauges"]["loss"] == 0.25
+    hist = summary["histograms"]["lat"]
+    assert hist["count"] == 100
+    assert hist["min"] == 1.0
+    assert hist["max"] == 100.0
+    assert hist["p50"] == pytest.approx(50.5)
+    assert hist["p95"] == pytest.approx(95.05)
+
+
+def test_disabled_metrics_record_nothing():
+    reg = MetricsRegistry(enabled=False)
+    reg.inc("a")
+    reg.gauge("b", 1.0)
+    reg.observe("c", 2.0)
+    summary = reg.summary()
+    assert summary == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+# ----------------------------------------------------------------------
+# manifest
+# ----------------------------------------------------------------------
+def test_manifest_schema(tmp_path):
+    from repro.cegis import SNBCConfig
+
+    manifest = RunManifest.create(
+        "unit-test", config=SNBCConfig(seed=7), seed=7, trace_path="t.jsonl"
+    )
+    manifest.finish("success", iterations=3)
+    path = str(tmp_path / "run.manifest.json")
+    manifest.write(path)
+    loaded = RunManifest.load(path)
+    for key in (
+        "name", "seed", "config", "trace_path", "git_sha", "platform",
+        "started_at", "finished_at", "outcome", "elapsed_seconds",
+        "extra", "schema_version",
+    ):
+        assert key in loaded, key
+    assert loaded["name"] == "unit-test"
+    assert loaded["seed"] == 7
+    assert loaded["outcome"] == "success"
+    assert loaded["config"]["seed"] == 7  # dataclass echoed as dict
+    assert loaded["extra"]["iterations"] == 3
+    assert loaded["elapsed_seconds"] >= 0.0
+    assert loaded["platform"]["python"] == platform_info()["python"]
+
+
+# ----------------------------------------------------------------------
+# runtime / session
+# ----------------------------------------------------------------------
+def test_default_telemetry_is_disabled():
+    tel = get_telemetry()
+    assert not tel.enabled
+    with tel.span("anything") as sp:
+        pass
+    assert sp.duration >= 0.0
+
+
+def test_configure_and_disable_swap_default():
+    sink = InMemorySink()
+    tel = configure(sink)
+    try:
+        assert get_telemetry() is tel
+        with get_telemetry().span("visible"):
+            pass
+        assert len(sink.spans("visible")) == 1
+    finally:
+        disable()
+    assert not get_telemetry().enabled
+
+
+def test_session_writes_trace_and_manifest(tmp_path):
+    trace = str(tmp_path / "run.jsonl")
+    with session(trace, name="sess", config={"k": 1}, seed=42) as tel:
+        assert get_telemetry() is tel
+        with tel.span("snbc.learning", phase="learning"):
+            pass
+        tel.metrics.inc("cegis.iterations")
+    # default restored, files written
+    assert not get_telemetry().enabled
+    events = load_events(trace)
+    assert any(e["type"] == "span" for e in events)
+    assert events[-1]["type"] == "metrics"
+    assert events[-1]["summary"]["counters"]["cegis.iterations"] == 1.0
+    manifest = RunManifest.load(str(tmp_path / "run.manifest.json"))
+    assert manifest["seed"] == 42
+    assert manifest["outcome"] == "success"
+    assert manifest["config"] == {"k": 1}
+
+
+def test_session_marks_errors(tmp_path):
+    trace = str(tmp_path / "bad.jsonl")
+    with pytest.raises(ValueError):
+        with session(trace, name="boom"):
+            raise ValueError("nope")
+    manifest = RunManifest.load(str(tmp_path / "bad.manifest.json"))
+    assert manifest["outcome"] == "error"
+    assert "nope" in manifest["extra"]["error"]
+    assert not get_telemetry().enabled
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+def _sample_trace(tmp_path):
+    trace = str(tmp_path / "t.jsonl")
+    with session(trace, name="report-test", seed=0) as tel:
+        for phase, secs in (("learning", 0.0), ("verification", 0.0)):
+            with tel.span(f"snbc.{phase}", phase=phase):
+                pass
+        with tel.span("sdp.solve"):
+            pass
+        tel.metrics.inc("cegis.iterations", 2)
+        tel.metrics.gauge("cegis.loss", 0.01)
+        tel.metrics.observe("sdp.iterations", 12.0)
+    return trace
+
+
+def test_phase_totals_skip_unphased_spans(tmp_path):
+    events = load_events(_sample_trace(tmp_path))
+    totals = phase_totals(events)
+    assert set(totals) == {"learning", "verification"}
+    aggregates = {name for name, *_ in span_aggregates(events)}
+    assert "sdp.solve" in aggregates
+    assert metrics_summary(events)["counters"]["cegis.iterations"] == 2.0
+
+
+def test_render_report_text_and_markdown(tmp_path):
+    events = load_events(_sample_trace(tmp_path))
+    text = render_report(events, fmt="text")
+    assert "Phases" in text and "learning" in text and "cegis.iterations" in text
+    md = render_report(events, fmt="markdown")
+    assert "## Phases" in md and "| phase |" in md
+
+
+def test_report_cli_main(tmp_path, capsys):
+    trace = _sample_trace(tmp_path)
+    assert report_main([trace]) == 0
+    out = capsys.readouterr().out
+    # manifest auto-detected next to the trace
+    assert "report-test" in out
+    assert "learning" in out
+    assert "sdp.iterations" in out
