@@ -12,7 +12,12 @@ Run:  pytest benchmarks/bench_table1_snbc.py --benchmark-only
 
 import pytest
 
-from table1_common import bench_scale, run_snbc, systems_for_scale
+from table1_common import (
+    bench_scale,
+    emit_bench_document,
+    run_snbc,
+    systems_for_scale,
+)
 
 _RESULTS = {}
 
@@ -71,3 +76,4 @@ def test_snbc_table1_print(benchmark, capsys):
     with capsys.disabled():
         print()
         print(format_table(table))
+        print(f"BENCH document written to {emit_bench_document()}")

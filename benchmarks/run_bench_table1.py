@@ -1,0 +1,69 @@
+"""Standalone Table-1 harness driver (no pytest-benchmark needed).
+
+    python benchmarks/run_bench_table1.py --systems C1
+    python benchmarks/run_bench_table1.py --out results/BENCH_table1.json
+    REPRO_BENCH_SCALE=paper python benchmarks/run_bench_table1.py
+
+Runs SNBC on the selected Table-1 systems with full telemetry (trace +
+manifest + audit artifact per run under ``results/telemetry/``) and
+writes the aggregate ``BENCH_table1.json`` for the regression gate
+(``python -m repro.diagnostics.regress``).  Exits nonzero when any
+selected system fails to synthesize a certificate, so CI fails fast even
+before the gate compares timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from table1_common import (
+    bench_scale,
+    emit_bench_document,
+    run_snbc,
+    systems_for_scale,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--systems", default=None,
+                        help="comma-separated subset (default: all for the "
+                             "current REPRO_BENCH_SCALE)")
+    parser.add_argument("--out", default=None,
+                        help="BENCH document path "
+                             "(default results/BENCH_table1.json)")
+    args = parser.parse_args(argv)
+
+    scale = bench_scale()
+    names = (
+        [s.strip() for s in args.systems.split(",") if s.strip()]
+        if args.systems
+        else systems_for_scale(scale)
+    )
+    failures = []
+    for name in names:
+        print(f"[{scale}] {name}: running SNBC ...", flush=True)
+        result = run_snbc(name, scale)
+        status = "ok" if result.success else "FAILED"
+        print(
+            f"[{scale}] {name}: {status}  iterations={result.iterations}  "
+            f"T_e={result.timings.total:.3f}s",
+            flush=True,
+        )
+        if not result.success:
+            failures.append(name)
+
+    out = emit_bench_document(args.out, scale)
+    print(f"BENCH document written to {out}")
+    if failures:
+        print(f"FAILED systems: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,12 +16,17 @@ from typing import Dict, List, Optional, Tuple
 from repro.benchmarks import BenchmarkSpec, get_benchmark
 from repro.cegis import SNBC, SNBCResult
 from repro.controllers import NNController, PolynomialInclusion, polynomial_inclusion
+from repro.diagnostics import audit_certificate, bench_entry, write_audit, write_bench
 from repro.telemetry import session as telemetry_session
 
 #: every Table-1 run emits its trace + manifest here (overwritten per run)
 TELEMETRY_DIR = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), os.pardir, "results", "telemetry"
 )
+RESULTS_DIR = os.path.normpath(os.path.join(TELEMETRY_DIR, os.pardir))
+
+#: bench rows accumulated by :func:`run_snbc` this process, keyed by system
+BENCH_ROWS: Dict[str, dict] = {}
 
 
 def bench_scale() -> str:
@@ -77,8 +82,11 @@ def run_snbc(name: str, scale: Optional[str] = None) -> SNBCResult:
 
     Telemetry is on for every harness run: a JSONL span trace plus a run
     manifest land in ``results/telemetry/<name>-<scale>.jsonl`` /
-    ``....manifest.json``; render them with
-    ``python -m repro.telemetry.report <trace>``.
+    ``....manifest.json``, and a certificate audit artifact in
+    ``....audit.json``; render all three with
+    ``python -m repro.diagnostics.report results/telemetry/<name>-<scale>``.
+    The run's BENCH row is accumulated in :data:`BENCH_ROWS` for
+    :func:`emit_bench_document`.
     """
     scale = scale or bench_scale()
     spec, problem, controller = prepared(name)
@@ -115,4 +123,19 @@ def run_snbc(name: str, scale: Optional[str] = None) -> SNBCResult:
                 "total": result.timings.total,
             },
         )
+    audit = audit_certificate(result, problem)
+    write_audit(trace_path[: -len(".jsonl")] + ".audit.json", audit)
+    BENCH_ROWS[name] = bench_entry(result, audit=audit)
     return result
+
+
+def emit_bench_document(out_path: Optional[str] = None,
+                        scale: Optional[str] = None) -> str:
+    """Write the accumulated :data:`BENCH_ROWS` as ``BENCH_table1.json``.
+
+    The document is the regression gate's input — compare two with
+    ``python -m repro.diagnostics.regress OLD.json NEW.json``.
+    """
+    out_path = out_path or os.path.join(RESULTS_DIR, "BENCH_table1.json")
+    write_bench(out_path, BENCH_ROWS, scale or bench_scale())
+    return out_path

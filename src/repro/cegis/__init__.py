@@ -13,12 +13,21 @@ from repro.cegis.counterexamples import (
     Counterexample,
     CounterexampleGenerator,
 )
-from repro.cegis.snbc import SNBC, PhaseTimings, SNBCConfig, SNBCResult
+from repro.cegis.snbc import (
+    SNBC,
+    CexRecord,
+    IterationRecord,
+    PhaseTimings,
+    SNBCConfig,
+    SNBCResult,
+)
 
 __all__ = [
     "CounterexampleGenerator",
     "Counterexample",
     "CexConfig",
+    "CexRecord",
+    "IterationRecord",
     "SNBC",
     "SNBCConfig",
     "SNBCResult",

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,15 +32,67 @@ class PhaseTimings:
         return self.inclusion + self.learning + self.counterexample + self.verification
 
 
+#: paper numbering of the three condition families (Theorem 1 (i)-(iii)
+#: compiled to sub-problems (13)-(15))
+PAPER_CONDITION_NUMBERS = {"init": 13, "unsafe": 14, "lie": 15}
+
+
 @dataclass
 class IterationRecord:
-    """Per-CEGIS-round diagnostics."""
+    """Per-CEGIS-round diagnostics.
+
+    ``loss`` is the weighted total of eq. (10); ``loss_init`` /
+    ``loss_unsafe`` / ``loss_domain`` are its three condition terms, so a
+    run report can show *which* of (13)-(15) the Learner kept fighting.
+    ``worst_violation`` is the largest true violation any counterexample
+    search found this round (0 when the round failed only numerically),
+    and ``dataset_sizes`` records |S_I|, |S_U|, |S_D| after this round's
+    counterexamples were appended.
+    """
 
     iteration: int
     loss: float
     verified: bool
     failed_conditions: List[str]
     n_counterexamples: int
+    loss_init: float = float("nan")
+    loss_unsafe: float = float("nan")
+    loss_domain: float = float("nan")
+    worst_violation: float = 0.0
+    dataset_sizes: Tuple[int, int, int] = (0, 0, 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["dataset_sizes"] = list(self.dataset_sizes)
+        return out
+
+
+@dataclass
+class CexRecord:
+    """Lineage of one counterexample set: where it came from and whether
+    the final certificate satisfies it.
+
+    ``iteration`` is the CEGIS round that generated it, ``condition`` the
+    violated family (``init``/``unsafe``/``lie``, i.e. paper conditions
+    (13)/(14)/(15)), ``worst_violation`` the violation magnitude at the
+    generating round's worst point.  After the loop ends the same point is
+    re-evaluated against the final candidate: ``final_violation`` is the
+    violation there (<= 0 means resolved) and ``satisfied_by_final`` the
+    resulting verdict.
+    """
+
+    iteration: int
+    condition: str
+    paper_condition: int
+    worst_violation: float
+    gamma: float
+    n_points: int
+    worst_point: List[float]
+    satisfied_by_final: Optional[bool] = None
+    final_violation: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
 
 
 @dataclass
@@ -54,6 +107,9 @@ class SNBCConfig:
     inclusion_error_mode: str = "lipschitz"
     first_epochs: Optional[int] = None  # defaults to learner.epochs
     retrain_epochs: Optional[int] = None  # defaults to learner.epochs // 2
+    #: flag a stall when the worst counterexample violation has not
+    #: decreased across this many consecutive failed rounds
+    stall_window: int = 3
     seed: int = 0
 
 
@@ -70,10 +126,17 @@ class SNBCResult:
     verification: Optional[VerificationResult]
     inclusion: Optional[PolynomialInclusion]
     problem_name: str = ""
+    counterexamples: List[CexRecord] = field(default_factory=list)
+    stalled: bool = False
+    stall_iteration: Optional[int] = None
 
     @property
     def total_time(self) -> float:
         return self.timings.total
+
+    def resolved_counterexamples(self) -> int:
+        """How many recorded counterexamples the final candidate satisfies."""
+        return sum(1 for c in self.counterexamples if c.satisfied_by_final)
 
 
 class SNBC:
@@ -277,7 +340,12 @@ class SNBC:
         first_epochs = cfg.first_epochs or self.learner_config.epochs
         retrain_epochs = cfg.retrain_epochs or max(1, self.learner_config.epochs // 2)
 
+        cex_records: List[CexRecord] = []
+        success = False
+        iterations_run = 0
+
         for iteration in range(1, cfg.max_iterations + 1):
+            iterations_run = iteration
             tel.metrics.inc("cegis.iterations")
             with tel.span("snbc.iteration", iteration=iteration) as it_span:
                 with tel.span(
@@ -308,21 +376,23 @@ class SNBC:
                 timings.verification += sp.duration
 
                 if verification.ok:
-                    history.append(
-                        IterationRecord(iteration, terms.total, True, [], 0)
+                    record = IterationRecord(
+                        iteration,
+                        terms.total,
+                        True,
+                        [],
+                        0,
+                        loss_init=terms.init,
+                        loss_unsafe=terms.unsafe,
+                        loss_domain=terms.domain,
+                        worst_violation=0.0,
+                        dataset_sizes=data.sizes(),
                     )
+                    history.append(record)
                     it_span.set_attr("verified", True)
-                    return SNBCResult(
-                        success=True,
-                        barrier=barrier,
-                        lambda_poly=verification.lambda_poly or lam_poly,
-                        iterations=iteration,
-                        timings=timings,
-                        history=history,
-                        verification=verification,
-                        inclusion=self.inclusion,
-                        problem_name=self.problem.name,
-                    )
+                    tel.event("cegis.iteration", **record.to_dict())
+                    success = True
+                    break
 
                 with tel.span(
                     "snbc.counterexample",
@@ -340,6 +410,21 @@ class SNBC:
                             data.add_unsafe(cex.points)
                         else:
                             data.add_domain(cex.points)
+                        cex_records.append(
+                            CexRecord(
+                                iteration=iteration,
+                                condition=cex.condition,
+                                paper_condition=PAPER_CONDITION_NUMBERS.get(
+                                    cex.condition, 0
+                                ),
+                                worst_violation=float(cex.worst_violation),
+                                gamma=float(cex.gamma),
+                                n_points=len(cex.points),
+                                worst_point=np.asarray(
+                                    cex.worst_point, dtype=float
+                                ).tolist(),
+                            )
+                        )
                     if n_cex == 0:
                         # certificate failed only numerically (no true
                         # violation found): refresh with new random samples
@@ -355,18 +440,87 @@ class SNBC:
                 tel.metrics.inc("cegis.counterexamples", n_cex)
                 it_span.set_attr("verified", False)
 
-            history.append(
-                IterationRecord(iteration, terms.total, False, failed, n_cex)
+            worst = max(
+                (float(c.worst_violation) for c in cexs), default=0.0
+            )
+            record = IterationRecord(
+                iteration,
+                terms.total,
+                False,
+                failed,
+                n_cex,
+                loss_init=terms.init,
+                loss_unsafe=terms.unsafe,
+                loss_domain=terms.domain,
+                worst_violation=worst,
+                dataset_sizes=data.sizes(),
+            )
+            history.append(record)
+            tel.event("cegis.iteration", **record.to_dict())
+
+        final_lambda = (
+            (verification.lambda_poly if verification else None) or lam_poly
+        )
+        self._finalize_lineage(cex_records, cex_gen, barrier, final_lambda)
+        tel.event(
+            "cegis.lineage", records=[c.to_dict() for c in cex_records]
+        )
+
+        from repro.diagnostics.convergence import detect_stall
+
+        failed_violations = [
+            r.worst_violation for r in history if not r.verified
+        ]
+        stall_idx = detect_stall(failed_violations, window=cfg.stall_window)
+        stalled = stall_idx is not None
+        stall_iteration: Optional[int] = None
+        if stalled:
+            failed_iters = [r.iteration for r in history if not r.verified]
+            stall_iteration = failed_iters[stall_idx]
+            tel.metrics.inc("cegis.stalls")
+            tel.event(
+                "cegis.stall",
+                iteration=stall_iteration,
+                window=cfg.stall_window,
             )
 
         return SNBCResult(
-            success=False,
+            success=success,
             barrier=barrier,
-            lambda_poly=lam_poly,
-            iterations=cfg.max_iterations,
+            lambda_poly=final_lambda if success else lam_poly,
+            iterations=iterations_run,
             timings=timings,
             history=history,
             verification=verification,
             inclusion=self.inclusion,
             problem_name=self.problem.name,
+            counterexamples=cex_records,
+            stalled=stalled,
+            stall_iteration=stall_iteration,
         )
+
+    def _finalize_lineage(
+        self,
+        records: List[CexRecord],
+        cex_gen: CounterexampleGenerator,
+        barrier: Optional[Polynomial],
+        lam: Optional[Polynomial],
+    ) -> None:
+        """Re-evaluate every recorded counterexample's worst point against
+        the final candidate: a violation value <= 0 means the point no
+        longer breaks its condition (the sign is scale-invariant, so the
+        verifier's normalization of ``B`` does not matter)."""
+        if barrier is None or not records:
+            return
+        if lam is None:
+            lam = Polynomial.zero(barrier.n_vars)
+        fns: Dict[str, Any] = {}
+        for rec in records:
+            pair = fns.get(rec.condition)
+            if pair is None:
+                pair = cex_gen._violation_fn(rec.condition, barrier, lam)
+                fns[rec.condition] = pair
+            fn, _region = pair
+            value = float(fn.value(np.asarray([rec.worst_point], dtype=float))[0])
+            rec.final_violation = value
+            rec.satisfied_by_final = bool(value <= 0.0)

@@ -1,0 +1,101 @@
+"""Convergence diagnostics for the CEGIS loop.
+
+The SNBC loop is a fixpoint search: each round the Learner repairs the
+violations the Verifier found, and progress shows up as a *decreasing*
+worst counterexample violation.  A round whose worst violation did not
+drop below the previous round's means the retraining failed to absorb the
+counterexamples — several such rounds in a row is a stall, and the run is
+unlikely to converge by iterating further (the levers are epochs, network
+width, or sample budgets, not more rounds).
+
+Everything here works on plain floats/dicts so it can consume either live
+:class:`~repro.cegis.snbc.IterationRecord` objects or the ``cegis.*``
+events read back from a JSONL trace.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+#: default number of consecutive non-improving rounds that flags a stall
+DEFAULT_STALL_WINDOW = 3
+
+
+def detect_stall(
+    worst_violations: Sequence[float],
+    window: int = DEFAULT_STALL_WINDOW,
+    rel_tolerance: float = 1e-3,
+) -> Optional[int]:
+    """First index at which the worst violation has been non-decreasing
+    for ``window`` consecutive values.
+
+    ``worst_violations`` is the per-failed-round worst counterexample
+    violation, in round order.  A value counts as "not improved" when it
+    is at least ``(1 - rel_tolerance)`` times its predecessor; non-finite
+    entries break the chain.  Returns the index (into the sequence) of the
+    last value of the first stalled window, or ``None``.
+
+    >>> detect_stall([3.0, 2.0, 1.0, 0.5])
+    >>> detect_stall([3.0, 1.0, 1.0, 1.2, 1.1], window=3)
+    3
+    """
+    if window < 2:
+        raise ValueError("window must be at least 2")
+    run = 1  # length of the current non-decreasing chain
+    for i in range(1, len(worst_violations)):
+        prev, cur = worst_violations[i - 1], worst_violations[i]
+        if not (math.isfinite(prev) and math.isfinite(cur)):
+            run = 1
+            continue
+        if cur >= prev * (1.0 - rel_tolerance):
+            run += 1
+            if run >= window:
+                return i
+        else:
+            run = 1
+    return None
+
+
+def iteration_rows(events: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The ``cegis.iteration`` event payloads of a trace, in order."""
+    return [e for e in events if e.get("type") == "cegis.iteration"]
+
+
+def lineage_records(events: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Counterexample lineage from the trailing ``cegis.lineage`` event."""
+    records: List[Dict[str, Any]] = []
+    for e in events:
+        if e.get("type") == "cegis.lineage":
+            records = list(e.get("records", []))
+    return records
+
+
+def stall_event(events: Sequence[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """The ``cegis.stall`` event, if the run emitted one."""
+    for e in events:
+        if e.get("type") == "cegis.stall":
+            return e
+    return None
+
+
+def convergence_summary(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate view of a run's trace: iteration table, lineage, stall.
+
+    This is the single entry point the report CLI uses; it degrades
+    gracefully on traces recorded before these events existed (empty
+    lists, ``None`` stall).
+    """
+    rows = iteration_rows(events)
+    lineage = lineage_records(events)
+    stall = stall_event(events)
+    resolved = sum(1 for r in lineage if r.get("satisfied_by_final"))
+    return {
+        "iterations": rows,
+        "lineage": lineage,
+        "stall": stall,
+        "n_iterations": len(rows),
+        "converged": bool(rows and rows[-1].get("verified")),
+        "n_counterexamples": len(lineage),
+        "n_resolved": resolved,
+    }

@@ -1,0 +1,191 @@
+"""Benchmark regression gate.
+
+    python -m repro.diagnostics.regress OLD.json NEW.json --max-slowdown 1.3
+    python -m repro.diagnostics.regress base.json new.json --systems C1,C3
+    python -m repro.diagnostics.regress base.json new.json --ignore-timings
+
+Compares two ``BENCH_table1.json`` documents (see
+:mod:`repro.diagnostics.bench`) system by system and **exits nonzero**
+when the new run regressed:
+
+* **outcome** — a system that succeeded in OLD but not in NEW;
+* **iterations** — more CEGIS iterations than OLD allows
+  (``--max-extra-iterations``, default 0: the loop is seeded and
+  deterministic, so extra rounds are a real behavior change);
+* **time** — any of ``T_l``/``T_c``/``T_v``/``T_e`` beyond
+  ``--max-slowdown`` times the OLD value, ignoring timings below
+  ``--min-seconds`` (tiny phases are all noise);
+* **coverage** — a system present in OLD but missing from NEW
+  (disable with ``--allow-missing``).
+
+Audit-margin changes (e.g. a grid margin flipping sign) are reported as
+warnings but do not gate: margins move with every retrain and the hard
+outcome check already covers soundness.
+
+Exit codes: 0 no regression, 1 regression(s), 2 unreadable/invalid input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.diagnostics.bench import TIMING_KEYS, load_bench
+
+
+def compare_benches(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    max_slowdown: float = 1.3,
+    min_seconds: float = 0.05,
+    max_extra_iterations: int = 0,
+    systems: Optional[Sequence[str]] = None,
+    allow_missing: bool = False,
+    ignore_timings: bool = False,
+) -> Dict[str, List[str]]:
+    """Pure comparison; returns ``{"regressions": [...], "warnings": [...]}``."""
+    regressions: List[str] = []
+    warnings: List[str] = []
+    old_systems = old["systems"]
+    new_systems = new["systems"]
+    names = list(old_systems) if systems is None else [
+        s for s in systems if s in old_systems
+    ]
+    if systems is not None:
+        for s in systems:
+            if s not in old_systems:
+                warnings.append(f"{s}: not in OLD baseline; skipped")
+    if old.get("scale") != new.get("scale"):
+        warnings.append(
+            f"scale mismatch: OLD={old.get('scale')!r} NEW={new.get('scale')!r}"
+            " — timing comparison is apples-to-oranges"
+        )
+
+    for name in names:
+        o = old_systems[name]
+        n = new_systems.get(name)
+        if n is None:
+            (warnings if allow_missing else regressions).append(
+                f"{name}: present in OLD but missing from NEW"
+            )
+            continue
+        if o["outcome"] == "success" and n["outcome"] != "success":
+            regressions.append(
+                f"{name}: outcome regressed ({o['outcome']} -> {n['outcome']})"
+            )
+            continue  # timings of a failed run are not comparable
+        if o["outcome"] == "success":
+            extra = int(n["iterations"]) - int(o["iterations"])
+            if extra > max_extra_iterations:
+                regressions.append(
+                    f"{name}: iterations {o['iterations']} -> "
+                    f"{n['iterations']} (+{extra} > "
+                    f"allowed +{max_extra_iterations})"
+                )
+        if not ignore_timings:
+            for key in TIMING_KEYS:
+                t_old = float(o["timings"].get(key, 0.0))
+                t_new = float(n["timings"].get(key, 0.0))
+                if t_old < min_seconds:
+                    continue
+                if t_new > t_old * max_slowdown:
+                    regressions.append(
+                        f"{name}: {key} {t_old:.3f}s -> {t_new:.3f}s "
+                        f"({t_new / t_old:.2f}x > {max_slowdown:.2f}x)"
+                    )
+        o_audit, n_audit = o.get("audit"), n.get("audit")
+        if o_audit and n_audit:
+            o_m = o_audit.get("min_grid_margin")
+            n_m = n_audit.get("min_grid_margin")
+            if o_m is not None and n_m is not None and o_m > 0 >= n_m:
+                warnings.append(
+                    f"{name}: min grid margin flipped sign "
+                    f"({o_m:.3e} -> {n_m:.3e})"
+                )
+    return {"regressions": regressions, "warnings": warnings}
+
+
+def _render_table(old: Dict[str, Any], new: Dict[str, Any]) -> str:
+    header = f"{'system':<8}{'outcome':<20}{'iters':<12}{'T_e old':>10}{'T_e new':>10}{'ratio':>8}"
+    lines = [header, "-" * len(header)]
+    for name in sorted(set(old["systems"]) | set(new["systems"])):
+        o = old["systems"].get(name)
+        n = new["systems"].get(name)
+
+        def fmt(entry, key, sub=None):
+            if entry is None:
+                return "-"
+            value = entry.get(key) if sub is None else entry[key].get(sub)
+            return str(value)
+
+        t_old = float(o["timings"]["T_e"]) if o else float("nan")
+        t_new = float(n["timings"]["T_e"]) if n else float("nan")
+        ratio = t_new / t_old if o and n and t_old > 0 else float("nan")
+        lines.append(
+            f"{name:<8}"
+            f"{fmt(o, 'outcome') + '->' + fmt(n, 'outcome'):<20}"
+            f"{fmt(o, 'iterations') + '->' + fmt(n, 'iterations'):<12}"
+            f"{t_old:>10.3f}{t_new:>10.3f}{ratio:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.diagnostics.regress", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("old", help="baseline BENCH_table1.json")
+    parser.add_argument("new", help="candidate BENCH_table1.json")
+    parser.add_argument("--max-slowdown", type=float, default=1.3,
+                        help="allowed per-timing ratio NEW/OLD (default 1.3)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="ignore OLD timings below this (default 0.05)")
+    parser.add_argument("--max-extra-iterations", type=int, default=0,
+                        help="allowed CEGIS iteration increase (default 0)")
+    parser.add_argument("--systems", default=None,
+                        help="comma-separated subset to compare")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="missing systems in NEW warn instead of fail")
+    parser.add_argument("--ignore-timings", action="store_true",
+                        help="gate only on outcome/iterations/coverage")
+    args = parser.parse_args(argv)
+
+    try:
+        old = load_bench(args.old)
+        new = load_bench(args.new)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    systems = (
+        [s.strip() for s in args.systems.split(",") if s.strip()]
+        if args.systems
+        else None
+    )
+    outcome = compare_benches(
+        old,
+        new,
+        max_slowdown=args.max_slowdown,
+        min_seconds=args.min_seconds,
+        max_extra_iterations=args.max_extra_iterations,
+        systems=systems,
+        allow_missing=args.allow_missing,
+        ignore_timings=args.ignore_timings,
+    )
+
+    print(_render_table(old, new))
+    for w in outcome["warnings"]:
+        print(f"warning: {w}")
+    if outcome["regressions"]:
+        print(f"\n{len(outcome['regressions'])} regression(s):")
+        for r in outcome["regressions"]:
+            print(f"  FAIL {r}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

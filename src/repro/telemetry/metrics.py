@@ -8,7 +8,7 @@ hot loops (per-epoch, per-IPM-iteration) can record unconditionally.
 
 Histograms keep raw observations (these runs record at most a few
 thousand values per metric); ``summary()`` derives count/mean/min/max and
-linearly-interpolated p50/p95 without numpy, keeping the telemetry
+linearly-interpolated p50/p95/p99 without numpy, keeping the telemetry
 package stdlib-only.
 """
 
@@ -97,12 +97,18 @@ class MetricsRegistry:
                 "max": values[-1],
                 "p50": percentile(values, 50.0),
                 "p95": percentile(values, 95.0),
+                "p99": percentile(values, 99.0),
             }
         return {
             "counters": counters,
             "gauges": gauges,
             "histograms": hist_summaries,
         }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready export — identical to :meth:`summary`; the name the
+        diagnostics reports consume."""
+        return self.summary()
 
     def reset(self) -> None:
         with self._lock:

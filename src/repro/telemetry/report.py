@@ -2,6 +2,7 @@
 
     python -m repro.telemetry.report results/telemetry/C1-smoke.jsonl
     python -m repro.telemetry.report trace.jsonl --format markdown
+    python -m repro.telemetry.report trace.jsonl --format json
     python -m repro.telemetry.report trace.jsonl --manifest run.manifest.json
 
 Sections:
@@ -162,13 +163,31 @@ def render_report(
     return "\n".join(lines).rstrip() + "\n"
 
 
+def report_payload(
+    events: Sequence[Dict[str, Any]],
+    manifest: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Machine-readable report: the same aggregates the text report shows."""
+    return {
+        "manifest": manifest,
+        "phases": phase_totals(events),
+        "spans": [
+            {"name": name, "count": count, "total": total, "mean": mean,
+             "max": mx}
+            for name, count, total, mean, mx in span_aggregates(events)
+        ],
+        "metrics": metrics_summary(events),
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.telemetry.report", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("trace", help="JSONL trace file")
-    parser.add_argument("--format", choices=["text", "markdown"], default="text")
+    parser.add_argument("--format", choices=["text", "markdown", "json"],
+                        default="text")
     parser.add_argument("--manifest", default=None,
                         help="run manifest JSON to include (auto-detected "
                              "from <trace>.manifest.json when present)")
@@ -192,6 +211,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except OSError as exc:
         print(f"error: cannot read trace: {exc}", file=sys.stderr)
         return 2
+    if skipped and not events:
+        print(
+            f"error: all {skipped} line(s) of the trace are malformed",
+            file=sys.stderr,
+        )
+        return 1
     if skipped:
         print(f"warning: skipped {skipped} malformed line(s)", file=sys.stderr)
     manifest: Optional[Dict[str, Any]] = None
@@ -206,6 +231,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.telemetry.manifest import RunManifest
         manifest = RunManifest.load(manifest_path)
 
+    if args.format == "json":
+        print(json.dumps(report_payload(events, manifest=manifest),
+                         indent=2, sort_keys=True))
+        return 0
     print(render_report(events, fmt=args.format, manifest=manifest,
                         max_span_rows=args.max_span_rows), end="")
     return 0

@@ -48,7 +48,15 @@ class VerifierConfig:
 
 @dataclass
 class ConditionReport:
-    """Outcome of one sub-problem (13), (14) or (15)."""
+    """Outcome of one sub-problem (13), (14) or (15).
+
+    Beyond the pass/fail verdict, the report carries the numerical state
+    of the certificate: the a-posteriori validation numbers
+    (``residual_bound``, ``min_gram_eigenvalue``) and the interior-point
+    solver's final iterate (``sdp_gap`` / ``sdp_primal_residual`` /
+    ``sdp_dual_residual`` / ``sdp_iterations``) so the certificate audit
+    can report how close each sub-problem sits to the PSD boundary.
+    """
 
     name: str
     feasible: bool
@@ -57,6 +65,11 @@ class ConditionReport:
     message: str = ""
     residual_bound: float = float("nan")
     min_gram_eigenvalue: float = float("nan")
+    sdp_status: str = ""
+    sdp_iterations: int = 0
+    sdp_gap: float = float("nan")
+    sdp_primal_residual: float = float("nan")
+    sdp_dual_residual: float = float("nan")
 
     @property
     def ok(self) -> bool:
@@ -177,6 +190,14 @@ class SOSVerifier:
             slack = prog.require_sos(expr)
             sol = prog.solve(cfg.sdp_options)
             elapsed = time.perf_counter() - t0
+            sdp = sol.sdp_result
+            sdp_stats = dict(
+                sdp_status=sdp.status.value,
+                sdp_iterations=sdp.iterations,
+                sdp_gap=float(sdp.gap),
+                sdp_primal_residual=float(sdp.primal_residual),
+                sdp_dual_residual=float(sdp.dual_residual),
+            )
             if not sol.feasible:
                 message = f"SDP status: {sol.status.value} ({sol.sdp_result.message})"
                 span.set_attrs(feasible=False, validated=False, message=message)
@@ -188,6 +209,7 @@ class SOSVerifier:
                         validated=False,
                         elapsed_seconds=elapsed,
                         message=message,
+                        **sdp_stats,
                     ),
                     None,
                 )
@@ -195,7 +217,10 @@ class SOSVerifier:
             if not cfg.validate:
                 span.set_attrs(feasible=True, validated=True)
                 return (
-                    ConditionReport(name, True, True, elapsed, "validation skipped"),
+                    ConditionReport(
+                        name, True, True, elapsed, "validation skipped",
+                        **sdp_stats,
+                    ),
                     lam_poly,
                 )
             # rebuild the fully-substituted LHS and validate the identity
@@ -233,6 +258,7 @@ class SOSVerifier:
                     message=report.notes,
                     residual_bound=report.residual_bound,
                     min_gram_eigenvalue=report.min_eigenvalue,
+                    **sdp_stats,
                 ),
                 lam_poly,
             )

@@ -170,6 +170,19 @@ def test_metrics_registry_summary():
     assert hist["p95"] == pytest.approx(95.05)
 
 
+def test_histogram_p99_max_and_to_dict():
+    reg = MetricsRegistry()
+    for v in range(1, 101):
+        reg.observe("lat", float(v))
+    hist = reg.summary()["histograms"]["lat"]
+    assert hist["p99"] == pytest.approx(99.01)
+    assert hist["max"] == 100.0
+    assert hist["p50"] <= hist["p95"] <= hist["p99"] <= hist["max"]
+    # to_dict is the JSON-ready alias the diagnostics reports consume
+    assert reg.to_dict() == reg.summary()
+    assert json.dumps(reg.to_dict())  # serializable as-is
+
+
 def test_disabled_metrics_record_nothing():
     reg = MetricsRegistry(enabled=False)
     reg.inc("a")
@@ -303,3 +316,32 @@ def test_report_cli_main(tmp_path, capsys):
     assert "report-test" in out
     assert "learning" in out
     assert "sdp.iterations" in out
+
+
+def test_report_cli_json_format(tmp_path, capsys):
+    trace = _sample_trace(tmp_path)
+    assert report_main([trace, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"manifest", "phases", "spans", "metrics"}
+    assert payload["manifest"]["name"] == "report-test"
+    assert set(payload["phases"]) == {"learning", "verification"}
+    assert payload["metrics"]["counters"]["cegis.iterations"] == 2.0
+    assert any(s["name"] == "sdp.solve" for s in payload["spans"])
+
+
+def test_report_cli_all_lines_malformed_fails(tmp_path, capsys):
+    trace = str(tmp_path / "garbage.jsonl")
+    with open(trace, "w") as fh:
+        fh.write("not json\n{also broken\n")
+    assert report_main([trace]) == 1
+    assert "malformed" in capsys.readouterr().err
+
+
+def test_report_cli_partial_corruption_warns(tmp_path, capsys):
+    trace = _sample_trace(tmp_path)
+    with open(trace, "a") as fh:
+        fh.write('{"type": "span", "name": "tru')  # crash mid-write
+    assert report_main([trace]) == 0
+    captured = capsys.readouterr()
+    assert "skipped 1 malformed line" in captured.err
+    assert "learning" in captured.out
