@@ -1,0 +1,69 @@
+"""Hot-path microbenchmark driver.
+
+    python benchmarks/run_bench_perf.py
+    python benchmarks/run_bench_perf.py --out results/BENCH_perf.json
+    python benchmarks/run_bench_perf.py --baseline   # refresh the committed baseline
+
+Runs the :mod:`repro.diagnostics.perfbench` suite — each bench times one
+pipeline hot path with the performance layer on and off and checks the
+two paths produce identical results — and writes a ``BENCH_perf.json``
+document.  Gate a run against the committed baseline with::
+
+    python -m repro.diagnostics.regress results/BENCH_perf_baseline.json \
+        results/BENCH_perf.json --max-slowdown 3.0
+
+Exits nonzero when any bench's optimized path diverged from its
+reference path, so CI fails even before the regress gate runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.diagnostics.perfbench import run_suite, write_perf
+
+RESULTS_DIR = os.path.normpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "results")
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--out", default=None,
+                        help="output path (default results/BENCH_perf.json)")
+    parser.add_argument("--baseline", action="store_true",
+                        help="write results/BENCH_perf_baseline.json instead")
+    args = parser.parse_args(argv)
+
+    out = args.out or os.path.join(
+        RESULTS_DIR,
+        "BENCH_perf_baseline.json" if args.baseline else "BENCH_perf.json",
+    )
+    doc = run_suite()
+    write_perf(out, doc)
+
+    divergent = []
+    for name, row in sorted(doc["benches"].items()):
+        flag = "ok" if row["identical"] else "DIVERGED"
+        print(
+            f"{name:<18} optimized={row['seconds']:.3f}s "
+            f"reference={row['reference_seconds']:.3f}s "
+            f"speedup={row['speedup']}x  {flag}",
+            flush=True,
+        )
+        if not row["identical"]:
+            divergent.append(name)
+    print(f"BENCH_perf document written to {out}")
+    if divergent:
+        print(f"DIVERGED benches: {', '.join(divergent)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

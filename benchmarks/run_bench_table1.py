@@ -2,6 +2,7 @@
 
     python benchmarks/run_bench_table1.py --systems C1
     python benchmarks/run_bench_table1.py --out results/BENCH_table1.json
+    python benchmarks/run_bench_table1.py --jobs 4
     REPRO_BENCH_SCALE=paper python benchmarks/run_bench_table1.py
 
 Runs SNBC on the selected Table-1 systems with full telemetry (trace +
@@ -17,12 +18,45 @@ from __future__ import annotations
 import argparse
 import sys
 
+import table1_common
 from table1_common import (
     bench_scale,
     emit_bench_document,
     run_snbc,
+    run_snbc_row,
     systems_for_scale,
 )
+
+
+def _run_parallel(names, scale, jobs) -> list:
+    """Run Table-1 rows in a process pool; returns failed system names.
+
+    Each system is an independent SNBC run (separate telemetry files,
+    deterministic seeds), so rows are embarrassingly parallel; the
+    workers' BENCH rows are merged back into this process before the
+    document is emitted.  Raises on pool failure — the caller falls back
+    to the serial loop.
+    """
+    import concurrent.futures
+
+    failures = []
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(run_snbc_row, name, scale): name for name in names
+        }
+        for fut in concurrent.futures.as_completed(futures):
+            name = futures[fut]
+            row, success, iterations, total = fut.result()
+            table1_common.BENCH_ROWS[name] = row
+            status = "ok" if success else "FAILED"
+            print(
+                f"[{scale}] {name}: {status}  iterations={iterations}  "
+                f"T_e={total:.3f}s",
+                flush=True,
+            )
+            if not success:
+                failures.append(name)
+    return failures
 
 
 def main(argv=None) -> int:
@@ -36,6 +70,9 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None,
                         help="BENCH document path "
                              "(default results/BENCH_table1.json)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="run systems in a process pool of this size "
+                             "(default 1: serial)")
     args = parser.parse_args(argv)
 
     scale = bench_scale()
@@ -44,18 +81,26 @@ def main(argv=None) -> int:
         if args.systems
         else systems_for_scale(scale)
     )
-    failures = []
-    for name in names:
-        print(f"[{scale}] {name}: running SNBC ...", flush=True)
-        result = run_snbc(name, scale)
-        status = "ok" if result.success else "FAILED"
-        print(
-            f"[{scale}] {name}: {status}  iterations={result.iterations}  "
-            f"T_e={result.timings.total:.3f}s",
-            flush=True,
-        )
-        if not result.success:
-            failures.append(name)
+    failures = None
+    if args.jobs > 1 and len(names) > 1:
+        try:
+            failures = _run_parallel(names, scale, args.jobs)
+        except Exception as exc:  # pool unavailable -> serial fallback
+            print(f"process pool failed ({exc}); running serially", flush=True)
+            failures = None
+    if failures is None:
+        failures = []
+        for name in names:
+            print(f"[{scale}] {name}: running SNBC ...", flush=True)
+            result = run_snbc(name, scale)
+            status = "ok" if result.success else "FAILED"
+            print(
+                f"[{scale}] {name}: {status}  iterations={result.iterations}  "
+                f"T_e={result.timings.total:.3f}s",
+                flush=True,
+            )
+            if not result.success:
+                failures.append(name)
 
     out = emit_bench_document(args.out, scale)
     print(f"BENCH document written to {out}")

@@ -129,6 +129,20 @@ def run_snbc(name: str, scale: Optional[str] = None) -> SNBCResult:
     return result
 
 
+def run_snbc_row(name: str, scale: Optional[str] = None) -> Tuple[dict, bool, int, float]:
+    """Process-pool entry point for parallel Table-1 rows: run one system
+    and return its BENCH row plus the printable summary fields (the
+    worker's module-global :data:`BENCH_ROWS` is not shared with the
+    parent, so the row travels back in the return value)."""
+    result = run_snbc(name, scale)
+    return (
+        BENCH_ROWS[name],
+        bool(result.success),
+        int(result.iterations),
+        float(result.timings.total),
+    )
+
+
 def emit_bench_document(out_path: Optional[str] = None,
                         scale: Optional[str] = None) -> str:
     """Write the accumulated :data:`BENCH_ROWS` as ``BENCH_table1.json``.

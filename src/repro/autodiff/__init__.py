@@ -8,6 +8,7 @@ tangent-propagation forward pass through the quadratic network (see
 first-order reverse mode suffices for the whole training pipeline.
 """
 
+from repro.autodiff.tape import Tape, TapeUnsupportedOp
 from repro.autodiff.tensor import Tensor, no_grad
 
-__all__ = ["Tensor", "no_grad"]
+__all__ = ["Tape", "TapeUnsupportedOp", "Tensor", "no_grad"]

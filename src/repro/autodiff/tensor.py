@@ -44,9 +44,15 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 
 
 class Tensor:
-    """A numpy array with an optional gradient and a backward closure."""
+    """A numpy array with an optional gradient and a backward closure.
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    Every op node additionally records its op name and static op
+    arguments (``_op``/``_args``) so a traced graph can be replayed by
+    :class:`repro.autodiff.tape.Tape` without rebuilding it.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_op", "_args")
 
     def __init__(
         self,
@@ -60,6 +66,8 @@ class Tensor:
         self.requires_grad = bool(requires_grad) and _grad_enabled()
         self._parents = _parents if self.requires_grad else ()
         self._backward = _backward
+        self._op: Optional[str] = None
+        self._args: tuple = ()
 
     # ------------------------------------------------------------------
     @property
@@ -89,9 +97,27 @@ class Tensor:
     def _lift(value) -> "Tensor":
         return value if isinstance(value, Tensor) else Tensor(value)
 
-    def _make(self, data, parents, backward) -> "Tensor":
-        requires = any(p.requires_grad for p in parents)
-        return Tensor(data, requires_grad=requires, _parents=parents, _backward=backward)
+    def _make(self, data, parents, backward, op=None, args=()) -> "Tensor":
+        # hot path: ops always hand in freshly computed float arrays, so
+        # skip Tensor.__init__'s asarray round-trip and flag plumbing
+        out = Tensor.__new__(Tensor)
+        out.data = data if isinstance(data, np.ndarray) else np.asarray(data, dtype=float)
+        out.grad = None
+        requires = False
+        for p in parents:
+            if p.requires_grad:
+                requires = True
+                break
+        if requires and _GRAD_ENABLED[-1]:
+            out.requires_grad = True
+            out._parents = parents
+        else:
+            out.requires_grad = False
+            out._parents = ()
+        out._backward = backward
+        out._op = op
+        out._args = args
+        return out
 
     # -- arithmetic -----------------------------------------------------
     def __add__(self, other) -> "Tensor":
@@ -104,7 +130,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(g, other.shape))
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, "add")
 
     def __radd__(self, other) -> "Tensor":
         return self.__add__(other)
@@ -114,7 +140,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(-g)
 
-        return self._make(-self.data, (self,), backward)
+        return self._make(-self.data, (self,), backward, "neg")
 
     def __sub__(self, other) -> "Tensor":
         return self.__add__(self._lift(other).__neg__())
@@ -132,7 +158,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(g * self.data, other.shape))
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, "mul")
 
     def __rmul__(self, other) -> "Tensor":
         return self.__mul__(other)
@@ -149,7 +175,7 @@ class Tensor:
                     _unbroadcast(-g * self.data / (other.data ** 2), other.shape)
                 )
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, "div")
 
     def __rtruediv__(self, other) -> "Tensor":
         return self._lift(other).__truediv__(self)
@@ -163,7 +189,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g * exponent * self.data ** (exponent - 1))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "pow", (exponent,))
 
     def __matmul__(self, other) -> "Tensor":
         other = self._lift(other)
@@ -184,7 +210,7 @@ class Tensor:
                         _unbroadcast(self.data.swapaxes(-1, -2) @ g, other.shape)
                     )
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, "matmul")
 
     # -- reductions -----------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -198,7 +224,7 @@ class Tensor:
                 g_arr = np.expand_dims(g_arr, axis)
             self._accumulate(np.broadcast_to(g_arr, self.shape).copy())
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "sum", (axis, keepdims))
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         count = self.data.size if axis is None else self.data.shape[axis]
@@ -212,7 +238,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g * (1.0 - out_data ** 2))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "tanh")
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
@@ -221,7 +247,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g * out_data * (1.0 - out_data))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "sigmoid")
 
     def relu(self) -> "Tensor":
         out_data = np.maximum(self.data, 0.0)
@@ -230,7 +256,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g * (self.data > 0.0))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "relu")
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         out_data = np.where(self.data > 0.0, self.data, negative_slope * self.data)
@@ -239,7 +265,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g * np.where(self.data > 0.0, 1.0, negative_slope))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "leaky_relu", (negative_slope,))
 
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
@@ -248,7 +274,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g * out_data)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "exp")
 
     def abs(self) -> "Tensor":
         out_data = np.abs(self.data)
@@ -257,7 +283,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g * np.sign(self.data))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "abs")
 
     def maximum(self, other) -> "Tensor":
         """Elementwise max; gradient flows to the winning branch."""
@@ -271,7 +297,7 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(g * (~mask), other.shape))
 
-        return self._make(out_data, (self, other), backward)
+        return self._make(out_data, (self, other), backward, "maximum")
 
     @staticmethod
     def cat(tensors: List["Tensor"], axis: int = 1) -> "Tensor":
@@ -289,12 +315,15 @@ class Tensor:
                     t._accumulate(g[tuple(sl)])
 
         requires = any(t.requires_grad for t in tensors)
-        return Tensor(
+        out = Tensor(
             out_data,
             requires_grad=requires,
             _parents=tuple(tensors),
             _backward=backward,
         )
+        out._op = "cat"
+        out._args = (axis,)
+        return out
 
     def reshape(self, *shape) -> "Tensor":
         out_data = self.data.reshape(*shape)
@@ -303,7 +332,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g.reshape(self.shape))
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "reshape", (shape,))
 
     @property
     def T(self) -> "Tensor":
@@ -313,15 +342,20 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(g.T)
 
-        return self._make(out_data, (self,), backward)
+        return self._make(out_data, (self,), backward, "T")
 
     # ------------------------------------------------------------------
     def _accumulate(self, g: np.ndarray) -> None:
-        g = np.asarray(g, dtype=float)
+        # contributions are freshly computed arrays that no caller mutates
+        # in place (Adam reassigns .data/.grad, never writes into them),
+        # so aliasing them into .grad is safe and skips a copy per call
+        if not isinstance(g, np.ndarray):
+            g = np.asarray(g, dtype=float)
+        shape = self.data.shape
         if self.grad is None:
-            self.grad = g.copy() if g.shape == self.shape else _unbroadcast(g, self.shape)
+            self.grad = g if g.shape == shape else _unbroadcast(g, shape)
         else:
-            self.grad = self.grad + (_unbroadcast(g, self.shape) if g.shape != self.shape else g)
+            self.grad = self.grad + (_unbroadcast(g, shape) if g.shape != shape else g)
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Run reverse-mode accumulation from this tensor."""

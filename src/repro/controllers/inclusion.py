@@ -63,21 +63,22 @@ class PolynomialInclusion:
 
 
 def _design_matrix(points: np.ndarray, degree: int) -> np.ndarray:
-    """Vandermonde-style matrix of ``[x]_degree`` monomials at mesh points."""
+    """Vandermonde-style matrix of ``[x]_degree`` monomials at mesh points.
+
+    One gather + product over the precomputed power tensor instead of a
+    per-monomial python loop; bitwise-identical to the loop since the
+    product runs over variables in the same order and ``x**0 == 1.0``
+    exactly.
+    """
     m, n = points.shape
     basis = monomials_upto(n, degree)
-    max_deg = degree
-    pows = np.ones((max_deg + 1, m, n))
-    for k in range(1, max_deg + 1):
+    pows = np.ones((degree + 1, m, n))
+    for k in range(1, degree + 1):
         pows[k] = pows[k - 1] * points
-    cols = []
-    for alpha in basis:
-        col = np.ones(m)
-        for i, a in enumerate(alpha):
-            if a:
-                col = col * pows[a][:, i]
-        cols.append(col)
-    return np.stack(cols, axis=1)
+    A = np.asarray(basis, dtype=np.int64)  # (t, n) exponent rows
+    # gathered[i, t, :] = points[:, i] ** A[t, i]
+    gathered = pows[A.T, :, np.arange(n)[:, None]]  # (n, t, m)
+    return gathered.prod(axis=0).T  # (m, t)
 
 
 def _chebyshev_lp(phi: np.ndarray, targets: np.ndarray) -> Tuple[np.ndarray, float]:

@@ -17,7 +17,7 @@ form is available via ``paper_printed_form=True`` for comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +55,7 @@ def barrier_loss(
     paper_printed_form: bool = False,
     gain_field_values: Sequence[np.ndarray] = (),
     sigma_star: Sequence[float] = (),
+    _components: Optional[dict] = None,
 ) -> Tuple[Tensor, BarrierLossTerms]:
     """Build the differentiable loss (10) for one optimization step.
 
@@ -101,6 +102,10 @@ def barrier_loss(
     ).mean()
 
     total = loss_d * eta_d + loss_i * eta_i + loss_u * eta_u
+    if _components is not None:
+        # hand the component tensors to tape-replay callers so they can
+        # recompute BarrierLossTerms without rebuilding the graph
+        _components.update(init=loss_i, unsafe=loss_u, domain=loss_d)
     terms = BarrierLossTerms(
         total=total.item(),
         init=loss_i.item(),

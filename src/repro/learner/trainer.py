@@ -7,6 +7,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.autodiff import Tape, TapeUnsupportedOp
 from repro.learner.datasets import TrainingData
 from repro.learner.loss import BarrierLossTerms, barrier_loss, field_values
 from repro.nn import (
@@ -47,6 +48,13 @@ class LearnerConfig:
     #: architecture allows it (one hidden layer); see SNBC._warm_start
     warm_start: bool = True
     seed: int = 0
+    #: replay the loss graph with :class:`repro.autodiff.Tape` after the
+    #: first epoch of each fit (bitwise-identical, skips per-epoch graph
+    #: construction); falls back silently when the graph has unsupported ops
+    use_tape: bool = True
+    #: when the training set grows (append-only counterexample rows),
+    #: evaluate the closed-loop field only on the newly appended rows
+    incremental_field_values: bool = True
 
 
 class BarrierLearner:
@@ -83,8 +91,12 @@ class BarrierLearner:
                 [n_vars, *self.config.lambda_hidden, 1], rng=rng, init_output=-0.1
             )
         params = self.b_net.parameters() + self.lambda_net.parameters()
+        self._params = params  # parameter discovery walks the module tree
         self.optimizer = Adam(params, lr=self.config.lr)
         self.loss_history: List[BarrierLossTerms] = []
+        #: field fingerprint -> (points evaluated, values) for incremental
+        #: re-evaluation across CEGIS rounds
+        self._field_cache: dict = {}
 
     # ------------------------------------------------------------------
     def fit(
@@ -103,8 +115,8 @@ class BarrierLearner:
         """
         cfg = self.config
         tel = get_telemetry()
-        f_vals = field_values(closed_loop_field, data.s_domain)
-        g_vals = [field_values(g, data.s_domain) for g in gain_fields]
+        f_vals = self._field_values(closed_loop_field, data.s_domain)
+        g_vals = [self._field_values(g, data.s_domain) for g in gain_fields]
         last: Optional[BarrierLossTerms] = None
         max_epochs = epochs if epochs is not None else cfg.epochs
         with tel.span(
@@ -112,21 +124,45 @@ class BarrierLearner:
         ) as span:
             epochs_run = 0
             converged = False
+            tape: Optional[Tape] = None
+            components: dict = {}
+            loss = None
+            use_tape = cfg.use_tape
             for _ in range(max_epochs):
                 self.optimizer.zero_grad()
-                loss, terms = barrier_loss(
-                    self.b_net,
-                    self.lambda_net,
-                    data,
-                    f_vals,
-                    eps=cfg.eps,
-                    etas=cfg.etas,
-                    negative_slope=cfg.negative_slope,
-                    paper_printed_form=cfg.paper_printed_form,
-                    gain_field_values=g_vals,
-                    sigma_star=sigma_star,
-                )
-                loss.backward()
+                if tape is None:
+                    loss, terms = barrier_loss(
+                        self.b_net,
+                        self.lambda_net,
+                        data,
+                        f_vals,
+                        eps=cfg.eps,
+                        etas=cfg.etas,
+                        negative_slope=cfg.negative_slope,
+                        paper_printed_form=cfg.paper_printed_form,
+                        gain_field_values=g_vals,
+                        sigma_star=sigma_star,
+                        _components=components,
+                    )
+                    loss.backward()
+                    if use_tape:
+                        # replay the captured graph for the remaining
+                        # epochs — bitwise-identical to rebuilding it
+                        try:
+                            tape = Tape(loss)
+                            tel.metrics.inc("learner.tape.traces")
+                        except TapeUnsupportedOp:
+                            use_tape = False
+                            tel.metrics.inc("learner.tape.fallbacks")
+                else:
+                    tape.run()
+                    tel.metrics.inc("learner.tape.replays")
+                    terms = BarrierLossTerms(
+                        total=loss.item(),
+                        init=components["init"].item(),
+                        unsafe=components["unsafe"].item(),
+                        domain=components["domain"].item(),
+                    )
                 if tel.enabled:
                     tel.metrics.observe("learner.epoch_loss", terms.total)
                     tel.metrics.observe("learner.grad_norm", self._grad_norm())
@@ -146,12 +182,47 @@ class BarrierLearner:
             )
         return last
 
+    # ------------------------------------------------------------------
+    def _field_values(
+        self, field: Sequence[Polynomial], points: np.ndarray
+    ) -> np.ndarray:
+        """Field evaluations at ``points``, reusing rows evaluated in
+        earlier CEGIS rounds when the dataset only grew (append-only
+        counterexample rows keep the prefix bitwise-unchanged)."""
+        if not self.config.incremental_field_values:
+            return field_values(field, points)
+        from repro.poly.fast_eval import _field_key
+
+        tel = get_telemetry()
+        key = _field_key(field)
+        cached = self._field_cache.get(key)
+        if cached is not None:
+            old_pts, old_vals = cached
+            n_old = old_pts.shape[0]
+            if points.shape[0] >= n_old and np.array_equal(
+                points[:n_old], old_pts
+            ):
+                if tel.enabled:
+                    tel.metrics.inc("learner.field_cache.hits")
+                if points.shape[0] == n_old:
+                    return old_vals
+                new_vals = field_values(field, points[n_old:])
+                vals = np.vstack([old_vals, new_vals])
+                self._field_cache[key] = (points, vals)
+                return vals
+        if tel.enabled:
+            tel.metrics.inc("learner.field_cache.misses")
+        vals = field_values(field, points)
+        self._field_cache[key] = (points, vals)
+        return vals
+
     def _grad_norm(self) -> float:
         """Global l2 norm of all parameter gradients (diagnostics)."""
         total = 0.0
-        for p in self.b_net.parameters() + self.lambda_net.parameters():
+        for p in self._params:
             if p.grad is not None:
-                total += float(np.sum(np.asarray(p.grad) ** 2))
+                g = np.asarray(p.grad).ravel()
+                total += float(g @ g)
         return float(np.sqrt(total))
 
     def candidate(self) -> Tuple[Polynomial, Polynomial]:

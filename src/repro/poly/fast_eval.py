@@ -13,7 +13,8 @@ competitive; prefer :func:`compile_field` for systems.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from collections import OrderedDict
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -83,6 +84,62 @@ class CompiledPolynomial:
         return out[0] if single_pt else out
 
 
+#: memoized compilations, LRU-evicted; keyed on the exact coefficient
+#: structure so two structurally identical fields share one compilation
+_COMPILE_CACHE: "OrderedDict[tuple, CompiledPolynomial]" = OrderedDict()
+_COMPILE_CACHE_MAX = 256
+_COMPILE_CACHE_ENABLED = [True]
+
+
+def _field_key(field: Sequence[Polynomial]) -> tuple:
+    return tuple(
+        (p.n_vars, tuple(sorted(p.coeffs.items()))) for p in field
+    )
+
+
+def set_compile_cache_enabled(enabled: bool) -> bool:
+    """Toggle :func:`compile_field` memoization; returns the old value."""
+    old = _COMPILE_CACHE_ENABLED[0]
+    _COMPILE_CACHE_ENABLED[0] = bool(enabled)
+    return old
+
+
+def clear_compile_cache() -> None:
+    _COMPILE_CACHE.clear()
+
+
+def compile_cache_info() -> Tuple[int, int]:
+    """(current size, capacity) of the compile cache."""
+    return len(_COMPILE_CACHE), _COMPILE_CACHE_MAX
+
+
 def compile_field(field: Sequence[Polynomial]) -> CompiledPolynomial:
-    """Compile a polynomial vector field for batched right-hand sides."""
-    return CompiledPolynomial(list(field))
+    """Compile a polynomial vector field for batched right-hand sides.
+
+    Compilations are memoized on the field's coefficient structure —
+    ``Polynomial`` is immutable, so the learner's per-epoch
+    ``field_values`` calls reuse one :class:`CompiledPolynomial` per
+    CEGIS round instead of recompiling every epoch.  Cache hits/misses
+    are counted in the telemetry metrics registry
+    (``poly.compile_cache.hits`` / ``.misses``).
+    """
+    field = list(field)
+    if not _COMPILE_CACHE_ENABLED[0]:
+        return CompiledPolynomial(field)
+    from repro.telemetry import get_telemetry
+
+    key = _field_key(field)
+    cached = _COMPILE_CACHE.get(key)
+    tel = get_telemetry()
+    if cached is not None:
+        _COMPILE_CACHE.move_to_end(key)
+        if tel.enabled:
+            tel.metrics.inc("poly.compile_cache.hits")
+        return cached
+    if tel.enabled:
+        tel.metrics.inc("poly.compile_cache.misses")
+    compiled = CompiledPolynomial(field)
+    _COMPILE_CACHE[key] = compiled
+    while len(_COMPILE_CACHE) > _COMPILE_CACHE_MAX:
+        _COMPILE_CACHE.popitem(last=False)
+    return compiled

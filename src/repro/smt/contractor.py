@@ -17,6 +17,7 @@ pure bisection would pay exponentially.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -47,12 +48,18 @@ def _divide(target: Interval, divisor: Interval) -> Optional[Interval]:
     (divisor spans 0)."""
     if divisor.lo <= 0.0 <= divisor.hi:
         return None
-    candidates = (
-        target.lo / divisor.lo,
-        target.lo / divisor.hi,
-        target.hi / divisor.lo,
-        target.hi / divisor.hi,
-    )
+    with np.errstate(over="ignore", invalid="ignore"):
+        candidates = (
+            target.lo / divisor.lo,
+            target.lo / divisor.hi,
+            target.hi / divisor.lo,
+            target.hi / divisor.hi,
+        )
+    # A subnormal divisor can overflow the quotient to inf, in which case
+    # the min/max below would fabricate a *tighter* (unsound) bound on the
+    # other side.  Treat any non-finite quotient as uninformative.
+    if not all(math.isfinite(q) for q in candidates):
+        return None
     return Interval(min(candidates), max(candidates))
 
 

@@ -14,6 +14,9 @@ Sections:
 * **Spans** — per-span-name aggregate (count, total, mean, max).
 * **Metrics** — counters, gauges, and histogram summaries from the
   trailing ``metrics`` event.
+* **Caches** — hit rates derived from paired ``<name>.hits`` /
+  ``<name>.misses`` counters (workspace cache, compile-field cache,
+  field-value cache, ...).
 """
 
 from __future__ import annotations
@@ -68,6 +71,28 @@ def metrics_summary(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
         if e.get("type") == "metrics":
             summary = e.get("summary", {})
     return summary
+
+
+def cache_rates(counters: Dict[str, float]) -> List[Tuple[str, int, int, float]]:
+    """Pair ``<name>.hits`` / ``<name>.misses`` counters into hit rates.
+
+    A cache shows up as soon as either counter exists (a cold run has
+    only misses); returns ``(name, hits, misses, rate)`` rows sorted by
+    name.
+    """
+    names = {
+        k[: -len(suffix)]
+        for k in counters
+        for suffix in (".hits", ".misses")
+        if k.endswith(suffix)
+    }
+    rows = []
+    for name in sorted(names):
+        hits = int(counters.get(name + ".hits", 0))
+        misses = int(counters.get(name + ".misses", 0))
+        total = hits + misses
+        rows.append((name, hits, misses, hits / total if total else 0.0))
+    return rows
 
 
 def _fmt(x: float) -> str:
@@ -147,6 +172,15 @@ def render_report(
         lines.append(h("Metrics"))
         lines += _table(["metric", "kind", "value"], rows, markdown)
         lines.append("")
+    caches = cache_rates(counters)
+    if caches:
+        rows = [
+            [name, str(hits), str(misses), f"{100.0 * rate:.1f}%"]
+            for name, hits, misses, rate in caches
+        ]
+        lines.append(h("Caches"))
+        lines += _table(["cache", "hits", "misses", "hit rate"], rows, markdown)
+        lines.append("")
     if hists:
         rows = [
             [k, str(int(s["count"])), _fmt(s["mean"]), _fmt(s["p50"]),
@@ -168,6 +202,7 @@ def report_payload(
     manifest: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Machine-readable report: the same aggregates the text report shows."""
+    summary = metrics_summary(events)
     return {
         "manifest": manifest,
         "phases": phase_totals(events),
@@ -176,7 +211,13 @@ def report_payload(
              "max": mx}
             for name, count, total, mean, mx in span_aggregates(events)
         ],
-        "metrics": metrics_summary(events),
+        "metrics": summary,
+        "caches": [
+            {"name": name, "hits": hits, "misses": misses, "hit_rate": rate}
+            for name, hits, misses, rate in cache_rates(
+                summary.get("counters", {})
+            )
+        ],
     }
 
 

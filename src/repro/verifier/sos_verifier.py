@@ -2,18 +2,30 @@
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.dynamics import CCDS
 from repro.poly import Polynomial, lie_derivative
-from repro.sdp import InteriorPointOptions
+from repro.sdp import InteriorPointOptions, SDPProblem, SDPResult, solve_sdp
+from repro.sdp.svec import svec
 from repro.sets import SemialgebraicSet
 from repro.sos import SOSExpr, SOSProgram, validate_sos_identity
+from repro.sos.program import GramBlock, SOSSolution
+from repro.sos.workspace import ConditionWorkspace
 from repro.telemetry import get_telemetry
+
+
+def _solve_sdp_task(
+    sdp: SDPProblem, options: Optional[InteriorPointOptions]
+) -> SDPResult:
+    """Process-pool worker: solve one compiled SDP (module-level so it
+    pickles)."""
+    return solve_sdp(sdp, options)
 
 #: paper numbering of the three sub-problem families (conditions (13)-(15))
 PAPER_CONDITION_NUMBERS = {"init": 13, "unsafe": 14, "lie": 15}
@@ -44,6 +56,19 @@ class VerifierConfig:
     sdp_options: InteriorPointOptions = field(
         default_factory=lambda: InteriorPointOptions(max_iterations=100, tolerance=1e-8)
     )
+    #: reuse the structural SOS workspace (monomial bases, Gram block
+    #: layout, multiplier constraint rows) across CEGIS iterations; per
+    #: candidate only the affine data is refreshed.  Result-identical to
+    #: a fresh :class:`SOSProgram` build (see ``repro.sos.workspace``).
+    workspace_cache: bool = True
+    #: solve the independent condition SDPs (13)/(14)/(15-endpoints) in a
+    #: process pool.  The serial path's skip/short-circuit semantics are
+    #: reconstructed afterwards so the :class:`VerificationResult` is
+    #: identical; falls back to the serial path when no pool is available.
+    parallel: bool = False
+    #: worker count for ``parallel`` (``None``: one per condition, capped
+    #: at the CPU count)
+    max_workers: Optional[int] = None
 
 
 @dataclass
@@ -98,6 +123,26 @@ class VerificationResult:
         return [c.name for c in self.conditions if not c.ok]
 
 
+@dataclass
+class _PreparedCondition:
+    """One compiled condition SDP, ready to solve (serially or in a pool)."""
+
+    name: str
+    base: str
+    expr_known: Polynomial
+    region: SemialgebraicSet
+    margin: float
+    free_lambda_times: Optional[Polynomial]
+    prog: SOSProgram
+    multipliers: List[SOSExpr]
+    lam_expr: Optional[SOSExpr]
+    slack: GramBlock
+    sdp: SDPProblem
+    Bf: np.ndarray
+    r: np.ndarray
+    G: np.ndarray
+
+
 class SOSVerifier:
     """Checks Theorem 1's conditions for a *known* candidate ``B``.
 
@@ -136,6 +181,8 @@ class SOSVerifier:
                 "the inclusion to sigma*=0 or reduce inputs"
             )
         self.config = config or VerifierConfig()
+        #: condition base name -> cached :class:`ConditionWorkspace`
+        self._workspaces: Dict[str, ConditionWorkspace] = {}
 
     # ------------------------------------------------------------------
     def _multiplier_degree(self, target: int, g: Polynomial) -> int:
@@ -144,6 +191,167 @@ class SOSVerifier:
         need = max(0, target - g.degree)
         need += need % 2  # SOS degrees are even
         return max(self.config.multiplier_degree, need)
+
+    def _prepare(
+        self,
+        name: str,
+        expr_known: Polynomial,
+        region: SemialgebraicSet,
+        margin: float,
+        free_lambda_times: Optional[Polynomial] = None,
+    ) -> _PreparedCondition:
+        """Build the SDP for ``expr - sum sigma_i g_i - margin (+ lambda *
+        B) in SOS``, through the cached workspace when enabled."""
+        cfg = self.config
+        tel = get_telemetry()
+        base = "lie" if name.startswith("lie") else name
+        n = self.problem.n_vars
+        target_deg = expr_known.degree
+        if free_lambda_times is not None:
+            target_deg = max(
+                target_deg, cfg.lambda_degree + free_lambda_times.degree
+            )
+        mult_degs = [
+            self._multiplier_degree(target_deg, g) for g in region.constraints
+        ]
+        if cfg.workspace_cache:
+            lam_deg = cfg.lambda_degree if free_lambda_times is not None else None
+            ws = self._workspaces.get(base)
+            if ws is None or not ws.matches(mult_degs, lam_deg):
+                ws = ConditionWorkspace(n, region.constraints, mult_degs, lam_deg)
+                self._workspaces[base] = ws
+                tel.metrics.inc("verifier.workspace.misses")
+            else:
+                tel.metrics.inc("verifier.workspace.hits")
+            varying = SOSExpr.from_polynomial(expr_known - margin)
+            if ws.lam_expr is not None:
+                varying = varying - ws.lam_expr * free_lambda_times
+            sdp, Bf, r, G = ws.compile(varying)
+            assert ws.slack_block is not None
+            return _PreparedCondition(
+                name, base, expr_known, region, margin, free_lambda_times,
+                ws.program, ws.multipliers, ws.lam_expr, ws.slack_block,
+                sdp, Bf, r, G,
+            )
+        prog = SOSProgram(n)
+        expr = SOSExpr.from_polynomial(expr_known - margin)
+        multipliers = []
+        for g, deg in zip(region.constraints, mult_degs):
+            s = prog.sos_poly(deg, label="sigma")
+            multipliers.append(s)
+            expr = expr - s * g
+        lam_expr = None
+        if free_lambda_times is not None:
+            lam_expr = prog.free_poly(cfg.lambda_degree, label="lambda")
+            expr = expr - lam_expr * free_lambda_times
+        # the slack degree must cover the full expression including the
+        # multiplier products sigma_i * g_i (expr.degree accounts for them)
+        slack = prog.require_sos(expr)
+        sdp, Bf, r, G = prog.compile()
+        return _PreparedCondition(
+            name, base, expr_known, region, margin, free_lambda_times,
+            prog, multipliers, lam_expr, slack, sdp, Bf, r, G,
+        )
+
+    def _finish(
+        self,
+        prep: _PreparedCondition,
+        result: SDPResult,
+        t0: float,
+        span=None,
+    ) -> Tuple[ConditionReport, Optional[Polynomial]]:
+        """Free-variable recovery, a-posteriori validation and reporting
+        for one solved condition (mirrors :meth:`SOSProgram.solve`)."""
+        cfg = self.config
+        tel = get_telemetry()
+        name, base, prog = prep.name, prep.base, prep.prog
+        free_values = np.zeros(prog._n_free)
+        if result.status.ok and prog._n_free > 0:
+            q_flat = np.concatenate([svec(X) for X in result.X])
+            resid = prep.r - prep.G @ q_flat
+            free_values, *_ = np.linalg.lstsq(prep.Bf, resid, rcond=None)
+        sol = SOSSolution(prog, result, free_values)
+        elapsed = time.perf_counter() - t0
+        sdp = sol.sdp_result
+        sdp_stats = dict(
+            sdp_status=sdp.status.value,
+            sdp_iterations=sdp.iterations,
+            sdp_gap=float(sdp.gap),
+            sdp_primal_residual=float(sdp.primal_residual),
+            sdp_dual_residual=float(sdp.dual_residual),
+        )
+        if not sol.feasible:
+            message = f"SDP status: {sol.status.value} ({sol.sdp_result.message})"
+            if span is not None:
+                span.set_attrs(feasible=False, validated=False, message=message)
+            tel.metrics.inc(f"verifier.infeasible.{base}")
+            return (
+                ConditionReport(
+                    name=name,
+                    feasible=False,
+                    validated=False,
+                    elapsed_seconds=elapsed,
+                    message=message,
+                    **sdp_stats,
+                ),
+                None,
+            )
+        lam_poly = sol.value(prep.lam_expr) if prep.lam_expr is not None else None
+        if not cfg.validate:
+            if span is not None:
+                span.set_attrs(feasible=True, validated=True)
+            return (
+                ConditionReport(
+                    name, True, True, elapsed, "validation skipped",
+                    **sdp_stats,
+                ),
+                lam_poly,
+            )
+        # rebuild the fully-substituted LHS and validate the identity
+        realized = prep.expr_known - prep.margin
+        for s, g in zip(prep.multipliers, prep.region.constraints):
+            realized = realized - sol.value(s) * g
+        if lam_poly is not None:
+            realized = realized - lam_poly * prep.free_lambda_times
+        if prep.region.bounding_box is not None:
+            lo, hi = prep.region.bounding_box
+        else:  # pragma: no cover - all paper sets are bounded
+            n = self.problem.n_vars
+            lo, hi = -np.ones(n) * 1e3, np.ones(n) * 1e3
+        report = validate_sos_identity(
+            realized,
+            prep.slack,
+            sol.gram(prep.slack.block_id),
+            lo,
+            hi,
+            margin=prep.margin if prep.margin > 0 else 1e-6,
+            psd_tolerance=cfg.psd_tolerance,
+            extra_grams=[
+                sol.gram(b.block_id)
+                for b in prog._blocks
+                if b.block_id != prep.slack.block_id
+            ],
+        )
+        elapsed = time.perf_counter() - t0
+        if span is not None:
+            span.set_attrs(
+                feasible=True, validated=report.ok, message=report.notes
+            )
+        if not report.ok:
+            tel.metrics.inc(f"verifier.validation_failed.{base}")
+        return (
+            ConditionReport(
+                name=name,
+                feasible=True,
+                validated=report.ok,
+                elapsed_seconds=elapsed,
+                message=report.notes,
+                residual_bound=report.residual_bound,
+                min_gram_eigenvalue=report.min_eigenvalue,
+                **sdp_stats,
+            ),
+            lam_poly,
+        )
 
     def _putinar_check(
         self,
@@ -168,100 +376,9 @@ class SOSVerifier:
             condition=name,
             paper_condition=PAPER_CONDITION_NUMBERS.get(base),
         ) as span:
-            n = self.problem.n_vars
-            prog = SOSProgram(n)
-            target_deg = expr_known.degree
-            if free_lambda_times is not None:
-                target_deg = max(
-                    target_deg, cfg.lambda_degree + free_lambda_times.degree
-                )
-            expr = SOSExpr.from_polynomial(expr_known - margin)
-            multipliers = []
-            for g in region.constraints:
-                s = prog.sos_poly(self._multiplier_degree(target_deg, g), label="sigma")
-                multipliers.append(s)
-                expr = expr - s * g
-            lam_expr = None
-            if free_lambda_times is not None:
-                lam_expr = prog.free_poly(cfg.lambda_degree, label="lambda")
-                expr = expr - lam_expr * free_lambda_times
-            # the slack degree must cover the full expression including the
-            # multiplier products sigma_i * g_i (expr.degree accounts for them)
-            slack = prog.require_sos(expr)
-            sol = prog.solve(cfg.sdp_options)
-            elapsed = time.perf_counter() - t0
-            sdp = sol.sdp_result
-            sdp_stats = dict(
-                sdp_status=sdp.status.value,
-                sdp_iterations=sdp.iterations,
-                sdp_gap=float(sdp.gap),
-                sdp_primal_residual=float(sdp.primal_residual),
-                sdp_dual_residual=float(sdp.dual_residual),
-            )
-            if not sol.feasible:
-                message = f"SDP status: {sol.status.value} ({sol.sdp_result.message})"
-                span.set_attrs(feasible=False, validated=False, message=message)
-                tel.metrics.inc(f"verifier.infeasible.{base}")
-                return (
-                    ConditionReport(
-                        name=name,
-                        feasible=False,
-                        validated=False,
-                        elapsed_seconds=elapsed,
-                        message=message,
-                        **sdp_stats,
-                    ),
-                    None,
-                )
-            lam_poly = sol.value(lam_expr) if lam_expr is not None else None
-            if not cfg.validate:
-                span.set_attrs(feasible=True, validated=True)
-                return (
-                    ConditionReport(
-                        name, True, True, elapsed, "validation skipped",
-                        **sdp_stats,
-                    ),
-                    lam_poly,
-                )
-            # rebuild the fully-substituted LHS and validate the identity
-            realized = expr_known - margin
-            for s, g in zip(multipliers, region.constraints):
-                realized = realized - sol.value(s) * g
-            if lam_poly is not None:
-                realized = realized - lam_poly * free_lambda_times
-            if region.bounding_box is not None:
-                lo, hi = region.bounding_box
-            else:  # pragma: no cover - all paper sets are bounded
-                lo, hi = -np.ones(n) * 1e3, np.ones(n) * 1e3
-            report = validate_sos_identity(
-                realized,
-                slack,
-                sol.gram(slack.block_id),
-                lo,
-                hi,
-                margin=margin if margin > 0 else 1e-6,
-                psd_tolerance=cfg.psd_tolerance,
-                extra_grams=[sol.gram(b.block_id) for b in prog._blocks if b is not slack],
-            )
-            elapsed = time.perf_counter() - t0
-            span.set_attrs(
-                feasible=True, validated=report.ok, message=report.notes
-            )
-            if not report.ok:
-                tel.metrics.inc(f"verifier.validation_failed.{base}")
-            return (
-                ConditionReport(
-                    name=name,
-                    feasible=True,
-                    validated=report.ok,
-                    elapsed_seconds=elapsed,
-                    message=report.notes,
-                    residual_bound=report.residual_bound,
-                    min_gram_eigenvalue=report.min_eigenvalue,
-                    **sdp_stats,
-                ),
-                lam_poly,
-            )
+            prep = self._prepare(name, expr_known, region, margin, free_lambda_times)
+            result = solve_sdp(prep.sdp, cfg.sdp_options)
+            return self._finish(prep, result, t0, span=span)
 
     # ------------------------------------------------------------------
     def verify(self, B: Polynomial) -> VerificationResult:
@@ -280,6 +397,11 @@ class SOSVerifier:
             B = B * (1.0 / scale)
         t0 = time.perf_counter()
         cfg = self.config
+        if cfg.parallel:
+            result = self._verify_parallel(B, t0)
+            if result is not None:
+                return result
+            # pool unavailable -> fall through to the serial path
         reports: List[ConditionReport] = []
         lambda_poly: Optional[Polynomial] = None
         lambda_polys: dict = {}
@@ -331,6 +453,109 @@ class SOSVerifier:
 
         ok = all(r.ok for r in reports)
         tel = get_telemetry()
+        tel.metrics.inc("verifier.verifications")
+        if not ok:
+            tel.metrics.inc("verifier.rejections")
+        return VerificationResult(
+            ok=ok,
+            conditions=reports,
+            elapsed_seconds=time.perf_counter() - t0,
+            lambda_poly=lambda_poly,
+            lambda_polys=lambda_polys or None,
+        )
+
+    def _lie_preps(self, B: Polynomial) -> List[_PreparedCondition]:
+        """Compile the Lie condition (15) at every inclusion-error endpoint."""
+        cfg = self.config
+        preps = []
+        endpoints = self._error_endpoints()
+        for w in endpoints:
+            field_polys = self.problem.system.closed_loop(
+                self.controller_polys, error=list(w)
+            )
+            lfb = lie_derivative(B, field_polys)
+            name = (
+                "lie" if len(endpoints) == 1 else f"lie[w={np.round(w, 6).tolist()}]"
+            )
+            preps.append(
+                self._prepare(
+                    name, lfb, self.problem.psi, cfg.eps_lie, free_lambda_times=B
+                )
+            )
+        return preps
+
+    def _verify_parallel(
+        self, B: Polynomial, t0: float
+    ) -> Optional[VerificationResult]:
+        """Solve all condition SDPs concurrently in a process pool.
+
+        Every condition is compiled and solved up front; the serial path's
+        skip/short-circuit semantics (unsafe skipped after an init failure,
+        the Lie loop stopping at the first failing endpoint) are then
+        reconstructed during assembly, so the returned
+        :class:`VerificationResult` matches the serial one field for field
+        (wall-clock timings aside).  Returns ``None`` when the pool cannot
+        be created or a worker dies — callers fall back to serial.
+        """
+        cfg = self.config
+        tel = get_telemetry()
+        preps = [
+            self._prepare("init", B, self.problem.theta, cfg.eps_init),
+            self._prepare("unsafe", -1.0 * B, self.problem.xi, cfg.eps_unsafe),
+        ]
+        preps.extend(self._lie_preps(B))
+        try:
+            import concurrent.futures
+
+            max_workers = cfg.max_workers or min(len(preps), os.cpu_count() or 1)
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=max_workers
+            ) as pool:
+                futures = [
+                    pool.submit(_solve_sdp_task, p.sdp, cfg.sdp_options)
+                    for p in preps
+                ]
+                results = [f.result() for f in futures]
+        except Exception:
+            tel.metrics.inc("verifier.pool.fallbacks")
+            return None
+        tel.metrics.inc("verifier.pool.tasks", len(preps))
+
+        def finish(prep: _PreparedCondition, res: SDPResult):
+            with tel.span(
+                "verifier.condition",
+                condition=prep.name,
+                paper_condition=PAPER_CONDITION_NUMBERS.get(prep.base),
+            ) as span:
+                return self._finish(prep, res, t0, span=span)
+
+        reports: List[ConditionReport] = []
+        lambda_poly: Optional[Polynomial] = None
+        lambda_polys: dict = {}
+        rep_init, _ = finish(preps[0], results[0])
+        reports.append(rep_init)
+        if rep_init.ok:
+            rep_u, _ = finish(preps[1], results[1])
+            reports.append(rep_u)
+        else:
+            reports.append(
+                ConditionReport("unsafe", False, False, 0.0, "skipped (init failed)")
+            )
+        if all(r.ok for r in reports):
+            for prep, res in zip(preps[2:], results[2:]):
+                rep_l, lam = finish(prep, res)
+                reports.append(rep_l)
+                if lam is not None:
+                    lambda_polys[prep.name] = lam
+                    if lambda_poly is None:
+                        lambda_poly = lam
+                if not rep_l.ok:
+                    break
+        else:
+            reports.append(
+                ConditionReport("lie", False, False, 0.0, "skipped (earlier failure)")
+            )
+        ok = all(r.ok for r in reports)
         tel.metrics.inc("verifier.verifications")
         if not ok:
             tel.metrics.inc("verifier.rejections")

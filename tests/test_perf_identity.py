@@ -1,0 +1,285 @@
+"""Result-identity tests for the hot-path performance layer.
+
+Every default-on optimization (SOS workspace cache, tape replay,
+compile-field memoization, incremental field values, vectorized design
+matrix) must be *bitwise* identical to its reference path; parallel
+verification must reproduce the serial :class:`VerificationResult`.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tape, Tensor
+from repro.cegis.counterexamples import _ViolationFn
+from repro.controllers.inclusion import _design_matrix
+from repro.dynamics import CCDS, ControlAffineSystem
+from repro.learner import BarrierLearner, LearnerConfig, TrainingData
+from repro.poly import Polynomial
+from repro.poly.fast_eval import (
+    clear_compile_cache,
+    compile_field,
+    set_compile_cache_enabled,
+)
+from repro.poly.monomials import monomials_upto
+from repro.sets import Box
+from repro.verifier import SOSVerifier, VerifierConfig
+
+
+def decay_problem(n=2):
+    xs = Polynomial.variables(n)
+    sys_n = ControlAffineSystem.autonomous([-1.0 * x for x in xs])
+    return CCDS(
+        sys_n,
+        theta=Box.cube(n, -0.5, 0.5, name="theta"),
+        psi=Box.cube(n, -2.0, 2.0, name="psi"),
+        xi=Box.cube(n, 1.5, 2.0, name="xi"),
+    )
+
+
+def radial_barrier(n, c=1.0, scale=0.5):
+    B = Polynomial.constant(n, c)
+    for i in range(n):
+        B = B - scale * Polynomial.variable(n, i) ** 2
+    return B
+
+
+FLOAT_FIELDS = (
+    "residual_bound",
+    "min_gram_eigenvalue",
+    "sdp_gap",
+    "sdp_primal_residual",
+    "sdp_dual_residual",
+)
+
+
+def assert_results_identical(a, b):
+    """Field-by-field equality of two VerificationResults, wall-clock
+    timings aside — including the SDP endgame stats of every report."""
+    assert a.ok == b.ok
+    assert len(a.conditions) == len(b.conditions)
+    for x, y in zip(a.conditions, b.conditions):
+        assert x.name == y.name
+        assert x.feasible == y.feasible
+        assert x.validated == y.validated
+        assert x.message == y.message
+        assert x.sdp_status == y.sdp_status
+        assert x.sdp_iterations == y.sdp_iterations
+        for f in FLOAT_FIELDS:
+            xa, ya = getattr(x, f), getattr(y, f)
+            assert (math.isnan(xa) and math.isnan(ya)) or xa == ya, (
+                x.name,
+                f,
+                xa,
+                ya,
+            )
+    if a.lambda_poly is None:
+        assert b.lambda_poly is None
+    else:
+        assert a.lambda_poly.coeffs == b.lambda_poly.coeffs
+    la = a.lambda_polys or {}
+    lb = b.lambda_polys or {}
+    assert la.keys() == lb.keys()
+    for k in la:
+        assert la[k].coeffs == lb[k].coeffs
+
+
+# ----------------------------------------------------------------------
+# SOS workspace cache
+# ----------------------------------------------------------------------
+def test_workspace_cached_verify_identical_to_fresh():
+    prob = decay_problem()
+    B = radial_barrier(2)
+    cached = SOSVerifier(prob, [], config=VerifierConfig(workspace_cache=True))
+    fresh = SOSVerifier(prob, [], config=VerifierConfig(workspace_cache=False))
+    # repeated verifies exercise the warm (hit) path of the cache
+    for candidate in (B, B * 1.7 - 0.05 * Polynomial.variable(2, 0), B):
+        assert_results_identical(cached.verify(candidate), fresh.verify(candidate))
+
+
+def test_workspace_cached_verify_identical_on_failing_candidate():
+    prob = decay_problem()
+    bad = -1.0 * radial_barrier(2)
+    cached = SOSVerifier(prob, [], config=VerifierConfig(workspace_cache=True))
+    fresh = SOSVerifier(prob, [], config=VerifierConfig(workspace_cache=False))
+    ra, rb = cached.verify(bad), fresh.verify(bad)
+    assert not ra.ok
+    assert_results_identical(ra, rb)
+
+
+def test_workspace_reused_across_verifies():
+    prob = decay_problem()
+    v = SOSVerifier(prob, [], config=VerifierConfig(workspace_cache=True))
+    v.verify(radial_barrier(2))
+    workspaces_after_first = dict(v._workspaces)
+    v.verify(radial_barrier(2, c=0.9))
+    assert v._workspaces.keys() == {"init", "unsafe", "lie"}
+    for key, ws in workspaces_after_first.items():
+        assert v._workspaces[key] is ws  # same cached object, only affine refresh
+
+
+# ----------------------------------------------------------------------
+# parallel verification
+# ----------------------------------------------------------------------
+def test_parallel_verify_equals_serial():
+    prob = decay_problem()
+    serial = SOSVerifier(prob, [], config=VerifierConfig(parallel=False))
+    par = SOSVerifier(
+        prob, [], config=VerifierConfig(parallel=True, max_workers=2)
+    )
+    for candidate in (radial_barrier(2), -1.0 * radial_barrier(2)):
+        assert_results_identical(par.verify(candidate), serial.verify(candidate))
+
+
+def test_parallel_verify_c1_smoke_equals_serial():
+    from repro.benchmarks import get_benchmark
+    from repro.cegis import SNBC, SNBCConfig
+
+    def run(parallel):
+        spec = get_benchmark("C1")
+        snbc = SNBC(
+            spec.make_problem(),
+            controller=spec.make_controller(),
+            config=SNBCConfig(parallel_verify=parallel),
+        )
+        return snbc.run()
+
+    r_ser, r_par = run(False), run(True)
+    assert r_ser.success == r_par.success
+    assert r_ser.iterations == r_par.iterations
+    assert r_ser.barrier.coeffs == r_par.barrier.coeffs
+    assert_results_identical(r_ser.verification, r_par.verification)
+
+
+# ----------------------------------------------------------------------
+# tape replay
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("lambda_hidden", [(5,), None])
+@pytest.mark.parametrize("arch", ["quadratic", "square"])
+def test_tape_training_bitwise_identical(arch, lambda_hidden):
+    prob = decay_problem()
+    data = TrainingData.sample(prob, 60, rng=np.random.default_rng(0))
+    field = prob.system.closed_loop([])
+
+    def run(use_tape):
+        cfg = LearnerConfig(
+            epochs=40,
+            seed=7,
+            b_architecture=arch,
+            lambda_hidden=lambda_hidden,
+            use_tape=use_tape,
+        )
+        learner = BarrierLearner(2, config=cfg)
+        learner.fit(data, field)
+        return learner
+
+    a, b = run(True), run(False)
+    for p, q in zip(a._params, b._params):
+        assert np.array_equal(p.data, q.data)
+    assert len(a.loss_history) == len(b.loss_history)
+    for ta, tb in zip(a.loss_history, b.loss_history):
+        assert ta.total == tb.total
+        assert ta.init == tb.init
+        assert ta.unsafe == tb.unsafe
+        assert ta.domain == tb.domain
+
+
+def test_tape_replay_matches_rebuild_for_raw_graph():
+    rng = np.random.default_rng(1)
+    w = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    x = Tensor(rng.normal(size=(5, 4)))
+
+    def build():
+        h = (x @ w).tanh()
+        return (h * h).sum() + h.abs().mean()
+
+    loss = build()
+    loss.backward()
+    tape = Tape(loss)
+    g0 = w.grad.copy()
+    # perturb the leaf and replay; compare against a fresh graph build
+    w.data = w.data * 1.01
+    tape.run()
+    g_tape = w.grad.copy()
+    v_tape = loss.item()
+    w.grad = None
+    loss2 = build()
+    loss2.backward()
+    assert v_tape == loss2.item()
+    assert np.array_equal(g_tape, w.grad)
+    assert g0.shape == g_tape.shape
+
+
+# ----------------------------------------------------------------------
+# compile_field memoization + incremental field values
+# ----------------------------------------------------------------------
+def test_compile_field_memoized_object_reused():
+    clear_compile_cache()
+    xs = Polynomial.variables(2)
+    field = [-1.0 * xs[0] + 0.5 * xs[1], xs[0] * xs[1]]
+    c1 = compile_field(field)
+    # structurally identical fresh Polynomial objects hit the same entry
+    field2 = [-1.0 * xs[0] + 0.5 * xs[1], xs[0] * xs[1]]
+    assert compile_field(field2) is c1
+    old = set_compile_cache_enabled(False)
+    try:
+        assert compile_field(field) is not c1
+    finally:
+        set_compile_cache_enabled(old)
+        clear_compile_cache()
+
+
+def test_incremental_field_values_bitwise_on_grown_dataset():
+    prob = decay_problem()
+    field = prob.system.closed_loop([])
+    rng = np.random.default_rng(5)
+    pts = prob.psi.sample(80, rng=rng)
+    grown = np.vstack([pts, prob.psi.sample(17, rng=rng)])
+
+    learner = BarrierLearner(
+        2, config=LearnerConfig(incremental_field_values=True)
+    )
+    ref = compile_field(field)
+    first = learner._field_values(field, pts)
+    assert np.array_equal(first, ref(pts))
+    second = learner._field_values(field, grown)  # prefix reused
+    assert np.array_equal(second, ref(grown))
+
+
+# ----------------------------------------------------------------------
+# satellite kernels
+# ----------------------------------------------------------------------
+def test_design_matrix_matches_reference_loop():
+    def reference(points, degree):
+        m, n = points.shape
+        basis = monomials_upto(n, degree)
+        pows = np.ones((degree + 1, m, n))
+        for k in range(1, degree + 1):
+            pows[k] = pows[k - 1] * points
+        cols = []
+        for alpha in basis:
+            col = np.ones(m)
+            for i, a in enumerate(alpha):
+                if a:
+                    col = col * pows[a][:, i]
+            cols.append(col)
+        return np.stack(cols, axis=1)
+
+    rng = np.random.default_rng(11)
+    for n, d in [(1, 4), (2, 2), (3, 3), (5, 2)]:
+        pts = 2.0 * rng.normal(size=(23, n))
+        assert np.array_equal(_design_matrix(pts, d), reference(pts, d))
+
+
+def test_compiled_violation_kernels_match_reference():
+    p1 = Polynomial(2, {(0, 0): 1.0, (1, 0): 2.0, (1, 1): -0.5, (0, 2): 1.0})
+    p2 = Polynomial(2, {(0, 0): 0.3, (2, 0): -1.0, (0, 1): 0.7})
+    q = Polynomial(2, {(1, 0): 1.0, (0, 2): -0.2})
+    pts = np.random.default_rng(3).normal(size=(64, 2))
+    ref = _ViolationFn([p1, p2], [(0.4, q)])
+    fast = _ViolationFn([p1, p2], [(0.4, q)], compiled=True)
+    np.testing.assert_allclose(ref.value(pts), fast.value(pts), rtol=1e-12)
+    np.testing.assert_allclose(
+        ref.gradient(pts), fast.gradient(pts), rtol=1e-12, atol=1e-14
+    )

@@ -95,6 +95,25 @@ def test_contraction_never_removes_solutions(center, radius):
     assert np.all(sat <= chi + 1e-9)
 
 
+def test_subnormal_coefficient_division_is_sound():
+    """Regression: a subnormal center coordinate gives the linear term a
+    subnormal coefficient; dividing by it overflows the quotient to inf,
+    which must be treated as uninformative, not as a tighter bound."""
+    x, y = Polynomial.variables(2)
+    center = [0.0, 5e-324]
+    radius = 0.625
+    g = radius ** 2 - (x - center[0]) ** 2 - (y - center[1]) ** 2
+    lo, hi = np.array([-3.0, -3.0]), np.array([3.0, 3.0])
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(lo, hi, size=(400, 2))
+    sat = pts[g(pts) >= 0]
+    out = contract_nonnegative(g, lo, hi)
+    assert out is not None
+    clo, chi = out
+    assert np.all(sat >= clo - 1e-9)
+    assert np.all(sat <= chi + 1e-9)
+
+
 def test_contractor_hook_in_branch_and_prune():
     """With a region contractor, B&P proves the same query processing no
     more boxes."""

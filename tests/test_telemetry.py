@@ -23,6 +23,7 @@ from repro.telemetry import (
 )
 from repro.telemetry.metrics import percentile
 from repro.telemetry.report import (
+    cache_rates,
     metrics_summary,
     phase_totals,
     render_report,
@@ -308,6 +309,30 @@ def test_render_report_text_and_markdown(tmp_path):
     assert "## Phases" in md and "| phase |" in md
 
 
+def test_cache_rates_pairs_hit_miss_counters():
+    rows = cache_rates({
+        "verifier.workspace.hits": 3.0,
+        "verifier.workspace.misses": 1.0,
+        "poly.compile_cache.misses": 2.0,  # cold cache: misses only
+        "cegis.iterations": 5.0,           # not a cache counter
+    })
+    assert rows == [
+        ("poly.compile_cache", 0, 2, 0.0),
+        ("verifier.workspace", 3, 1, 0.75),
+    ]
+    assert cache_rates({"cegis.iterations": 5.0}) == []
+
+
+def test_render_report_caches_section(tmp_path):
+    trace = str(tmp_path / "caches.jsonl")
+    with session(trace, name="cache-test") as tel:
+        tel.metrics.inc("verifier.workspace.hits", 3)
+        tel.metrics.inc("verifier.workspace.misses")
+    events = load_events(trace)
+    text = render_report(events, fmt="text")
+    assert "Caches" in text and "verifier.workspace" in text and "75.0%" in text
+
+
 def test_report_cli_main(tmp_path, capsys):
     trace = _sample_trace(tmp_path)
     assert report_main([trace]) == 0
@@ -322,7 +347,7 @@ def test_report_cli_json_format(tmp_path, capsys):
     trace = _sample_trace(tmp_path)
     assert report_main([trace, "--format", "json"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert set(payload) == {"manifest", "phases", "spans", "metrics"}
+    assert set(payload) == {"manifest", "phases", "spans", "metrics", "caches"}
     assert payload["manifest"]["name"] == "report-test"
     assert set(payload["phases"]) == {"learning", "verification"}
     assert payload["metrics"]["counters"]["cegis.iterations"] == 2.0
