@@ -3,19 +3,30 @@
     python benchmarks/run_bench_table1.py --systems C1
     python benchmarks/run_bench_table1.py --out results/BENCH_table1.json
     python benchmarks/run_bench_table1.py --jobs 4
+    python benchmarks/run_bench_table1.py --checkpoint-dir results/ckpt --resume
+    python benchmarks/run_bench_table1.py --time-budget 600
     REPRO_BENCH_SCALE=paper python benchmarks/run_bench_table1.py
 
 Runs SNBC on the selected Table-1 systems with full telemetry (trace +
 manifest + audit artifact per run under ``results/telemetry/``) and
 writes the aggregate ``BENCH_table1.json`` for the regression gate
-(``python -m repro.diagnostics.regress``).  Exits nonzero when any
-selected system fails to synthesize a certificate, so CI fails fast even
+(``python -m repro.diagnostics.regress``).
+
+One bad row never loses the table: a system that raises is recorded with
+``outcome: "error"`` (exception class included) and the remaining rows
+still run; deadline overruns (``--time-budget``) land as ``timeout``
+rows (the paper's OOT).  In ``--jobs`` mode a dead worker is classified
+as a ``WorkerCrash`` and its row is retried once serially before being
+recorded.  ``--checkpoint-dir``/``--resume`` continue interrupted runs
+bit-identically (see ``docs/robustness.md``).  Exits nonzero when any
+selected system fails to produce a certificate, so CI fails fast even
 before the gate compares timings.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import table1_common
@@ -26,36 +37,131 @@ from table1_common import (
     run_snbc_row,
     systems_for_scale,
 )
+from repro.diagnostics import error_entry, result_outcome
+from repro.resilience import WorkerCrash
+from repro.resilience.faults import fault_point
 
 
-def _run_parallel(names, scale, jobs) -> list:
+def _checkpoint_path(directory, name, scale):
+    if not directory:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(directory, f"{name}-{scale}.ckpt.json")
+
+
+def _resume_path(directory, name, scale, resume):
+    path = _checkpoint_path(directory, name, scale)
+    if resume and path and os.path.exists(path):
+        return path
+    return None
+
+
+def _run_one_serial(name, scale, args, failures):
+    """Run one system in-process; any raise becomes an ``error`` row."""
+    print(f"[{scale}] {name}: running SNBC ...", flush=True)
+    try:
+        result = run_snbc(
+            name,
+            scale,
+            checkpoint_path=_checkpoint_path(args.checkpoint_dir, name, scale),
+            resume_from=_resume_path(
+                args.checkpoint_dir, name, scale, args.resume
+            ),
+            time_budget_s=args.time_budget,
+        )
+    except Exception as exc:
+        table1_common.BENCH_ROWS[name] = error_entry(exc)
+        print(
+            f"[{scale}] {name}: ERROR ({type(exc).__name__}: {exc})",
+            flush=True,
+        )
+        failures.append(name)
+        return
+    outcome = result_outcome(result)
+    status = "ok" if outcome == "success" else outcome.upper()
+    print(
+        f"[{scale}] {name}: {status}  iterations={result.iterations}  "
+        f"T_e={result.timings.total:.3f}s",
+        flush=True,
+    )
+    if outcome != "success":
+        failures.append(name)
+
+
+def _run_parallel(names, scale, args) -> list:
     """Run Table-1 rows in a process pool; returns failed system names.
 
     Each system is an independent SNBC run (separate telemetry files,
     deterministic seeds), so rows are embarrassingly parallel; the
     workers' BENCH rows are merged back into this process before the
-    document is emitted.  Raises on pool failure — the caller falls back
-    to the serial loop.
+    document is emitted.  A future whose worker died is recorded as a
+    ``WorkerCrash`` and retried once serially; other per-row raises
+    become ``error`` rows.  Raises only when the pool cannot start at
+    all — the caller then falls back to the serial loop.
     """
     import concurrent.futures
+    from concurrent.futures.process import BrokenProcessPool
 
     failures = []
-    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+    retry_serially = []
+    with concurrent.futures.ProcessPoolExecutor(max_workers=args.jobs) as pool:
         futures = {
-            pool.submit(run_snbc_row, name, scale): name for name in names
+            pool.submit(
+                run_snbc_row,
+                name,
+                scale,
+                checkpoint_path=_checkpoint_path(
+                    args.checkpoint_dir, name, scale
+                ),
+                resume_from=_resume_path(
+                    args.checkpoint_dir, name, scale, args.resume
+                ),
+                time_budget_s=args.time_budget,
+            ): name
+            for name in names
         }
         for fut in concurrent.futures.as_completed(futures):
             name = futures[fut]
-            row, success, iterations, total = fut.result()
+            try:
+                fault_point("bench.pool")
+                row, success, iterations, total = fut.result()
+            except BrokenProcessPool as exc:
+                # the worker died (OOM kill, segfault): classify the row,
+                # then give the system one serial retry in this process
+                crash = WorkerCrash(
+                    f"pool worker died while running {name}: {exc}",
+                    cause=exc,
+                    system=name,
+                )
+                table1_common.BENCH_ROWS[name] = error_entry(crash)
+                print(
+                    f"[{scale}] {name}: WORKER CRASH ({exc}); "
+                    "will retry serially",
+                    flush=True,
+                )
+                retry_serially.append(name)
+                continue
+            except Exception as exc:
+                table1_common.BENCH_ROWS[name] = error_entry(exc)
+                print(
+                    f"[{scale}] {name}: ERROR ({type(exc).__name__}: {exc})",
+                    flush=True,
+                )
+                failures.append(name)
+                continue
             table1_common.BENCH_ROWS[name] = row
-            status = "ok" if success else "FAILED"
+            outcome = row.get("outcome", "success" if success else "failure")
+            status = "ok" if outcome == "success" else outcome.upper()
             print(
                 f"[{scale}] {name}: {status}  iterations={iterations}  "
                 f"T_e={total:.3f}s",
                 flush=True,
             )
-            if not success:
+            if outcome != "success":
                 failures.append(name)
+    for name in retry_serially:
+        # overwrites the WorkerCrash row when the retry completes
+        _run_one_serial(name, scale, args, failures)
     return failures
 
 
@@ -73,7 +179,18 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="run systems in a process pool of this size "
                              "(default 1: serial)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="write per-system CEGIS checkpoints under this "
+                             "directory (<name>-<scale>.ckpt.json)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume each system from its checkpoint in "
+                             "--checkpoint-dir when one exists")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        help="per-system wall-clock budget in seconds; "
+                             "overruns are recorded as 'timeout' rows")
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
 
     scale = bench_scale()
     names = (
@@ -84,23 +201,14 @@ def main(argv=None) -> int:
     failures = None
     if args.jobs > 1 and len(names) > 1:
         try:
-            failures = _run_parallel(names, scale, args.jobs)
+            failures = _run_parallel(names, scale, args)
         except Exception as exc:  # pool unavailable -> serial fallback
             print(f"process pool failed ({exc}); running serially", flush=True)
             failures = None
     if failures is None:
         failures = []
         for name in names:
-            print(f"[{scale}] {name}: running SNBC ...", flush=True)
-            result = run_snbc(name, scale)
-            status = "ok" if result.success else "FAILED"
-            print(
-                f"[{scale}] {name}: {status}  iterations={result.iterations}  "
-                f"T_e={result.timings.total:.3f}s",
-                flush=True,
-            )
-            if not result.success:
-                failures.append(name)
+            _run_one_serial(name, scale, args, failures)
 
     out = emit_bench_document(args.out, scale)
     print(f"BENCH document written to {out}")

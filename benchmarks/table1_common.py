@@ -9,6 +9,7 @@ table by eye.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
@@ -16,7 +17,13 @@ from typing import Dict, List, Optional, Tuple
 from repro.benchmarks import BenchmarkSpec, get_benchmark
 from repro.cegis import SNBC, SNBCResult
 from repro.controllers import NNController, PolynomialInclusion, polynomial_inclusion
-from repro.diagnostics import audit_certificate, bench_entry, write_audit, write_bench
+from repro.diagnostics import (
+    audit_certificate,
+    bench_entry,
+    result_outcome,
+    write_audit,
+    write_bench,
+)
 from repro.telemetry import session as telemetry_session
 
 #: every Table-1 run emits its trace + manifest here (overwritten per run)
@@ -77,7 +84,13 @@ def prepared_inclusion(name: str) -> PolynomialInclusion:
     )
 
 
-def run_snbc(name: str, scale: Optional[str] = None) -> SNBCResult:
+def run_snbc(
+    name: str,
+    scale: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
+    time_budget_s: Optional[float] = None,
+) -> SNBCResult:
     """One SNBC run with the spec's Table 1 configuration.
 
     Telemetry is on for every harness run: a JSONL span trace plus a run
@@ -87,10 +100,21 @@ def run_snbc(name: str, scale: Optional[str] = None) -> SNBCResult:
     ``python -m repro.diagnostics.report results/telemetry/<name>-<scale>``.
     The run's BENCH row is accumulated in :data:`BENCH_ROWS` for
     :func:`emit_bench_document`.
+
+    ``checkpoint_path``/``resume_from`` thread through to
+    :meth:`SNBC.run` (see ``docs/robustness.md``); ``time_budget_s``
+    arms the per-run deadline, so an overrun lands as a clean
+    ``timeout`` row instead of an open-ended run.
     """
     scale = scale or bench_scale()
     spec, problem, controller = prepared(name)
     snbc_config = spec.snbc_config(scale)
+    if checkpoint_path or time_budget_s:
+        snbc_config = dataclasses.replace(
+            snbc_config,
+            checkpoint_path=checkpoint_path or snbc_config.checkpoint_path,
+            time_budget_s=time_budget_s or snbc_config.time_budget_s,
+        )
     learner_config = spec.learner_config()
     trace_path = os.path.join(
         os.path.normpath(TELEMETRY_DIR), f"{name}-{scale}.jsonl"
@@ -111,9 +135,9 @@ def run_snbc(name: str, scale: Optional[str] = None) -> SNBCResult:
             learner_config=learner_config,
             config=snbc_config,
         )
-        result = snbc.run()
+        result = snbc.run(resume_from=resume_from)
         tel.manifest.finish(
-            "success" if result.success else "failure",
+            result_outcome(result),
             iterations=result.iterations,
             timings={
                 "inclusion": result.timings.inclusion,
@@ -123,18 +147,36 @@ def run_snbc(name: str, scale: Optional[str] = None) -> SNBCResult:
                 "total": result.timings.total,
             },
         )
-    audit = audit_certificate(result, problem)
-    write_audit(trace_path[: -len(".jsonl")] + ".audit.json", audit)
+    # timeout/error runs may end before any candidate exists
+    audit = (
+        audit_certificate(result, problem)
+        if result.barrier is not None
+        else None
+    )
+    if audit is not None:
+        write_audit(trace_path[: -len(".jsonl")] + ".audit.json", audit)
     BENCH_ROWS[name] = bench_entry(result, audit=audit)
     return result
 
 
-def run_snbc_row(name: str, scale: Optional[str] = None) -> Tuple[dict, bool, int, float]:
+def run_snbc_row(
+    name: str,
+    scale: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
+    time_budget_s: Optional[float] = None,
+) -> Tuple[dict, bool, int, float]:
     """Process-pool entry point for parallel Table-1 rows: run one system
     and return its BENCH row plus the printable summary fields (the
     worker's module-global :data:`BENCH_ROWS` is not shared with the
     parent, so the row travels back in the return value)."""
-    result = run_snbc(name, scale)
+    result = run_snbc(
+        name,
+        scale,
+        checkpoint_path=checkpoint_path,
+        resume_from=resume_from,
+        time_budget_s=time_budget_s,
+    )
     return (
         BENCH_ROWS[name],
         bool(result.success),

@@ -13,6 +13,16 @@ from repro.controllers import NNController, PolynomialInclusion, polynomial_incl
 from repro.dynamics import CCDS
 from repro.learner import BarrierLearner, LearnerConfig, TrainingData
 from repro.poly import Polynomial
+from repro.resilience import (
+    BudgetExhausted,
+    LearnerDivergence,
+    ReproError,
+    TimeBudget,
+    load_checkpoint,
+    restore_rng,
+    rng_state,
+    save_checkpoint,
+)
 from repro.sets import Ball, Box
 from repro.telemetry import Telemetry, get_telemetry
 from repro.verifier import SOSVerifier, VerificationResult, VerifierConfig
@@ -117,6 +127,19 @@ class SNBCConfig:
     parallel_verify: bool = False
     verify_max_workers: Optional[int] = None
     seed: int = 0
+    #: wall-clock deadline for the whole run; an overrun anywhere in the
+    #: loop ends cleanly with ``outcome == "timeout"`` (the paper's OOT)
+    time_budget_s: Optional[float] = None
+    #: per-CEGIS-iteration deadline (same clean ``timeout`` semantics)
+    iteration_budget_s: Optional[float] = None
+    #: write a resumable checkpoint here after each failed iteration;
+    #: ``SNBC.run(resume_from=...)`` continues bit-identically from it
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 1
+    #: on :class:`LearnerDivergence`, roll the learner back to its
+    #: pre-``fit`` state and retry with extra samples this many times
+    #: before surfacing the failure as ``outcome == "error"``
+    learner_recovery_attempts: int = 2
 
 
 @dataclass
@@ -135,6 +158,20 @@ class SNBCResult:
     counterexamples: List[CexRecord] = field(default_factory=list)
     stalled: bool = False
     stall_iteration: Optional[int] = None
+    #: ``"verified"`` | ``"not_verified"`` | ``"timeout"`` | ``"error"``
+    #: — the first two restate ``success``; the last two classify runs
+    #: that ended early (deadline overrun / unrecoverable typed failure)
+    outcome: str = ""
+    #: :meth:`repro.resilience.ReproError.to_dict` of the failure that
+    #: ended the run, for ``timeout``/``error`` outcomes
+    error: Optional[Dict[str, Any]] = None
+    timed_out: bool = False
+    #: iteration the run was resumed from, when ``run(resume_from=...)``
+    resumed_from_iteration: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.outcome:
+            self.outcome = "verified" if self.success else "not_verified"
 
     @property
     def total_time(self) -> float:
@@ -262,7 +299,15 @@ class SNBC:
             return  # not Hurwitz; keep the random initialization
         try:
             P = solve_continuous_lyapunov(A.T, -np.eye(n))
-        except Exception:
+        except (ValueError, np.linalg.LinAlgError) as exc:
+            # a singular/ill-conditioned Lyapunov system just means no
+            # warm start — keep the random initialization, but say so
+            tel = self.telemetry
+            tel.metrics.inc("cegis.warm_start.lyapunov_failures")
+            tel.event(
+                "cegis.warm_start_skipped",
+                reason=f"{type(exc).__name__}: {exc}",
+            )
             return
         P = 0.5 * (P + P.T)
         if np.linalg.eigvalsh(P)[0] <= 0:
@@ -295,183 +340,257 @@ class SNBC:
             chosen = (P_try, 1.05 * v_theta)
         try:
             net.init_from_quadratic_form(chosen[0], chosen[1], rng=self.rng)
-        except ValueError:
-            pass  # multi-layer nets keep their random initialization
+        except ValueError as exc:
+            # multi-layer nets keep their random initialization
+            tel = self.telemetry
+            tel.metrics.inc("cegis.warm_start.arch_fallbacks")
+            tel.event("cegis.warm_start_skipped", reason=str(exc))
 
-    def run(self) -> SNBCResult:
-        """Execute Algorithm 1 and return the synthesis outcome."""
+    def run(self, resume_from: Optional[str] = None) -> SNBCResult:
+        """Execute Algorithm 1 and return the synthesis outcome.
+
+        ``resume_from`` names a checkpoint written by a previous run (see
+        :attr:`SNBCConfig.checkpoint_path`); the loop continues from the
+        iteration after the checkpoint, bit-identically to an
+        uninterrupted run.  Deadline overruns and unrecoverable typed
+        failures never raise out of this method — they end the run with
+        ``outcome == "timeout"`` / ``"error"`` instead.
+        """
         tel = self.telemetry
         with tel.span(
             "snbc.run", problem=self.problem.name, seed=self.config.seed
         ) as run_span:
-            result = self._run_inner(tel)
+            result = self._run_inner(tel, resume_from=resume_from)
             run_span.set_attrs(
-                success=result.success, iterations=result.iterations
+                success=result.success,
+                iterations=result.iterations,
+                outcome=result.outcome,
             )
         return result
 
-    def _run_inner(self, tel: Telemetry) -> SNBCResult:
+    def _run_inner(
+        self, tel: Telemetry, resume_from: Optional[str] = None
+    ) -> SNBCResult:
         cfg = self.config
         timings = PhaseTimings()
         history: List[IterationRecord] = []
-
-        self._ensure_inclusion(timings)
-        h_polys = self._controller_polys()
-        sigma = self._sigma_star()
-        # The Learner trains the robust Lie margin: nominal loop (w = 0)
-        # minus sigma*-weighted input gains, matching the Verifier's
-        # endpoint checks.
-        field_polys = self.problem.system.closed_loop(h_polys)
-        system = self.problem.system
-        gain_fields = [
-            [system.G[i][j] for i in range(system.n_vars)]
-            for j in range(system.n_inputs)
-            if len(sigma) > j and sigma[j] > 0.0
-        ]
-        active_sigma = [s for s in sigma if s > 0.0]
-
-        data = TrainingData.sample(self.problem, cfg.n_samples, rng=self.rng)
-        learner = BarrierLearner(
-            self.problem.n_vars, self.learner_config, rng=self._learner_rng
-        )
-        if self.learner_config.warm_start:
-            self._warm_start(learner, field_polys, data)
-        verifier = SOSVerifier(
-            self.problem, h_polys, sigma, config=self.verifier_config
-        )
-        cex_gen = CounterexampleGenerator(
-            self.problem, h_polys, sigma, config=self.cex_config,
-            rng=self._cex_rng,
+        budget = TimeBudget(
+            total_s=cfg.time_budget_s, iteration_s=cfg.iteration_budget_s
         )
 
         verification: Optional[VerificationResult] = None
         barrier: Optional[Polynomial] = None
         lam_poly: Optional[Polynomial] = None
-        first_epochs = cfg.first_epochs or self.learner_config.epochs
-        retrain_epochs = cfg.retrain_epochs or max(1, self.learner_config.epochs // 2)
-
         cex_records: List[CexRecord] = []
+        cex_gen: Optional[CounterexampleGenerator] = None
         success = False
         iterations_run = 0
+        error_info: Optional[Dict[str, Any]] = None
+        timed_out = False
+        resumed_from: Optional[int] = None
 
-        for iteration in range(1, cfg.max_iterations + 1):
-            iterations_run = iteration
-            tel.metrics.inc("cegis.iterations")
-            with tel.span("snbc.iteration", iteration=iteration) as it_span:
-                with tel.span(
-                    "snbc.learning", phase="learning", iteration=iteration
-                ) as sp:
-                    epochs = first_epochs if iteration == 1 else retrain_epochs
-                    terms = learner.fit(
-                        data,
-                        field_polys,
-                        epochs=epochs,
-                        gain_fields=gain_fields,
-                        sigma_star=active_sigma,
-                    )
-                    sp.set_attrs(epochs=epochs, loss=terms.total)
-                timings.learning += sp.duration
-                tel.metrics.gauge("cegis.loss", terms.total)
+        try:
+            budget.check(phase="inclusion")
+            self._ensure_inclusion(timings)
+            h_polys = self._controller_polys()
+            sigma = self._sigma_star()
+            # The Learner trains the robust Lie margin: nominal loop
+            # (w = 0) minus sigma*-weighted input gains, matching the
+            # Verifier's endpoint checks.
+            field_polys = self.problem.system.closed_loop(h_polys)
+            system = self.problem.system
+            gain_fields = [
+                [system.G[i][j] for i in range(system.n_vars)]
+                for j in range(system.n_inputs)
+                if len(sigma) > j and sigma[j] > 0.0
+            ]
+            active_sigma = [s for s in sigma if s > 0.0]
 
-                barrier, lam_poly = learner.candidate()
+            data = TrainingData.sample(self.problem, cfg.n_samples, rng=self.rng)
+            learner = BarrierLearner(
+                self.problem.n_vars, self.learner_config, rng=self._learner_rng
+            )
+            start_iteration = 1
+            if resume_from is not None:
+                resumed_from = self._restore_checkpoint(
+                    resume_from, learner, data, cex_records, history, timings
+                )
+                start_iteration = resumed_from + 1
+                tel.event(
+                    "cegis.resume",
+                    checkpoint=resume_from,
+                    iteration=resumed_from,
+                )
+                tel.metrics.inc("cegis.resumes")
+            elif self.learner_config.warm_start:
+                self._warm_start(learner, field_polys, data)
+            verifier = SOSVerifier(
+                self.problem, h_polys, sigma, config=self.verifier_config
+            )
+            cex_gen = CounterexampleGenerator(
+                self.problem, h_polys, sigma, config=self.cex_config,
+                rng=self._cex_rng,
+            )
 
-                with tel.span(
-                    "snbc.verification", phase="verification", iteration=iteration
-                ) as sp:
-                    verification = verifier.verify(barrier)
-                    sp.set_attrs(
-                        ok=verification.ok,
-                        failed=verification.failed_conditions(),
-                    )
-                timings.verification += sp.duration
+            first_epochs = cfg.first_epochs or self.learner_config.epochs
+            retrain_epochs = (
+                cfg.retrain_epochs or max(1, self.learner_config.epochs // 2)
+            )
 
-                if verification.ok:
-                    record = IterationRecord(
-                        iteration,
-                        terms.total,
-                        True,
-                        [],
-                        0,
-                        loss_init=terms.init,
-                        loss_unsafe=terms.unsafe,
-                        loss_domain=terms.domain,
-                        worst_violation=0.0,
-                        dataset_sizes=data.sizes(),
-                    )
-                    history.append(record)
-                    it_span.set_attr("verified", True)
-                    tel.event("cegis.iteration", **record.to_dict())
-                    success = True
-                    break
+            for iteration in range(start_iteration, cfg.max_iterations + 1):
+                iterations_run = iteration
+                tel.metrics.inc("cegis.iterations")
+                budget.start_iteration(iteration)
+                budget.check(phase="learning")
+                with tel.span("snbc.iteration", iteration=iteration) as it_span:
+                    with tel.span(
+                        "snbc.learning", phase="learning", iteration=iteration
+                    ) as sp:
+                        epochs = (
+                            first_epochs if iteration == 1 else retrain_epochs
+                        )
+                        terms = self._fit_with_recovery(
+                            learner,
+                            data,
+                            field_polys,
+                            epochs,
+                            gain_fields,
+                            active_sigma,
+                            iteration,
+                        )
+                        sp.set_attrs(epochs=epochs, loss=terms.total)
+                    timings.learning += sp.duration
+                    tel.metrics.gauge("cegis.loss", terms.total)
 
-                with tel.span(
-                    "snbc.counterexample",
-                    phase="counterexample",
-                    iteration=iteration,
-                ) as sp:
-                    failed = verification.failed_conditions()
-                    cexs = cex_gen.generate(barrier, lam_poly, failed)
-                    n_cex = 0
-                    for cex in cexs:
-                        n_cex += len(cex.points)
-                        if cex.condition == "init":
-                            data.add_init(cex.points)
-                        elif cex.condition == "unsafe":
-                            data.add_unsafe(cex.points)
-                        else:
-                            data.add_domain(cex.points)
-                        cex_records.append(
-                            CexRecord(
-                                iteration=iteration,
-                                condition=cex.condition,
-                                paper_condition=PAPER_CONDITION_NUMBERS.get(
-                                    cex.condition, 0
-                                ),
-                                worst_violation=float(cex.worst_violation),
-                                gamma=float(cex.gamma),
-                                n_points=len(cex.points),
-                                worst_point=np.asarray(
-                                    cex.worst_point, dtype=float
-                                ).tolist(),
+                    barrier, lam_poly = learner.candidate()
+
+                    budget.check(phase="verification")
+                    self._apply_sdp_time_limit(budget)
+                    with tel.span(
+                        "snbc.verification",
+                        phase="verification",
+                        iteration=iteration,
+                    ) as sp:
+                        verification = verifier.verify(barrier)
+                        sp.set_attrs(
+                            ok=verification.ok,
+                            failed=verification.failed_conditions(),
+                        )
+                    timings.verification += sp.duration
+
+                    if verification.ok:
+                        record = IterationRecord(
+                            iteration,
+                            terms.total,
+                            True,
+                            [],
+                            0,
+                            loss_init=terms.init,
+                            loss_unsafe=terms.unsafe,
+                            loss_domain=terms.domain,
+                            worst_violation=0.0,
+                            dataset_sizes=data.sizes(),
+                        )
+                        history.append(record)
+                        it_span.set_attr("verified", True)
+                        tel.event("cegis.iteration", **record.to_dict())
+                        success = True
+                        break
+
+                    budget.check(phase="counterexample")
+                    with tel.span(
+                        "snbc.counterexample",
+                        phase="counterexample",
+                        iteration=iteration,
+                    ) as sp:
+                        failed = verification.failed_conditions()
+                        cexs = cex_gen.generate(barrier, lam_poly, failed)
+                        n_cex = 0
+                        for cex in cexs:
+                            n_cex += len(cex.points)
+                            if cex.condition == "init":
+                                data.add_init(cex.points)
+                            elif cex.condition == "unsafe":
+                                data.add_unsafe(cex.points)
+                            else:
+                                data.add_domain(cex.points)
+                            cex_records.append(
+                                CexRecord(
+                                    iteration=iteration,
+                                    condition=cex.condition,
+                                    paper_condition=PAPER_CONDITION_NUMBERS.get(
+                                        cex.condition, 0
+                                    ),
+                                    worst_violation=float(cex.worst_violation),
+                                    gamma=float(cex.gamma),
+                                    n_points=len(cex.points),
+                                    worst_point=np.asarray(
+                                        cex.worst_point, dtype=float
+                                    ).tolist(),
+                                )
                             )
-                        )
-                    if n_cex == 0:
-                        # certificate failed only numerically (no true
-                        # violation found): refresh with new random samples
-                        # to perturb training
-                        extra = TrainingData.sample(
-                            self.problem, max(16, cfg.n_samples // 8), rng=self.rng
-                        )
-                        data.add_init(extra.s_init)
-                        data.add_unsafe(extra.s_unsafe)
-                        data.add_domain(extra.s_domain)
-                    sp.set_attrs(n_counterexamples=n_cex, failed=failed)
-                timings.counterexample += sp.duration
-                tel.metrics.inc("cegis.counterexamples", n_cex)
-                it_span.set_attr("verified", False)
+                        if n_cex == 0:
+                            # certificate failed only numerically (no true
+                            # violation found): refresh with new random
+                            # samples to perturb training
+                            extra = TrainingData.sample(
+                                self.problem,
+                                max(16, cfg.n_samples // 8),
+                                rng=self.rng,
+                            )
+                            data.add_init(extra.s_init)
+                            data.add_unsafe(extra.s_unsafe)
+                            data.add_domain(extra.s_domain)
+                        sp.set_attrs(n_counterexamples=n_cex, failed=failed)
+                    timings.counterexample += sp.duration
+                    tel.metrics.inc("cegis.counterexamples", n_cex)
+                    it_span.set_attr("verified", False)
 
-            worst = max(
-                (float(c.worst_violation) for c in cexs), default=0.0
-            )
-            record = IterationRecord(
-                iteration,
-                terms.total,
-                False,
-                failed,
-                n_cex,
-                loss_init=terms.init,
-                loss_unsafe=terms.unsafe,
-                loss_domain=terms.domain,
-                worst_violation=worst,
-                dataset_sizes=data.sizes(),
-            )
-            history.append(record)
-            tel.event("cegis.iteration", **record.to_dict())
+                worst = max(
+                    (float(c.worst_violation) for c in cexs), default=0.0
+                )
+                record = IterationRecord(
+                    iteration,
+                    terms.total,
+                    False,
+                    failed,
+                    n_cex,
+                    loss_init=terms.init,
+                    loss_unsafe=terms.unsafe,
+                    loss_domain=terms.domain,
+                    worst_violation=worst,
+                    dataset_sizes=data.sizes(),
+                )
+                history.append(record)
+                tel.event("cegis.iteration", **record.to_dict())
+                if (
+                    cfg.checkpoint_path
+                    and iteration % max(1, cfg.checkpoint_every) == 0
+                ):
+                    self._write_checkpoint(
+                        cfg.checkpoint_path,
+                        iteration,
+                        learner,
+                        data,
+                        cex_records,
+                        history,
+                        timings,
+                    )
+        except BudgetExhausted as exc:
+            timed_out = True
+            error_info = exc.to_dict()
+            tel.metrics.inc("cegis.timeouts")
+            tel.event("cegis.timeout", **error_info)
+        except ReproError as exc:
+            error_info = exc.to_dict()
+            tel.metrics.inc("cegis.errors")
+            tel.event("cegis.error", **error_info)
 
         final_lambda = (
             (verification.lambda_poly if verification else None) or lam_poly
         )
-        self._finalize_lineage(cex_records, cex_gen, barrier, final_lambda)
+        if cex_gen is not None:
+            self._finalize_lineage(cex_records, cex_gen, barrier, final_lambda)
         tel.event(
             "cegis.lineage", records=[c.to_dict() for c in cex_records]
         )
@@ -494,6 +613,12 @@ class SNBC:
                 window=cfg.stall_window,
             )
 
+        if timed_out:
+            outcome = "timeout"
+        elif error_info is not None:
+            outcome = "error"
+        else:
+            outcome = "verified" if success else "not_verified"
         return SNBCResult(
             success=success,
             barrier=barrier,
@@ -507,7 +632,149 @@ class SNBC:
             counterexamples=cex_records,
             stalled=stalled,
             stall_iteration=stall_iteration,
+            outcome=outcome,
+            error=error_info,
+            timed_out=timed_out,
+            resumed_from_iteration=resumed_from,
         )
+
+    # ------------------------------------------------------------------
+    def _fit_with_recovery(
+        self,
+        learner: BarrierLearner,
+        data: TrainingData,
+        field_polys: Sequence[Polynomial],
+        epochs: int,
+        gain_fields: Sequence[Sequence[Polynomial]],
+        active_sigma: Sequence[float],
+        iteration: int,
+    ):
+        """Run ``learner.fit``; on :class:`LearnerDivergence` roll the
+        learner back to its pre-``fit`` state (``fit`` raises before the
+        poisoning step, so the rollback point is finite), append fresh
+        random samples, and retry a bounded number of times."""
+        tel = self.telemetry
+        cfg = self.config
+        pre_fit = learner.snapshot()
+        attempt = 0
+        while True:
+            try:
+                return learner.fit(
+                    data,
+                    field_polys,
+                    epochs=epochs,
+                    gain_fields=gain_fields,
+                    sigma_star=active_sigma,
+                )
+            except LearnerDivergence as exc:
+                attempt += 1
+                tel.metrics.inc("cegis.learner_recoveries")
+                tel.event(
+                    "cegis.learner_divergence",
+                    iteration=iteration,
+                    attempt=attempt,
+                    **exc.to_dict(),
+                )
+                if attempt > cfg.learner_recovery_attempts:
+                    raise
+                learner.restore(pre_fit)
+                extra = TrainingData.sample(
+                    self.problem, max(16, cfg.n_samples // 8), rng=self.rng
+                )
+                data.add_init(extra.s_init)
+                data.add_unsafe(extra.s_unsafe)
+                data.add_domain(extra.s_domain)
+
+    def _apply_sdp_time_limit(self, budget: TimeBudget) -> None:
+        """Cap each verification SDP at the remaining run budget so one
+        slow solve cannot blow far past the deadline (the IPM checks the
+        limit cooperatively, once per iteration)."""
+        remaining = budget.remaining()
+        if remaining is None:
+            return
+        self.verifier_config.sdp_options = dataclasses.replace(
+            self.verifier_config.sdp_options,
+            time_limit_s=max(0.001, remaining),
+        )
+
+    # ------------------------------------------------------------------
+    def _write_checkpoint(
+        self,
+        path: str,
+        iteration: int,
+        learner: BarrierLearner,
+        data: TrainingData,
+        cex_records: List[CexRecord],
+        history: List[IterationRecord],
+        timings: PhaseTimings,
+    ) -> None:
+        payload = {
+            "problem": self.problem.name,
+            "seed": self.config.seed,
+            "iteration": iteration,
+            "learner": learner.snapshot(),
+            "data": {
+                "s_init": np.asarray(data.s_init, dtype=float).tolist(),
+                "s_unsafe": np.asarray(data.s_unsafe, dtype=float).tolist(),
+                "s_domain": np.asarray(data.s_domain, dtype=float).tolist(),
+            },
+            "cex_records": [c.to_dict() for c in cex_records],
+            "history": [r.to_dict() for r in history],
+            "timings": dataclasses.asdict(timings),
+            "rng": {
+                "sampling": rng_state(self.rng),
+                "learner": rng_state(self._learner_rng),
+                "cex": rng_state(self._cex_rng),
+            },
+        }
+        save_checkpoint(path, payload)
+        self.telemetry.metrics.inc("cegis.checkpoints")
+
+    def _restore_checkpoint(
+        self,
+        path: str,
+        learner: BarrierLearner,
+        data: TrainingData,
+        cex_records: List[CexRecord],
+        history: List[IterationRecord],
+        timings: PhaseTimings,
+    ) -> int:
+        """Load ``path`` into the freshly-constructed run state; returns
+        the iteration the checkpoint was written after.  The caller's
+        initial sampling/initialization draws are irrelevant — all three
+        RNG streams are restored to their checkpointed states."""
+        from repro.resilience import CheckpointError
+
+        doc = load_checkpoint(path)
+        if (
+            doc.get("problem") != self.problem.name
+            or doc.get("seed") != self.config.seed
+        ):
+            raise CheckpointError(
+                f"checkpoint {path} is for problem "
+                f"{doc.get('problem')!r} seed {doc.get('seed')!r}, not "
+                f"{self.problem.name!r} seed {self.config.seed!r}",
+                path=path,
+            )
+        learner.restore(doc["learner"])
+        n = self.problem.n_vars
+        d = doc["data"]
+        data.s_init = np.asarray(d["s_init"], dtype=float).reshape(-1, n)
+        data.s_unsafe = np.asarray(d["s_unsafe"], dtype=float).reshape(-1, n)
+        data.s_domain = np.asarray(d["s_domain"], dtype=float).reshape(-1, n)
+        cex_records.extend(CexRecord(**c) for c in doc["cex_records"])
+        history.extend(
+            IterationRecord(
+                **{**r, "dataset_sizes": tuple(r["dataset_sizes"])}
+            )
+            for r in doc["history"]
+        )
+        for key, value in doc["timings"].items():
+            setattr(timings, key, float(value))
+        restore_rng(self.rng, doc["rng"]["sampling"])
+        restore_rng(self._learner_rng, doc["rng"]["learner"])
+        restore_rng(self._cex_rng, doc["rng"]["cex"])
+        return int(doc["iteration"])
 
     def _finalize_lineage(
         self,

@@ -22,6 +22,8 @@ from scipy.optimize import linprog
 from repro.controllers.controller import NNController
 from repro.poly import Polynomial
 from repro.poly.monomials import monomials_upto
+from repro.resilience.errors import InclusionError
+from repro.resilience.faults import fault_point
 from repro.sets import Box
 from repro.telemetry import get_telemetry
 
@@ -92,6 +94,7 @@ def _chebyshev_lp(phi: np.ndarray, targets: np.ndarray) -> Tuple[np.ndarray, flo
         [np.hstack([phi, -ones]), np.hstack([-phi, -ones])]
     )
     b_ub = np.concatenate([targets, -targets])
+    fault_point("inclusion.lp")
     res = linprog(
         c,
         A_ub=A_ub,
@@ -164,6 +167,12 @@ def polynomial_inclusion(
     values = np.atleast_2d(np.asarray(controller(mesh), dtype=float))
     if values.shape[0] != mesh.shape[0]:
         values = values.T
+    if not np.all(np.isfinite(values)):
+        raise InclusionError(
+            "controller produced non-finite outputs on the inclusion mesh",
+            n_mesh_points=int(mesh.shape[0]),
+            n_bad=int(np.sum(~np.isfinite(values))),
+        )
     n_outputs = values.shape[1]
     phi = _design_matrix(mesh, degree)
 
@@ -176,7 +185,17 @@ def polynomial_inclusion(
             "inclusion.lp", output=j, n_mesh_points=int(mesh.shape[0]),
             degree=degree, error_mode=error_mode,
         ) as span:
-            h_coeffs, t_opt = _chebyshev_lp(phi, values[:, j])
+            try:
+                h_coeffs, t_opt = _chebyshev_lp(phi, values[:, j])
+            except (RuntimeError, ValueError, np.linalg.LinAlgError) as exc:
+                tel.metrics.inc("inclusion.lp_failures")
+                raise InclusionError(
+                    f"Chebyshev LP for output {j} failed: {exc}",
+                    cause=exc,
+                    output=j,
+                    degree=degree,
+                    n_mesh_points=int(mesh.shape[0]),
+                ) from exc
             h_poly = Polynomial.from_coeff_vector(domain.n_vars, degree, h_coeffs)
             polys.append(h_poly)
             sigma_tilde.append(t_opt)

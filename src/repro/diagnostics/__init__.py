@@ -32,7 +32,9 @@ from repro.diagnostics.bench import (
     TIMING_KEYS,
     bench_document,
     bench_entry,
+    error_entry,
     load_bench,
+    result_outcome,
     write_bench,
 )
 from repro.diagnostics.convergence import (
@@ -58,11 +60,13 @@ __all__ = [
     "bench_entry",
     "convergence_summary",
     "detect_stall",
+    "error_entry",
     "grid_margins",
     "iteration_rows",
     "lineage_records",
     "load_audit",
     "load_bench",
+    "result_outcome",
     "stall_event",
     "write_audit",
     "write_bench",

@@ -18,17 +18,23 @@ Schema (version 1)::
       "platform": {...},
       "systems": {
         "C1": {
-          "outcome": "success" | "failure",
+          "outcome": "success" | "failure" | "timeout" | "error",
           "iterations": 1,
           "stalled": false,
           "d_B": 2,
           "timings": {"T_l": ..., "T_c": ..., "T_v": ..., "T_e": ...,
                       "inclusion": ...},
           "audit": {"min_gram_eigenvalue": ..., "max_residual_bound": ...,
-                    "max_sdp_gap": ..., "min_grid_margin": ...} | null
+                    "max_sdp_gap": ..., "min_grid_margin": ...} | null,
+          "error": {"kind": ..., "message": ..., ...} | absent
         }, ...
       }
     }
+
+``timeout`` is the paper's OOT (deadline overrun ended the run cleanly);
+``error`` records a typed unrecoverable failure — both carry the failure
+under ``error``.  The additive fields keep the schema at version 1:
+documents written by older revisions load unchanged.
 """
 
 from __future__ import annotations
@@ -45,6 +51,23 @@ BENCH_KIND = "BENCH_table1"
 #: timing keys every entry carries (paper column names + phase 0)
 TIMING_KEYS = ("T_l", "T_c", "T_v", "T_e", "inclusion")
 
+#: SNBCResult.outcome -> bench row outcome
+RESULT_OUTCOMES = {
+    "verified": "success",
+    "not_verified": "failure",
+    "timeout": "timeout",
+    "error": "error",
+}
+
+
+def result_outcome(result: Any) -> str:
+    """Bench-row outcome string for an SNBCResult (duck-typed; results
+    from revisions predating the ``outcome`` field map via ``success``)."""
+    outcome = getattr(result, "outcome", "")
+    if outcome in RESULT_OUTCOMES:
+        return RESULT_OUTCOMES[outcome]
+    return "success" if result.success else "failure"
+
 
 def bench_entry(
     result: Any, audit: Optional[Dict[str, Any]] = None
@@ -52,8 +75,8 @@ def bench_entry(
     """One ``systems`` row from an :class:`~repro.cegis.snbc.SNBCResult`
     (duck-typed) and an optional audit artifact dict."""
     timings = result.timings
-    return {
-        "outcome": "success" if result.success else "failure",
+    entry = {
+        "outcome": result_outcome(result),
         "iterations": int(result.iterations),
         "stalled": bool(getattr(result, "stalled", False)),
         "d_B": (
@@ -67,6 +90,34 @@ def bench_entry(
             "inclusion": round(float(timings.inclusion), 6),
         },
         "audit": dict(audit["summary"]) if audit else None,
+    }
+    error = getattr(result, "error", None)
+    if error:
+        entry["error"] = dict(error)
+    return entry
+
+
+def error_entry(exc: BaseException) -> Dict[str, Any]:
+    """A ``systems`` row for a run that raised before producing a result
+    (driver-level crash, dead pool worker): ``outcome == "error"`` with
+    the exception class recorded, so the table keeps its full coverage
+    and the regression gate sees the failure class."""
+    try:
+        from repro.resilience.errors import ReproError
+    except ImportError:  # pragma: no cover - resilience always ships
+        ReproError = ()  # type: ignore[assignment]
+    if isinstance(exc, ReproError):
+        error = exc.to_dict()
+    else:
+        error = {"kind": type(exc).__name__, "message": str(exc)}
+    return {
+        "outcome": "error",
+        "iterations": 0,
+        "stalled": False,
+        "d_B": None,
+        "timings": {key: 0.0 for key in TIMING_KEYS},
+        "audit": None,
+        "error": error,
     }
 
 

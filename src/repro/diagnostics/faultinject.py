@@ -1,0 +1,162 @@
+"""Fault-injection harness: deterministic failures at pipeline sites.
+
+Arms :class:`~repro.resilience.faults.FaultSpec` plans against the
+fault points instrumented throughout the pipeline, so tests (and the CI
+fault-injection job) can assert that every failure class degrades per
+policy — a classified outcome, never an unhandled traceback, and never
+a fabricated ``verified``.
+
+Instrumented sites
+------------------
+
+======================  =====================================================
+site                    effect when fired
+======================  =====================================================
+``sdp.solve``           raises the armed exception inside ``solve_sdp`` (the
+                        solver converts it to ``NUMERICAL_ERROR``)
+``sdp.nonconvergence``  forces a ``MAX_ITERATIONS`` result without iterating
+``sdp.ipm.mu``          corrupts the barrier parameter ``mu`` to NaN
+``sdp.ipm.z_cholesky``  raises ``LinAlgError`` factoring the dual blocks
+``sdp.ipm.direction``   corrupts the Newton direction to NaN
+``sdp.ipm.step``        collapses both step lengths to zero (stall)
+``learner.gradients``   overwrites every parameter gradient with NaN
+``inclusion.lp``        raises inside the Chebyshev LP (wrapped into
+                        ``InclusionError``)
+``budget.deadline``     the next ``TimeBudget.check`` reports exhaustion
+``bench.pool``          raises ``BrokenProcessPool`` collecting a Table-1 row
+``verifier.pool``       raises ``BrokenProcessPool`` inside the parallel
+                        verifier (exercises the serial fallback)
+======================  =====================================================
+
+Usage::
+
+    from repro.diagnostics import faultinject as fi
+
+    with fi.inject(fi.nan_gradients(times=100)) as plan:
+        result = SNBC(problem, ...).run()
+    assert plan.fired_sites()          # the fault actually triggered
+    assert result.outcome != "verified"
+
+Helpers below build the spec for each fault class; arbitrary
+:class:`FaultSpec` instances compose with them in one ``inject`` call.
+``at_call`` selects the k-th hit of the site (1-based) and ``times``
+how many consecutive hits fire — enough to outlast retry ladders when a
+*persistent* fault is being modeled.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    clear,
+    fault_point,
+    fired,
+    inject,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "cholesky_failure",
+    "clear",
+    "deadline_overrun",
+    "fault_point",
+    "fired",
+    "inject",
+    "lp_failure",
+    "nan_gradients",
+    "nan_mu",
+    "nan_direction",
+    "solver_exception",
+    "solver_nonconvergence",
+    "step_collapse",
+    "verifier_pool_crash",
+    "worker_crash",
+]
+
+
+def nan_gradients(at_call: int = 1, times: int = 1) -> FaultSpec:
+    """Poison every parameter gradient with NaN after backward."""
+    return FaultSpec("learner.gradients", at_call=at_call, times=times)
+
+
+def cholesky_failure(at_call: int = 1, times: int = 1) -> FaultSpec:
+    """``LinAlgError`` while factoring the dual blocks (Z loses PD)."""
+    return FaultSpec(
+        "sdp.ipm.z_cholesky",
+        exception=lambda: np.linalg.LinAlgError("injected Cholesky failure"),
+        at_call=at_call,
+        times=times,
+    )
+
+
+def solver_exception(at_call: int = 1, times: int = 1) -> FaultSpec:
+    """Raise ``LinAlgError`` at the top of ``solve_sdp``."""
+    return FaultSpec(
+        "sdp.solve",
+        exception=lambda: np.linalg.LinAlgError("injected solver crash"),
+        at_call=at_call,
+        times=times,
+    )
+
+
+def solver_nonconvergence(at_call: int = 1, times: int = 1) -> FaultSpec:
+    """Force a ``MAX_ITERATIONS`` outcome without iterating."""
+    return FaultSpec("sdp.nonconvergence", at_call=at_call, times=times)
+
+
+def nan_mu(at_call: int = 1, times: int = 1) -> FaultSpec:
+    """Corrupt the IPM barrier parameter ``mu`` to NaN."""
+    return FaultSpec("sdp.ipm.mu", at_call=at_call, times=times)
+
+
+def nan_direction(at_call: int = 1, times: int = 1) -> FaultSpec:
+    """Corrupt the IPM Newton direction to NaN."""
+    return FaultSpec("sdp.ipm.direction", at_call=at_call, times=times)
+
+
+def step_collapse(at_call: int = 1, times: int = 1) -> FaultSpec:
+    """Collapse both IPM step lengths to zero (stall)."""
+    return FaultSpec("sdp.ipm.step", at_call=at_call, times=times)
+
+
+def lp_failure(at_call: int = 1, times: int = 1) -> FaultSpec:
+    """Fail the polynomial-inclusion Chebyshev LP."""
+    return FaultSpec(
+        "inclusion.lp",
+        exception=lambda: RuntimeError("injected Chebyshev LP failure"),
+        at_call=at_call,
+        times=times,
+    )
+
+
+def deadline_overrun(at_call: int = 1, times: int = 1) -> FaultSpec:
+    """Force the next ``TimeBudget.check`` to report exhaustion."""
+    return FaultSpec("budget.deadline", at_call=at_call, times=times)
+
+
+def worker_crash(at_call: int = 1, times: int = 1) -> FaultSpec:
+    """``BrokenProcessPool`` while collecting a Table-1 row result."""
+    return FaultSpec(
+        "bench.pool",
+        exception=lambda: BrokenProcessPool("injected worker death"),
+        at_call=at_call,
+        times=times,
+    )
+
+
+def verifier_pool_crash(at_call: int = 1, times: int = 1) -> FaultSpec:
+    """``BrokenProcessPool`` inside the parallel verifier."""
+    return FaultSpec(
+        "verifier.pool",
+        exception=lambda: BrokenProcessPool("injected worker death"),
+        at_call=at_call,
+        times=times,
+    )

@@ -9,7 +9,9 @@ The document kind is auto-detected.  For ``BENCH_table1.json`` documents
 (see :mod:`repro.diagnostics.bench`) the gate compares system by system
 and **exits nonzero** when the new run regressed:
 
-* **outcome** — a system that succeeded in OLD but not in NEW;
+* **outcome** — a system that succeeded in OLD but not in NEW, or one
+  that ran to completion in OLD (``success``/``failure``) and now ends
+  with ``timeout``/``error`` — a new failure class gates hard;
 * **iterations** — more CEGIS iterations than OLD allows
   (``--max-extra-iterations``, default 0: the loop is seeded and
   deterministic, so extra rounds are a real behavior change);
@@ -84,6 +86,22 @@ def compare_benches(
                 f"{name}: outcome regressed ({o['outcome']} -> {n['outcome']})"
             )
             continue  # timings of a failed run are not comparable
+        if n["outcome"] in ("timeout", "error") and o["outcome"] not in (
+            "timeout",
+            "error",
+        ):
+            # a system that used to run to completion (even unsuccessfully)
+            # now dies on a deadline or a typed failure: a new failure
+            # class is a hard regression, not a tolerable flake
+            regressions.append(
+                f"{name}: new failure class "
+                f"({o['outcome']} -> {n['outcome']}"
+                + (
+                    f", {n['error'].get('kind')}" if n.get("error") else ""
+                )
+                + ")"
+            )
+            continue
         if o["outcome"] == "success":
             extra = int(n["iterations"]) - int(o["iterations"])
             if extra > max_extra_iterations:

@@ -18,6 +18,8 @@ from repro.nn import (
     SquareNetwork,
 )
 from repro.poly import Polynomial
+from repro.resilience.errors import LearnerDivergence
+from repro.resilience.faults import fired
 from repro.telemetry import get_telemetry
 
 
@@ -163,9 +165,29 @@ class BarrierLearner:
                         unsafe=components["unsafe"].item(),
                         domain=components["domain"].item(),
                     )
+                if fired("learner.gradients"):
+                    for p in self._params:
+                        if p.grad is not None:
+                            p.grad = np.full_like(
+                                np.asarray(p.grad, dtype=float), np.nan
+                            )
+                grad_norm = self._grad_norm()
                 if tel.enabled:
                     tel.metrics.observe("learner.epoch_loss", terms.total)
-                    tel.metrics.observe("learner.grad_norm", self._grad_norm())
+                    tel.metrics.observe("learner.grad_norm", grad_norm)
+                if not np.isfinite(terms.total) or not np.isfinite(grad_norm):
+                    # stop before the step poisons the weights: the caller
+                    # still holds a finite parameter state it can restore
+                    tel.metrics.inc("learner.divergence")
+                    span.set_attrs(diverged=True, epochs_run=epochs_run)
+                    raise LearnerDivergence(
+                        "non-finite training signal at epoch "
+                        f"{epochs_run + 1}: loss={terms.total!r}, "
+                        f"grad_norm={grad_norm!r}",
+                        epoch=epochs_run + 1,
+                        loss=float(terms.total),
+                        grad_norm=float(grad_norm),
+                    )
                 self.optimizer.step()
                 epochs_run += 1
                 last = terms
@@ -215,6 +237,37 @@ class BarrierLearner:
         vals = field_values(field, points)
         self._field_cache[key] = (points, vals)
         return vals
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe copy of the trainable state: every parameter plus
+        the optimizer moments.  Serves both in-memory rollback (restore
+        after a diverged ``fit``) and CEGIS checkpoints — floats survive
+        the JSON round trip exactly, so a restore is bit-identical."""
+        return {
+            "params": [
+                {"shape": list(p.data.shape), "data": p.data.ravel().tolist()}
+                for p in self._params
+            ],
+            "optimizer": self.optimizer.state_dict(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` back into the live networks (in place)."""
+        params = state["params"]
+        if len(params) != len(self._params):
+            raise ValueError(
+                f"snapshot has {len(params)} parameters, "
+                f"learner has {len(self._params)}"
+            )
+        for p, s in zip(self._params, params):
+            arr = np.asarray(s["data"], dtype=float).reshape(s["shape"])
+            if arr.shape != p.data.shape:
+                raise ValueError(
+                    f"snapshot parameter shape {arr.shape} != {p.data.shape}"
+                )
+            p.data = arr
+        self.optimizer.load_state_dict(state["optimizer"])
 
     def _grad_norm(self) -> float:
         """Global l2 norm of all parameter gradients (diagnostics)."""

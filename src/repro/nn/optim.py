@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -22,6 +22,12 @@ class Optimizer:
             p.zero_grad()
 
     def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, Any]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:  # pragma: no cover
         raise NotImplementedError
 
 
@@ -48,6 +54,20 @@ class SGD(Optimizer):
             v *= self.momentum
             v -= self.lr * p.grad
             p.data = p.data + v
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"velocity": [v.tolist() for v in self._velocity]}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        vel = [np.asarray(v, dtype=float) for v in state["velocity"]]
+        if len(vel) != len(self._velocity):
+            raise ValueError(
+                f"state has {len(vel)} velocity buffers, "
+                f"optimizer has {len(self._velocity)}"
+            )
+        self._velocity = [
+            v.reshape(old.shape) for v, old in zip(vel, self._velocity)
+        ]
 
 
 class Adam(Optimizer):
@@ -88,3 +108,22 @@ class Adam(Optimizer):
             m_hat = m / (1.0 - b1 ** self._t)
             v_hat = v / (1.0 - b2 ** self._t)
             p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "t": self._t,
+            "m": [m.tolist() for m in self._m],
+            "v": [v.tolist() for v in self._v],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        m = [np.asarray(a, dtype=float) for a in state["m"]]
+        v = [np.asarray(a, dtype=float) for a in state["v"]]
+        if len(m) != len(self._m) or len(v) != len(self._v):
+            raise ValueError(
+                f"state has {len(m)}/{len(v)} moment buffers, "
+                f"optimizer has {len(self._m)}"
+            )
+        self._m = [a.reshape(old.shape) for a, old in zip(m, self._m)]
+        self._v = [a.reshape(old.shape) for a, old in zip(v, self._v)]
+        self._t = int(state["t"])

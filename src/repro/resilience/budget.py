@@ -1,0 +1,114 @@
+"""Wall-clock deadline budgets for the SNBC pipeline.
+
+The paper's Table 1 protocol runs every tool under a wall-clock timeout
+and reports OOT when it expires.  :class:`TimeBudget` reproduces that
+semantics: a budget is armed with a total allowance (and optionally a
+per-iteration cap), the pipeline calls :meth:`check` at phase
+boundaries, and an overrun raises :class:`~repro.resilience.errors.
+BudgetExhausted` — which the CEGIS loop converts into a clean
+``timeout`` outcome instead of a traceback.
+
+Budgets are cooperative: a single long SDP solve is not preempted, but
+the interior-point solver accepts its own ``time_limit_s`` (see
+:class:`repro.sdp.ipm.InteriorPointOptions`) so the deepest loop also
+bails out near the deadline.  An unarmed budget (``total_s=None``)
+costs one attribute check per call.
+
+The fault site ``budget.deadline`` (see
+:mod:`repro.diagnostics.faultinject`) forces the next :meth:`check` to
+report exhaustion, for deterministic timeout-path testing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.resilience.errors import BudgetExhausted
+from repro.resilience.faults import fired
+
+
+class TimeBudget:
+    """Deadline tracking for one run plus optional per-iteration caps."""
+
+    def __init__(
+        self,
+        total_s: Optional[float] = None,
+        iteration_s: Optional[float] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if total_s is not None and total_s <= 0:
+            raise ValueError("total_s must be positive (or None to disarm)")
+        if iteration_s is not None and iteration_s <= 0:
+            raise ValueError("iteration_s must be positive (or None)")
+        self._clock = clock
+        self.total_s = total_s
+        self.iteration_s = iteration_s
+        self._t0 = clock()
+        self._iter_t0 = self._t0
+        self._iteration = 0
+
+    # -- queries --------------------------------------------------------
+    @property
+    def armed(self) -> bool:
+        return self.total_s is not None or self.iteration_s is not None
+
+    def elapsed(self) -> float:
+        return self._clock() - self._t0
+
+    def iteration_elapsed(self) -> float:
+        return self._clock() - self._iter_t0
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left before the tightest armed deadline (None: unarmed)."""
+        candidates = []
+        if self.total_s is not None:
+            candidates.append(self.total_s - self.elapsed())
+        if self.iteration_s is not None:
+            candidates.append(self.iteration_s - self.iteration_elapsed())
+        if not candidates:
+            return None
+        return min(candidates)
+
+    # -- lifecycle ------------------------------------------------------
+    def start_iteration(self, iteration: int) -> None:
+        """Reset the per-iteration window (call at each loop top)."""
+        self._iteration = iteration
+        self._iter_t0 = self._clock()
+
+    def check(self, phase: str = "") -> None:
+        """Raise :class:`BudgetExhausted` when a deadline has expired."""
+        injected = fired("budget.deadline")
+        if not self.armed and not injected:
+            return
+        if injected:
+            raise BudgetExhausted(
+                "injected deadline overrun",
+                phase=phase or "run",
+                budget_s=self.total_s,
+                elapsed_s=self.elapsed(),
+                iteration=self._iteration,
+                injected=True,
+            )
+        if self.total_s is not None and self.elapsed() > self.total_s:
+            raise BudgetExhausted(
+                f"run budget of {self.total_s:.3f}s exhausted "
+                f"after {self.elapsed():.3f}s",
+                phase=phase or "run",
+                budget_s=self.total_s,
+                elapsed_s=self.elapsed(),
+                iteration=self._iteration,
+            )
+        if (
+            self.iteration_s is not None
+            and self.iteration_elapsed() > self.iteration_s
+        ):
+            raise BudgetExhausted(
+                f"iteration budget of {self.iteration_s:.3f}s exhausted "
+                f"after {self.iteration_elapsed():.3f}s "
+                f"(iteration {self._iteration})",
+                phase=phase or "iteration",
+                budget_s=self.iteration_s,
+                elapsed_s=self.iteration_elapsed(),
+                iteration=self._iteration,
+            )

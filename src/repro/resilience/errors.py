@@ -1,0 +1,121 @@
+"""Typed error taxonomy for the SNBC pipeline.
+
+Every failure mode the pipeline can hit is classified into one of the
+:class:`ReproError` subclasses below, so callers can react per class
+(recover, degrade, or report a clean outcome) instead of pattern-matching
+on messages or swallowing bare ``Exception``:
+
+* :class:`SolverNumericalError` — the interior-point SDP solver lost
+  numerical footing (Cholesky failure, NaN iterates, stalled steps) and
+  the recovery ladder (:mod:`repro.resilience.recovery`) was exhausted;
+* :class:`LearnerDivergence` — training produced a non-finite loss or
+  gradient (NaN/inf), i.e. the candidate is garbage, not merely bad;
+* :class:`InclusionError` — the polynomial-inclusion phase failed (LP
+  infeasible/unbounded, non-finite controller outputs);
+* :class:`BudgetExhausted` — a wall-clock deadline expired
+  (:mod:`repro.resilience.budget`); maps to the paper's OOT outcome;
+* :class:`WorkerCrash` — a parallel-pool worker died mid-task (e.g.
+  OOM-killed); the task is retried serially where possible;
+* :class:`CheckpointError` — a CEGIS checkpoint could not be written,
+  read, or does not match the run it is resumed into.
+
+Each error carries a ``phase`` (pipeline stage) and a free-form
+``details`` mapping for telemetry; ``to_dict()`` renders both for
+structured logs.  The taxonomy deliberately does **not** subclass
+domain exceptions like ``ValueError`` — a ``ReproError`` is an
+operational outcome, not an API misuse.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class ReproError(Exception):
+    """Base class of all classified pipeline failures."""
+
+    #: pipeline stage the error class belongs to by default; instances
+    #: can override via the ``phase`` keyword
+    default_phase: str = ""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        phase: Optional[str] = None,
+        cause: Optional[BaseException] = None,
+        **details: Any,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.phase = phase if phase is not None else self.default_phase
+        self.details: Dict[str, Any] = dict(details)
+        if cause is not None:
+            self.__cause__ = cause
+
+    @property
+    def kind(self) -> str:
+        """Stable machine-readable class name (for BENCH rows/telemetry)."""
+        return type(self).__name__
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "message": self.message,
+            "phase": self.phase,
+        }
+        if self.__cause__ is not None:
+            out["cause"] = (
+                f"{type(self.__cause__).__name__}: {self.__cause__}"
+            )
+        if self.details:
+            out["details"] = {k: _jsonable(v) for k, v in self.details.items()}
+        return out
+
+    def __str__(self) -> str:  # keep the phase visible in logs
+        if self.phase:
+            return f"[{self.phase}] {self.message}"
+        return self.message
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON-safe rendering of a detail value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class SolverNumericalError(ReproError):
+    """SDP solve failed numerically after all recovery strategies."""
+
+    default_phase = "verification"
+
+
+class LearnerDivergence(ReproError):
+    """Training produced non-finite loss or gradients."""
+
+    default_phase = "learning"
+
+
+class InclusionError(ReproError):
+    """Polynomial inclusion of the controller could not be computed."""
+
+    default_phase = "inclusion"
+
+
+class BudgetExhausted(ReproError):
+    """A wall-clock budget expired (the paper's OOT outcome)."""
+
+    default_phase = "run"
+
+
+class WorkerCrash(ReproError):
+    """A parallel-pool worker died before returning its result."""
+
+    default_phase = "parallel"
+
+
+class CheckpointError(ReproError):
+    """A CEGIS checkpoint is unreadable, unwritable, or mismatched."""
+
+    default_phase = "checkpoint"

@@ -1,0 +1,141 @@
+"""Deterministic fault-point core (zero repro dependencies).
+
+Pipeline modules mark the places where faults can be injected with two
+cheap primitives::
+
+    from repro.resilience.faults import fault_point, fired
+
+    fault_point("sdp.solve")          # raises the armed exception, if any
+    if fired("sdp.ipm.mu"):           # boolean trigger for value corruption
+        mu = float("nan")
+
+Both are no-ops (a single ``is None`` check) unless a plan is installed,
+so the hot path pays nothing in production.  The user-facing harness
+lives in :mod:`repro.diagnostics.faultinject`, which arms plans via
+:func:`inject`; this module holds only the mechanism so that low-level
+packages (``repro.sdp``, ``repro.learner``) can import it without
+circular imports.
+
+Firing is deterministic: each site counts its calls and a
+:class:`FaultSpec` fires on call numbers ``at_call .. at_call+times-1``
+(1-based).  Every firing is appended to ``FaultPlan.log`` so tests can
+assert the fault actually triggered.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+ExceptionFactory = Union[BaseException, type, Callable[[], BaseException]]
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault: fire at ``site`` on the ``at_call``-th hit.
+
+    ``exception`` (for :func:`fault_point` sites) may be an exception
+    class, instance, or zero-argument factory.  Sites consulted through
+    :func:`fired` ignore ``exception`` and merely report the trigger.
+    """
+
+    site: str
+    exception: Optional[ExceptionFactory] = None
+    at_call: int = 1
+    times: int = 1
+
+    def should_fire(self, call_number: int) -> bool:
+        return self.at_call <= call_number < self.at_call + max(1, self.times)
+
+    def make_exception(self) -> BaseException:
+        exc = self.exception
+        if exc is None:
+            exc = RuntimeError(f"injected fault at {self.site!r}")
+        if isinstance(exc, BaseException):
+            return exc
+        return exc()
+
+
+@dataclass
+class FaultPlan:
+    """A set of armed specs plus per-site call counters and a fire log."""
+
+    specs: Dict[str, List[FaultSpec]] = field(default_factory=dict)
+    calls: Dict[str, int] = field(default_factory=dict)
+    log: List[Tuple[str, int]] = field(default_factory=list)
+
+    def add(self, spec: FaultSpec) -> None:
+        self.specs.setdefault(spec.site, []).append(spec)
+
+    def hit(self, site: str) -> Optional[FaultSpec]:
+        """Record one call at ``site``; return the spec that fires, if any."""
+        specs = self.specs.get(site)
+        if not specs:
+            return None
+        n = self.calls.get(site, 0) + 1
+        self.calls[site] = n
+        for spec in specs:
+            if spec.should_fire(n):
+                self.log.append((site, n))
+                return spec
+        return None
+
+    def fired_sites(self) -> List[str]:
+        return [site for site, _ in self.log]
+
+
+_lock = threading.Lock()
+_plan: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _plan
+
+
+def fault_point(site: str) -> None:
+    """Raise the armed exception for ``site`` when its turn comes."""
+    plan = _plan
+    if plan is None:
+        return
+    spec = plan.hit(site)
+    if spec is not None:
+        raise spec.make_exception()
+
+
+def fired(site: str) -> bool:
+    """True when an armed (non-raising) fault at ``site`` triggers now."""
+    plan = _plan
+    if plan is None:
+        return False
+    return plan.hit(site) is not None
+
+
+@contextmanager
+def inject(*specs: FaultSpec) -> Iterator[FaultPlan]:
+    """Install a :class:`FaultPlan` armed with ``specs`` for the block.
+
+    Plans do not nest: installing a new plan while one is active raises,
+    so a stray harness cannot silently mask another's faults.
+    """
+    global _plan
+    plan = FaultPlan()
+    for spec in specs:
+        plan.add(spec)
+    with _lock:
+        if _plan is not None:
+            raise RuntimeError("a fault-injection plan is already active")
+        _plan = plan
+    try:
+        yield plan
+    finally:
+        with _lock:
+            _plan = None
+
+
+def clear() -> None:
+    """Drop any active plan (test-teardown safety valve)."""
+    global _plan
+    with _lock:
+        _plan = None

@@ -14,12 +14,14 @@ complement ``M`` with entries ``M_ij = tr(A_i X A_j Z^{-1})``.
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.linalg import cho_factor, cho_solve, cholesky, solve_triangular
 
+from repro.resilience.faults import fault_point, fired
 from repro.sdp.problem import SDPProblem
 from repro.sdp.result import SDPResult, SDPStatus
 from repro.sdp.svec import smat, svec, sym
@@ -42,6 +44,10 @@ class InteriorPointOptions:
     init_scale: float = 10.0
     #: log per-iteration progress at INFO instead of DEBUG
     verbose: bool = False
+    #: wall-clock cap on the iteration loop; ``None`` disarms.  Checked
+    #: once per IPM iteration, so one iteration may overshoot — the cap
+    #: is cooperative, like the pipeline-level ``TimeBudget``
+    time_limit_s: Optional[float] = None
 
 
 class _BlockData:
@@ -75,6 +81,14 @@ def solve_sdp(
         n_blocks=len(problem.block_dims),
         total_dim=problem.total_dim,
     ) as span:
+        if fired("sdp.nonconvergence"):
+            result = SDPResult(
+                status=SDPStatus.MAX_ITERATIONS,
+                iterations=opts.max_iterations,
+                message="injected non-convergence",
+            )
+            span.set_attr("status", result.status.value)
+            return result
         reduced, info = problem.presolved()
         if info.inconsistent:
             span.set_attr("status", SDPStatus.INCONSISTENT.value)
@@ -82,7 +96,18 @@ def solve_sdp(
                 status=SDPStatus.INCONSISTENT,
                 message="equality constraints are inconsistent (presolve)",
             )
-        result = _solve_reduced(reduced, opts)
+        try:
+            fault_point("sdp.solve")
+            result = _solve_reduced(reduced, opts)
+        except (np.linalg.LinAlgError, FloatingPointError) as exc:
+            # dense linear algebra can still throw outside the guarded
+            # factorizations (e.g. eigvalsh non-convergence); classify it
+            # as a numerical failure instead of leaking a traceback
+            tel.metrics.inc("sdp.status.exception")
+            result = SDPResult(
+                status=SDPStatus.NUMERICAL_ERROR,
+                message=f"solver exception: {type(exc).__name__}: {exc}",
+            )
         # Expand dual variables back to the original constraint indexing.
         if result.y is not None and info.dropped_rows:
             y_full = np.zeros(problem.n_constraints)
@@ -182,13 +207,23 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
     rel_gap = np.inf
     prim_res = np.inf
     dual_res = np.inf
+    t_start = time.perf_counter()
 
     for iteration in range(1, opts.max_iterations + 1):
+        if (
+            opts.time_limit_s is not None
+            and time.perf_counter() - t_start > opts.time_limit_s
+        ):
+            status = SDPStatus.MAX_ITERATIONS
+            message = f"time limit of {opts.time_limit_s:.3f}s reached"
+            break
         # residuals
         rp = b - operator_A(X)
         ATy = operator_AT(y)
         Rd = [C[k] - ATy[k] - Z[k] for k in range(len(dims))]
         mu = inner(X, Z) / total_n
+        if fired("sdp.ipm.mu"):
+            mu = float("nan")
         pobj = inner(C, X)
         dobj = float(b @ y)
         rel_gap = inner(X, Z) / (1.0 + abs(pobj) + abs(dobj))
@@ -223,6 +258,7 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
         failed = False
         for Zk in Z:
             try:
+                fault_point("sdp.ipm.z_cholesky")
                 cf = cho_factor(Zk)
             except np.linalg.LinAlgError:
                 failed = True
@@ -277,6 +313,8 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
         # predictor (affine scaling)
         K_aff = [np.zeros((n, n)) for n in dims]
         dX_aff, dy_aff, dZ_aff = direction(K_aff)
+        if fired("sdp.ipm.direction"):
+            dy_aff = np.full_like(dy_aff, np.nan)
         if not all(
             np.all(np.isfinite(d)) for d in dX_aff + dZ_aff
         ) or not np.all(np.isfinite(dy_aff)):
@@ -305,6 +343,8 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
             break
         ap = min(1.0, opts.step_fraction * max_step(X, dX))
         ad = min(1.0, opts.step_fraction * max_step(Z, dZ))
+        if fired("sdp.ipm.step"):
+            ap = ad = 0.0
         if ap <= 1e-12 and ad <= 1e-12:
             status, message = (
                 SDPStatus.NUMERICAL_ERROR,

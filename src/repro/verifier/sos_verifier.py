@@ -11,7 +11,9 @@ import numpy as np
 
 from repro.dynamics import CCDS
 from repro.poly import Polynomial, lie_derivative
-from repro.sdp import InteriorPointOptions, SDPProblem, SDPResult, solve_sdp
+from repro.resilience.faults import fault_point
+from repro.resilience.recovery import RecoveryPolicy, solve_sdp_resilient
+from repro.sdp import InteriorPointOptions, SDPProblem, SDPResult
 from repro.sdp.svec import svec
 from repro.sets import SemialgebraicSet
 from repro.sos import SOSExpr, SOSProgram, validate_sos_identity
@@ -21,11 +23,14 @@ from repro.telemetry import get_telemetry
 
 
 def _solve_sdp_task(
-    sdp: SDPProblem, options: Optional[InteriorPointOptions]
+    sdp: SDPProblem,
+    options: Optional[InteriorPointOptions],
+    policy: Optional[RecoveryPolicy] = None,
 ) -> SDPResult:
     """Process-pool worker: solve one compiled SDP (module-level so it
-    pickles)."""
-    return solve_sdp(sdp, options)
+    pickles).  The recovery ladder runs inside the worker so a pool solve
+    degrades exactly like a serial one."""
+    return solve_sdp_resilient(sdp, options, policy)
 
 #: paper numbering of the three sub-problem families (conditions (13)-(15))
 PAPER_CONDITION_NUMBERS = {"init": 13, "unsafe": 14, "lie": 15}
@@ -69,6 +74,11 @@ class VerifierConfig:
     #: worker count for ``parallel`` (``None``: one per condition, capped
     #: at the CPU count)
     max_workers: Optional[int] = None
+    #: SDP recovery ladder engaged when a condition solve ends in
+    #: ``NUMERICAL_ERROR``/``MAX_ITERATIONS`` (see
+    #: :mod:`repro.resilience.recovery`).  Healthy solves are untouched,
+    #: so default-on recovery is bit-identical on converging instances.
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
 
 
 @dataclass
@@ -377,7 +387,9 @@ class SOSVerifier:
             paper_condition=PAPER_CONDITION_NUMBERS.get(base),
         ) as span:
             prep = self._prepare(name, expr_known, region, margin, free_lambda_times)
-            result = solve_sdp(prep.sdp, cfg.sdp_options)
+            result = solve_sdp_resilient(
+                prep.sdp, cfg.sdp_options, cfg.recovery
+            )
             return self._finish(prep, result, t0, span=span)
 
     # ------------------------------------------------------------------
@@ -506,16 +518,31 @@ class SOSVerifier:
         preps.extend(self._lie_preps(B))
         try:
             import concurrent.futures
+            from concurrent.futures.process import BrokenProcessPool
 
             max_workers = cfg.max_workers or min(len(preps), os.cpu_count() or 1)
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=max_workers
             ) as pool:
                 futures = [
-                    pool.submit(_solve_sdp_task, p.sdp, cfg.sdp_options)
+                    pool.submit(
+                        _solve_sdp_task, p.sdp, cfg.sdp_options, cfg.recovery
+                    )
                     for p in preps
                 ]
+                fault_point("verifier.pool")
                 results = [f.result() for f in futures]
+        except BrokenProcessPool as exc:
+            # a worker died mid-solve (e.g. OOM-killed): classify, then
+            # degrade to the serial path — same result, just slower
+            tel.metrics.inc("verifier.pool.worker_crashes")
+            tel.metrics.inc("verifier.pool.fallbacks")
+            tel.event(
+                "verifier.worker_crash",
+                error=f"{type(exc).__name__}: {exc}",
+                n_conditions=len(preps),
+            )
+            return None
         except Exception:
             tel.metrics.inc("verifier.pool.fallbacks")
             return None
