@@ -24,6 +24,12 @@ from repro.resilience import (
     save_checkpoint,
 )
 from repro.sets import Ball, Box
+from repro.soundness import (
+    SoundnessConfig,
+    SoundnessError,
+    SoundnessReport,
+    check_verification,
+)
 from repro.telemetry import Telemetry, get_telemetry
 from repro.verifier import SOSVerifier, VerificationResult, VerifierConfig
 
@@ -140,6 +146,14 @@ class SNBCConfig:
     #: pre-``fit`` state and retry with extra samples this many times
     #: before surfacing the failure as ``outcome == "error"``
     learner_recovery_attempts: int = 2
+    #: re-prove every accepted certificate's Putinar identities over ℚ
+    #: (:mod:`repro.soundness.checker`); a rejected recheck turns the run
+    #: into ``outcome == "error"`` with a :class:`SoundnessError` — the
+    #: loop never reports ``success`` on a certificate the exact checker
+    #: refused
+    soundness_check: bool = True
+    #: overrides for the exact checker (shift ladder, quantization)
+    soundness_config: Optional[SoundnessConfig] = None
 
 
 @dataclass
@@ -168,6 +182,10 @@ class SNBCResult:
     timed_out: bool = False
     #: iteration the run was resumed from, when ``run(resume_from=...)``
     resumed_from_iteration: Optional[int] = None
+    #: exact rational recheck of the accepted certificate (present on
+    #: every success when ``SNBCConfig.soundness_check``; also attached —
+    #: with ``ok == False`` — when the recheck itself rejected the run)
+    soundness: Optional[SoundnessReport] = None
 
     def __post_init__(self) -> None:
         if not self.outcome:
@@ -379,6 +397,7 @@ class SNBC:
         )
 
         verification: Optional[VerificationResult] = None
+        soundness: Optional[SoundnessReport] = None
         barrier: Optional[Polynomial] = None
         lam_poly: Optional[Polynomial] = None
         cex_records: List[CexRecord] = []
@@ -479,6 +498,26 @@ class SNBC:
                     timings.verification += sp.duration
 
                     if verification.ok:
+                        # the soundness gate: the float verifier's accept
+                        # is only provisional until the Putinar identities
+                        # re-prove over ℚ; a rejection raises out of the
+                        # loop as a typed error (never a silent success),
+                        # with the failed report still attached to the
+                        # result for postmortems
+                        soundness = self._check_soundness(verification)
+                        if soundness is not None and not soundness.ok:
+                            failed = soundness.failed_conditions()
+                            raise SoundnessError(
+                                "exact rational recheck rejected the "
+                                "float-verified certificate: "
+                                + "; ".join(
+                                    f"{c.name}: {c.message or 'failed'}"
+                                    for c in soundness.conditions
+                                    if not c.ok
+                                ),
+                                failed_conditions=failed,
+                                barrier_hash=soundness.barrier_hash,
+                            )
                         record = IterationRecord(
                             iteration,
                             terms.total,
@@ -636,7 +675,42 @@ class SNBC:
             error=error_info,
             timed_out=timed_out,
             resumed_from_iteration=resumed_from,
+            soundness=soundness,
         )
+
+    def _check_soundness(
+        self, verification: VerificationResult
+    ) -> Optional[SoundnessReport]:
+        """Exact rational recheck of an accepted verification.  Returns
+        ``None`` when the gate is off or no certificate was captured; the
+        verdict (including ``ok == False``) is the caller's to act on.
+        The recheck's wall-clock lands in the report, not in
+        :class:`PhaseTimings` — it is not one of the paper's phases."""
+        cfg = self.config
+        if not cfg.soundness_check:
+            return None
+        tel = self.telemetry
+        with tel.span("snbc.soundness", phase="soundness") as sp:
+            report = check_verification(
+                self.problem, verification, config=cfg.soundness_config
+            )
+            if report is None:
+                sp.set_attr("skipped", "no certificate captured")
+                return None
+            sp.set_attrs(
+                ok=report.ok,
+                failed=report.failed_conditions(),
+                barrier_hash=report.barrier_hash,
+            )
+        tel.metrics.inc("cegis.soundness_checks")
+        if not report.ok:
+            tel.metrics.inc("cegis.soundness_failures")
+            tel.event(
+                "cegis.soundness_rejection",
+                failed=report.failed_conditions(),
+                barrier_hash=report.barrier_hash,
+            )
+        return report
 
     # ------------------------------------------------------------------
     def _fit_with_recovery(

@@ -203,6 +203,7 @@ def audit_certificate(
         ),
     }
     lineage = getattr(result, "counterexamples", []) or []
+    soundness = getattr(result, "soundness", None)
     return {
         "schema_version": AUDIT_SCHEMA_VERSION,
         "kind": "certificate_audit",
@@ -220,6 +221,9 @@ def audit_certificate(
             "total": len(lineage),
             "resolved": sum(1 for c in lineage if c.satisfied_by_final),
         },
+        # exact rational recheck (schema-additive; absent on runs that
+        # never reached the soundness gate)
+        "soundness": soundness.to_dict() if soundness is not None else None,
         "summary": summary,
     }
 

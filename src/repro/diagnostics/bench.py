@@ -26,6 +26,9 @@ Schema (version 1)::
                       "inclusion": ...},
           "audit": {"min_gram_eigenvalue": ..., "max_residual_bound": ...,
                     "max_sdp_gap": ..., "min_grid_margin": ...} | null,
+          "soundness": {"ok": ..., "conditions": ...,
+                        "min_certified_margin": ...,
+                        "max_slack_shift": ...} | absent,
           "error": {"kind": ..., "message": ..., ...} | absent
         }, ...
       }
@@ -91,6 +94,11 @@ def bench_entry(
         },
         "audit": dict(audit["summary"]) if audit else None,
     }
+    soundness = getattr(result, "soundness", None)
+    if soundness is not None:
+        # additive key (schema stays v1): the exact recheck verdict plus
+        # the smallest exactly-certified margin across the conditions
+        entry["soundness"] = soundness.summary()
     error = getattr(result, "error", None)
     if error:
         entry["error"] = dict(error)

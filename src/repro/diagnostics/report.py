@@ -167,6 +167,18 @@ def render_terminal(
                 f"{m.get('n_points')} pts "
                 f"{'(holds)' if holds else '(VIOLATED)'}"
             )
+        soundness = audit.get("soundness")
+        if soundness:
+            verdict = "PROVEN over Q" if soundness.get("ok") else "REJECTED"
+            lines.append(f"  exact recheck: {verdict}")
+            for c in soundness.get("conditions", []):
+                lines.append(
+                    f"    {c.get('name')}: "
+                    f"{'ok' if c.get('ok') else 'FAILED'}  "
+                    f"certified margin {_fmt(c.get('certified_margin'))}  "
+                    f"shift {_fmt(c.get('slack_shift'))}"
+                    + (f"  ({c.get('message')})" if c.get("message") else "")
+                )
         lines.append("")
 
     if phases:

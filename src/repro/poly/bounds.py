@@ -66,6 +66,10 @@ def interval_eval(
     hi = np.asarray(hi, dtype=float)
     if lo.shape != (p.n_vars,) or hi.shape != (p.n_vars,):
         raise ValueError("box bounds must match the polynomial variable count")
+    if np.any(lo > hi):
+        # an empty box has no range; silently continuing would fabricate
+        # an unsound enclosure (e.g. even powers still "evaluate")
+        raise ValueError("box has lo > hi")
     low, high = 0.0, 0.0
     for alpha, c in p.coeffs.items():
         t_lo, t_hi = 1.0, 1.0

@@ -76,6 +76,8 @@ def contract_nonnegative(
     """
     lo = np.array(lo, dtype=float)
     hi = np.array(hi, dtype=float)
+    if np.any(lo > hi):
+        return None  # empty box: no points, nothing satisfies the constraint
     terms = list(p.coeffs.items())
     if not terms:
         return lo, hi  # the zero polynomial satisfies >= 0
@@ -146,6 +148,8 @@ def contract_box(
     (the box is disjoint from the semialgebraic set).
     """
     cur = (np.array(lo, dtype=float), np.array(hi, dtype=float))
+    if np.any(cur[0] > cur[1]):
+        return None  # empty box is disjoint from any set
     for _ in range(sweeps):
         before = (cur[0].copy(), cur[1].copy())
         for g in constraints:

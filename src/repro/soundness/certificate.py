@@ -1,0 +1,74 @@
+"""Certificate payloads captured by the SOS verifier for exact recheck.
+
+These are plain data containers — the verifier (``repro.verifier``)
+fills them from the solved SDP blocks, and the exact checker
+(:mod:`repro.soundness.checker`) consumes them.  Keeping them in their
+own module lets the verifier import the capture types without pulling
+in the rational-arithmetic machinery (and without an import cycle:
+nothing here imports ``repro.verifier``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.poly import Polynomial
+from repro.poly.monomials import Exponent
+
+
+@dataclass
+class MultiplierCertificate:
+    """One SOS multiplier ``sigma_i = m^T Q m`` paired with its
+    constraint ``g_i >= 0`` from the region description."""
+
+    constraint: Polynomial
+    basis: Tuple[Exponent, ...]
+    gram: np.ndarray
+
+
+@dataclass
+class ConditionCertificate:
+    """Everything needed to recheck one Putinar identity exactly.
+
+    The verifier certified (in floats) that
+
+        expr - margin - sum_i sigma_i g_i  [- lambda * B]  =  m^T Q_s m
+
+    with all Gram matrices PSD.  ``base`` selects how ``expr`` is
+    *recomputed over ℚ* by the checker (``init``: B; ``unsafe``: -B;
+    ``lie``: the exact Lie derivative along the closed loop at
+    ``endpoint``), so the check is independent of the float pipeline.
+    """
+
+    name: str
+    base: str  # "init" | "unsafe" | "lie"
+    margin: float
+    endpoint: Tuple[float, ...]
+    slack_basis: Tuple[Exponent, ...]
+    slack_gram: np.ndarray
+    multipliers: List[MultiplierCertificate]
+    lambda_poly: Optional[Polynomial]
+    box_lo: Tuple[float, ...]
+    box_hi: Tuple[float, ...]
+
+
+@dataclass
+class CertificateBundle:
+    """Full per-candidate certificate attached to a passing
+    :class:`~repro.verifier.VerificationResult`.
+
+    ``barrier`` is the *normalized* candidate the conditions were
+    certified for (``raw_candidate / barrier_scale`` in floats); barrier
+    conditions are scale-invariant, so a certificate for it is a
+    certificate for the raw candidate up to the recorded positive
+    scale.
+    """
+
+    barrier: Polynomial
+    barrier_scale: float
+    controller_polys: List[Polynomial] = field(default_factory=list)
+    sigma_star: List[float] = field(default_factory=list)
+    conditions: List[ConditionCertificate] = field(default_factory=list)

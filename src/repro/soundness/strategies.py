@@ -1,0 +1,618 @@
+"""Seeded property-based generators with hypothesis-style shrinking.
+
+A deliberately small, stdlib-only re-creation of the hypothesis core:
+a :class:`Strategy` couples a ``generate(rng)`` function with a
+``simplify(value)`` function yielding strictly-simpler candidate values,
+and :func:`run_property` drives N seeded examples through a property,
+greedily shrinking the first failure to a minimal reproduction before
+raising.  On top sit the domain generators the soundness suites share —
+random polynomials, PSD Gram matrices / true-SOS polynomials, boxes,
+semialgebraic sets, feasible SDP instances, and C1-C14-shaped CCDS
+safety problems.
+
+Determinism contract: every suite resolves its seed through
+:func:`resolve_seed` (env ``REPRO_PROPERTY_SEED`` wins, printed either
+way), so any CI failure is replayable with one env var.  The long fuzz
+loop is opt-in via ``REPRO_FUZZ_LONG`` (see :func:`fuzz_examples`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import random
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.poly import Polynomial
+from repro.poly.monomials import Exponent, add_exponents, monomials_upto
+
+#: env var: fixed replay seed for every property suite
+SEED_ENV = "REPRO_PROPERTY_SEED"
+#: env var: when set (to anything non-empty), property suites multiply
+#: their example counts for a nightly-style long fuzz
+FUZZ_LONG_ENV = "REPRO_FUZZ_LONG"
+#: env var: where minimized failing examples are dumped
+DUMP_DIR_ENV = "REPRO_SOUNDNESS_DUMP_DIR"
+
+DEFAULT_DUMP_DIR = "results/soundness_repros"
+
+
+def resolve_seed(default: int = 0) -> int:
+    """The suite seed: ``REPRO_PROPERTY_SEED`` if set, else ``default``."""
+    raw = os.environ.get(SEED_ENV, "").strip()
+    if raw:
+        return int(raw)
+    return int(default)
+
+
+def fuzz_examples(base: int, long_factor: int = 20) -> int:
+    """Example count for a suite: ``base`` normally, ``base *
+    long_factor`` when the ``REPRO_FUZZ_LONG`` opt-in is set."""
+    if os.environ.get(FUZZ_LONG_ENV, "").strip():
+        return base * long_factor
+    return base
+
+
+# ----------------------------------------------------------------------
+# core
+# ----------------------------------------------------------------------
+class Strategy:
+    """A seeded value generator paired with a shrinker.
+
+    ``generate(rng)`` draws one value from a :class:`random.Random`;
+    ``simplify(value)`` yields candidate simpler values (possibly none).
+    Shrinking is greedy: the runner walks to the first simplification
+    that still fails the property and repeats from there.
+    """
+
+    def __init__(
+        self,
+        generate: Callable[[random.Random], Any],
+        simplify: Optional[Callable[[Any], Iterable[Any]]] = None,
+        name: str = "strategy",
+    ):
+        self._generate = generate
+        self._simplify = simplify or (lambda value: ())
+        self.name = name
+
+    def generate(self, rng: random.Random) -> Any:
+        return self._generate(rng)
+
+    def simplify(self, value: Any) -> Iterator[Any]:
+        return iter(self._simplify(value))
+
+    def map(self, fn: Callable[[Any], Any], name: str = "") -> "Strategy":
+        """Post-process generated values.  The mapped strategy shrinks by
+        simplifying the *underlying* value and re-mapping, so ``fn`` must
+        be cheap and deterministic."""
+        return Strategy(
+            lambda rng: fn(self._generate(rng)),
+            # note: without the inverse image we cannot shrink through fn;
+            # strategies that need good shrinking should build the final
+            # value directly instead of mapping
+            name=name or f"map({self.name})",
+        )
+
+
+def integers(lo: int, hi: int, name: str = "") -> Strategy:
+    """Uniform integer in ``[lo, hi]``; shrinks toward ``lo``."""
+    if lo > hi:
+        raise ValueError("empty integer range")
+
+    def simplify(value: int) -> Iterator[int]:
+        seen = set()
+        for cand in (lo, (lo + value) // 2, value - 1):
+            if lo <= cand < value and cand not in seen:
+                seen.add(cand)
+                yield cand
+
+    return Strategy(
+        lambda rng: rng.randint(lo, hi), simplify,
+        name or f"integers({lo},{hi})",
+    )
+
+
+def floats(lo: float, hi: float, name: str = "") -> Strategy:
+    """Uniform float in ``[lo, hi]``; shrinks toward 0 (or ``lo``)."""
+    if lo > hi:
+        raise ValueError("empty float range")
+    anchor = 0.0 if lo <= 0.0 <= hi else lo
+
+    def simplify(value: float) -> Iterator[float]:
+        if value == anchor:
+            return
+        for cand in (anchor, (anchor + value) / 2.0, round(value, 1)):
+            if cand != value and lo <= cand <= hi:
+                yield cand
+
+    return Strategy(
+        lambda rng: rng.uniform(lo, hi), simplify,
+        name or f"floats({lo},{hi})",
+    )
+
+
+def sampled_from(options: Sequence[Any], name: str = "") -> Strategy:
+    """Uniform choice; shrinks toward earlier options (order matters:
+    list the simplest first)."""
+    options = list(options)
+    if not options:
+        raise ValueError("no options")
+
+    def simplify(value: Any) -> Iterator[Any]:
+        idx = options.index(value)
+        if idx > 0:
+            yield options[0]
+        if idx > 1:
+            yield options[idx - 1]
+
+    return Strategy(
+        lambda rng: rng.choice(options), simplify, name or "sampled_from"
+    )
+
+
+def lists(
+    elem: Strategy, min_size: int, max_size: int, name: str = ""
+) -> Strategy:
+    """List of ``elem`` draws; shrinks by dropping entries (down to
+    ``min_size``) and by simplifying individual entries."""
+
+    def generate(rng: random.Random) -> List[Any]:
+        size = rng.randint(min_size, max_size)
+        return [elem.generate(rng) for _ in range(size)]
+
+    def simplify(value: List[Any]) -> Iterator[List[Any]]:
+        if len(value) > min_size:
+            yield value[: len(value) // 2] if len(value) // 2 >= min_size \
+                else value[:-1]
+            yield value[:-1]
+            yield value[1:]
+        for i, v in enumerate(value):
+            for sv in elem.simplify(v):
+                yield value[:i] + [sv] + value[i + 1:]
+
+    return Strategy(generate, simplify, name or f"lists({elem.name})")
+
+
+def tuples(*strategies: Strategy) -> Strategy:
+    """Tuple with one component per strategy; shrinks componentwise."""
+
+    def generate(rng: random.Random) -> Tuple[Any, ...]:
+        return tuple(s.generate(rng) for s in strategies)
+
+    def simplify(value: Tuple[Any, ...]) -> Iterator[Tuple[Any, ...]]:
+        for i, s in enumerate(strategies):
+            for sv in s.simplify(value[i]):
+                yield value[:i] + (sv,) + value[i + 1:]
+
+    return Strategy(
+        generate, simplify, f"tuples({', '.join(s.name for s in strategies)})"
+    )
+
+
+def float_arrays(
+    min_size: int = 2,
+    max_size: int = 5,
+    lo: float = -2.0,
+    hi: float = 2.0,
+    name: str = "",
+) -> Strategy:
+    """1-D float numpy array; shrinks by dropping entries and moving
+    entries toward the anchor (see :func:`floats`)."""
+    inner = lists(floats(lo, hi), min_size, max_size)
+
+    def simplify(value: np.ndarray) -> Iterator[np.ndarray]:
+        for cand in inner.simplify(list(value)):
+            yield np.asarray(cand, dtype=float)
+
+    return Strategy(
+        lambda rng: np.asarray(inner.generate(rng), dtype=float),
+        simplify,
+        name or "float_arrays",
+    )
+
+
+def greedy_shrink(
+    value: Any,
+    simplify: Callable[[Any], Iterable[Any]],
+    still_fails: Callable[[Any], bool],
+    max_steps: int = 200,
+) -> Any:
+    """Walk ``simplify`` greedily: keep the first candidate that still
+    fails; stop when none does or the step budget runs out."""
+    current = value
+    for _ in range(max_steps):
+        for cand in simplify(current):
+            try:
+                failed = still_fails(cand)
+            except Exception:
+                # a candidate that *errors* (rather than failing the
+                # property) is outside the property's domain — skip it
+                failed = False
+            if failed:
+                current = cand
+                break
+        else:
+            break
+    return current
+
+
+# ----------------------------------------------------------------------
+# domain generators
+# ----------------------------------------------------------------------
+def _poly_from_terms(
+    n_vars: int, terms: List[Tuple[Exponent, float]]
+) -> Polynomial:
+    coeffs: Dict[Exponent, float] = {}
+    for alpha, c in terms:
+        coeffs[alpha] = coeffs.get(alpha, 0.0) + c
+    return Polynomial(n_vars, coeffs)
+
+
+def polynomials(
+    n_vars: int,
+    max_degree: int = 3,
+    max_terms: int = 6,
+    coeff_lo: float = -2.0,
+    coeff_hi: float = 2.0,
+) -> Strategy:
+    """Random sparse polynomial; shrinks by dropping terms and rounding
+    coefficients toward integers/zero.  Degree-0 and zero polynomials are
+    generated deliberately often (they are where edge-case bugs live)."""
+    monos = monomials_upto(n_vars, max_degree)
+
+    def generate(rng: random.Random) -> Polynomial:
+        roll = rng.random()
+        if roll < 0.05:
+            return Polynomial.zero(n_vars)
+        if roll < 0.15:  # degree-0
+            return Polynomial.constant(n_vars, rng.uniform(coeff_lo, coeff_hi))
+        n_terms = rng.randint(1, max_terms)
+        terms = [
+            (rng.choice(monos), rng.uniform(coeff_lo, coeff_hi))
+            for _ in range(n_terms)
+        ]
+        return _poly_from_terms(n_vars, terms)
+
+    def simplify(p: Polynomial) -> Iterator[Polynomial]:
+        items = sorted(p.coeffs.items())
+        for i in range(len(items)):
+            rest = items[:i] + items[i + 1:]
+            yield Polynomial(n_vars, dict(rest))
+        for alpha, c in items:
+            for cand in (round(c), c / 2.0):
+                if cand != c:
+                    yield Polynomial(
+                        n_vars, {**dict(items), alpha: float(cand)}
+                    )
+
+    return Strategy(generate, simplify, f"polynomials(n={n_vars})")
+
+
+def psd_matrices(size: int, jitter: float = 1e-3) -> Strategy:
+    """Random strictly-PD matrix ``A A^T + jitter I`` (as a nested list so
+    shrinking stays stdlib); shrinks toward the identity-scaled diagonal."""
+
+    def generate(rng: random.Random) -> List[List[float]]:
+        A = [[rng.gauss(0.0, 1.0) for _ in range(size)] for _ in range(size)]
+        Q = [
+            [
+                sum(A[i][k] * A[j][k] for k in range(size))
+                + (jitter if i == j else 0.0)
+                for j in range(size)
+            ]
+            for i in range(size)
+        ]
+        return Q
+
+    def simplify(Q: List[List[float]]) -> Iterator[List[List[float]]]:
+        # diagonal part only (still PSD), then the scaled identity
+        diag = [
+            [Q[i][i] if i == j else 0.0 for j in range(size)]
+            for i in range(size)
+        ]
+        if diag != Q:
+            yield diag
+        eye = [[1.0 if i == j else 0.0 for j in range(size)] for i in range(size)]
+        if eye != Q:
+            yield eye
+
+    return Strategy(generate, simplify, f"psd_matrices({size})")
+
+
+def sos_polynomials(n_vars: int, half_degree: int = 1) -> Strategy:
+    """A true SOS polynomial ``m^T Q m`` with generated strictly-PD ``Q``
+    over the full monomial basis of ``half_degree``."""
+    basis = monomials_upto(n_vars, half_degree)
+    grams = psd_matrices(len(basis))
+
+    def to_poly(Q: List[List[float]]) -> Polynomial:
+        coeffs: Dict[Exponent, float] = {}
+        for i, bi in enumerate(basis):
+            for j, bj in enumerate(basis):
+                a = add_exponents(bi, bj)
+                coeffs[a] = coeffs.get(a, 0.0) + Q[i][j]
+        return Polynomial(n_vars, coeffs)
+
+    def generate(rng: random.Random) -> Polynomial:
+        return to_poly(grams.generate(rng))
+
+    return Strategy(generate, name=f"sos_polynomials(n={n_vars})")
+
+
+def boxes(
+    n_vars: int, lo: float = -3.0, hi: float = 3.0, min_width: float = 0.1
+) -> Strategy:
+    """A nonempty box ``(lo_vec, hi_vec)`` with per-dim width >=
+    ``min_width``; shrinks toward the unit box around the origin."""
+
+    def generate(rng: random.Random) -> Tuple[List[float], List[float]]:
+        los, his = [], []
+        for _ in range(n_vars):
+            a = rng.uniform(lo, hi - min_width)
+            b = rng.uniform(a + min_width, hi)
+            los.append(a)
+            his.append(b)
+        return los, his
+
+    def simplify(
+        value: Tuple[List[float], List[float]]
+    ) -> Iterator[Tuple[List[float], List[float]]]:
+        los, his = value
+        unit = ([-1.0] * n_vars, [1.0] * n_vars)
+        if (los, his) != unit:
+            yield unit
+        yield ([round(a, 1) for a in los], [round(b, 1) for b in his])
+
+    return Strategy(generate, simplify, f"boxes(n={n_vars})")
+
+
+def semialgebraic_sets(n_vars: int) -> Strategy:
+    """A compact semialgebraic region: a random box or ball (the two
+    region shapes every paper benchmark uses)."""
+    from repro.sets import Ball, Box
+
+    def generate(rng: random.Random):
+        if rng.random() < 0.5:
+            los, his = boxes(n_vars).generate(rng)
+            return Box(los, his)
+        center = [rng.uniform(-1.5, 1.5) for _ in range(n_vars)]
+        return Ball(center, rng.uniform(0.2, 1.5))
+
+    return Strategy(generate, name=f"semialgebraic_sets(n={n_vars})")
+
+
+def sdp_problems(
+    max_block: int = 3, max_constraints: int = 4
+) -> Strategy:
+    """A *feasible* random SDP: constraints ``<A_i, X> = <A_i, X0>`` for a
+    generated strictly-PD ``X0``, so ``X0`` witnesses feasibility by
+    construction — any solver failure on these is a solver bug."""
+    from repro.sdp import SDPProblem
+
+    def generate(rng: random.Random):
+        n = rng.randint(1, max_block)
+        m = rng.randint(1, max_constraints)
+        Q0 = psd_matrices(n).generate(rng)
+        X0 = np.array(Q0)
+        sdp = SDPProblem([n])
+        sdp.set_trace_objective(1.0)
+        for _ in range(m):
+            A = np.array(
+                [[rng.gauss(0.0, 1.0) for _ in range(n)] for _ in range(n)]
+            )
+            A = 0.5 * (A + A.T)
+            sdp.add_constraint([A], float(np.sum(A * X0)))
+        return {"sdp": sdp, "witness": X0}
+
+    return Strategy(generate, name="sdp_problems")
+
+
+def ccds_instances(max_n_vars: int = 3) -> Strategy:
+    """A C1-C14-shaped safety instance: polynomial drift of degree <= 3,
+    optional single constant-gain input, ball/box Theta and Xi inside a
+    box domain Psi, Theta and Xi disjoint by construction."""
+    from repro.dynamics import CCDS, ControlAffineSystem
+    from repro.sets import Ball, Box
+
+    def generate(rng: random.Random) -> CCDS:
+        n = rng.randint(2, max_n_vars)
+        drift = polynomials(n, max_degree=3, max_terms=4, coeff_lo=-1.5,
+                            coeff_hi=1.5)
+        f0 = [drift.generate(rng) for _ in range(n)]
+        if rng.random() < 0.5:
+            gains = [rng.uniform(-1.0, 1.0) for _ in range(n)]
+            system = ControlAffineSystem.single_input(f0, gains)
+        else:
+            system = ControlAffineSystem.autonomous(f0)
+        half = rng.uniform(1.5, 3.0)
+        psi = Box([-half] * n, [half] * n)
+        theta_c = [rng.uniform(-half / 3, half / 3) for _ in range(n)]
+        theta_r = rng.uniform(0.1, half / 4)
+        theta = Ball(theta_c, theta_r)
+        # place Xi on a random face region of the domain, away from Theta
+        axis = rng.randrange(n)
+        sign = rng.choice((-1.0, 1.0))
+        xi_lo, xi_hi = [-half] * n, [half] * n
+        if sign > 0:
+            xi_lo[axis] = half * 0.6
+        else:
+            xi_hi[axis] = -half * 0.6
+        xi = Box(xi_lo, xi_hi)
+        return CCDS(
+            system=system, theta=theta, psi=psi, xi=xi,
+            name=f"fuzz-n{n}",
+        )
+
+    return Strategy(generate, name="ccds_instances")
+
+
+# ----------------------------------------------------------------------
+# describing / dumping failures
+# ----------------------------------------------------------------------
+def describe(value: Any) -> Any:
+    """Best-effort JSON-safe description of a generated value."""
+    if isinstance(value, Polynomial):
+        return {
+            "polynomial": {
+                "n_vars": value.n_vars,
+                "coeffs": {
+                    str(list(a)): c for a, c in sorted(value.coeffs.items())
+                },
+            }
+        }
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [describe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): describe(v) for k, v in value.items()}
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def dump_repro(
+    name: str, payload: Dict[str, Any], dump_dir: Optional[str] = None
+) -> str:
+    """Write a minimized failing example where a human (or a regression
+    test) can pick it up; returns the path."""
+    directory = dump_dir or os.environ.get(DUMP_DIR_ENV) or DEFAULT_DUMP_DIR
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+@dataclass
+class PropertyFailure(AssertionError):
+    """A property failed; carries the minimized reproduction."""
+
+    name: str
+    seed: int
+    example_index: int
+    minimized: Any
+    original: Any
+    cause: str
+    dump_path: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover - message formatting
+        lines = [
+            f"property {self.name!r} failed "
+            f"(seed={self.seed}, example #{self.example_index})",
+            f"  cause: {self.cause}",
+            f"  minimized: {describe(self.minimized)!r}",
+            f"  replay: {SEED_ENV}={self.seed}",
+        ]
+        if self.dump_path:
+            lines.append(f"  repro dumped to: {self.dump_path}")
+        return "\n".join(lines)
+
+
+def run_property(
+    name: str,
+    strategy: Strategy,
+    prop: Callable[[Any], None],
+    n_examples: int = 50,
+    seed: Optional[int] = None,
+    max_shrink_steps: int = 200,
+    dump: bool = True,
+) -> int:
+    """Drive ``prop`` over ``n_examples`` generated values.
+
+    ``prop`` signals failure by raising :class:`AssertionError`; any
+    other exception propagates immediately (it is a harness bug, not a
+    counterexample).  The first failing value is greedily shrunk, dumped
+    (when ``dump``), and re-raised as :class:`PropertyFailure`.  Returns
+    the number of examples run.
+    """
+    seed = resolve_seed(0) if seed is None else int(seed)
+    rng = random.Random(seed)
+    for index in range(n_examples):
+        value = strategy.generate(rng)
+        try:
+            prop(value)
+            continue
+        except AssertionError as exc:
+            cause = str(exc) or type(exc).__name__
+
+        def still_fails(candidate: Any) -> bool:
+            try:
+                prop(candidate)
+                return False
+            except AssertionError:
+                return True
+
+        minimized = greedy_shrink(
+            value, strategy.simplify, still_fails, max_steps=max_shrink_steps
+        )
+        dump_path = None
+        if dump:
+            dump_path = dump_repro(
+                f"{name}-seed{seed}-ex{index}",
+                {
+                    "property": name,
+                    "seed": seed,
+                    "example_index": index,
+                    "cause": cause,
+                    "minimized": describe(minimized),
+                    "original": describe(value),
+                    "replay": f"{SEED_ENV}={seed}",
+                },
+            )
+        raise PropertyFailure(
+            name=name,
+            seed=seed,
+            example_index=index,
+            minimized=minimized,
+            original=value,
+            cause=cause,
+            dump_path=dump_path,
+        )
+    return n_examples
+
+
+__all__ = [
+    "Strategy",
+    "PropertyFailure",
+    "run_property",
+    "greedy_shrink",
+    "resolve_seed",
+    "fuzz_examples",
+    "describe",
+    "dump_repro",
+    "integers",
+    "floats",
+    "sampled_from",
+    "lists",
+    "tuples",
+    "float_arrays",
+    "polynomials",
+    "psd_matrices",
+    "sos_polynomials",
+    "boxes",
+    "semialgebraic_sets",
+    "sdp_problems",
+    "ccds_instances",
+    "SEED_ENV",
+    "FUZZ_LONG_ENV",
+    "DUMP_DIR_ENV",
+]

@@ -19,6 +19,11 @@ from repro.sets import SemialgebraicSet
 from repro.sos import SOSExpr, SOSProgram, validate_sos_identity
 from repro.sos.program import GramBlock, SOSSolution
 from repro.sos.workspace import ConditionWorkspace
+from repro.soundness.certificate import (
+    CertificateBundle,
+    ConditionCertificate,
+    MultiplierCertificate,
+)
 from repro.telemetry import get_telemetry
 
 
@@ -79,6 +84,12 @@ class VerifierConfig:
     #: :mod:`repro.resilience.recovery`).  Healthy solves are untouched,
     #: so default-on recovery is bit-identical on converging instances.
     recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    #: attach a :class:`~repro.soundness.certificate.CertificateBundle`
+    #: (Gram matrices, multipliers, lambda, margins, boxes) to passing
+    #: verifications so :mod:`repro.soundness.checker` can re-prove the
+    #: Putinar identities over ℚ.  Capture is pure bookkeeping — it never
+    #: changes verdicts or solver behavior.
+    capture_certificate: bool = True
 
 
 @dataclass
@@ -128,6 +139,9 @@ class VerificationResult:
     elapsed_seconds: float
     lambda_poly: Optional[Polynomial] = None
     lambda_polys: Optional[dict] = None
+    #: Gram-level evidence for the exact rational recheck; present on
+    #: passing verifications when ``VerifierConfig.capture_certificate``
+    certificate: Optional[CertificateBundle] = None
 
     def failed_conditions(self) -> List[str]:
         return [c.name for c in self.conditions if not c.ok]
@@ -151,6 +165,9 @@ class _PreparedCondition:
     Bf: np.ndarray
     r: np.ndarray
     G: np.ndarray
+    #: inclusion-error endpoint the Lie condition is certified at
+    #: (empty for init/unsafe)
+    endpoint: Tuple[float, ...] = ()
 
 
 class SOSVerifier:
@@ -209,6 +226,7 @@ class SOSVerifier:
         region: SemialgebraicSet,
         margin: float,
         free_lambda_times: Optional[Polynomial] = None,
+        endpoint: Tuple[float, ...] = (),
     ) -> _PreparedCondition:
         """Build the SDP for ``expr - sum sigma_i g_i - margin (+ lambda *
         B) in SOS``, through the cached workspace when enabled."""
@@ -241,7 +259,7 @@ class SOSVerifier:
             return _PreparedCondition(
                 name, base, expr_known, region, margin, free_lambda_times,
                 ws.program, ws.multipliers, ws.lam_expr, ws.slack_block,
-                sdp, Bf, r, G,
+                sdp, Bf, r, G, endpoint,
             )
         prog = SOSProgram(n)
         expr = SOSExpr.from_polynomial(expr_known - margin)
@@ -260,7 +278,54 @@ class SOSVerifier:
         sdp, Bf, r, G = prog.compile()
         return _PreparedCondition(
             name, base, expr_known, region, margin, free_lambda_times,
-            prog, multipliers, lam_expr, slack, sdp, Bf, r, G,
+            prog, multipliers, lam_expr, slack, sdp, Bf, r, G, endpoint,
+        )
+
+    def _condition_box(
+        self, region: SemialgebraicSet
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Bounding box the region's validation grid / exact recheck use."""
+        if region.bounding_box is not None:
+            return region.bounding_box
+        n = self.problem.n_vars  # pragma: no cover - all paper sets bounded
+        return -np.ones(n) * 1e3, np.ones(n) * 1e3
+
+    def _capture(
+        self,
+        prep: _PreparedCondition,
+        sol: SOSSolution,
+        lam_poly: Optional[Polynomial],
+    ) -> ConditionCertificate:
+        """Snapshot the Gram-level evidence of one passing condition."""
+        multipliers: List[MultiplierCertificate] = []
+        for s, g in zip(prep.multipliers, prep.region.constraints):
+            # every monomial of an sos_poly expression references the same
+            # Gram block, so any gram key identifies it
+            bid = next(
+                bid
+                for lc in s.coeffs.values()
+                for (bid, _i, _j) in lc.gram
+            )
+            block = prep.prog._blocks[bid]
+            multipliers.append(
+                MultiplierCertificate(
+                    constraint=g,
+                    basis=tuple(block.basis),
+                    gram=np.array(sol.gram(bid), dtype=float),
+                )
+            )
+        lo, hi = self._condition_box(prep.region)
+        return ConditionCertificate(
+            name=prep.name,
+            base=prep.base,
+            margin=float(prep.margin),
+            endpoint=tuple(float(w) for w in prep.endpoint),
+            slack_basis=tuple(prep.slack.basis),
+            slack_gram=np.array(sol.gram(prep.slack.block_id), dtype=float),
+            multipliers=multipliers,
+            lambda_poly=lam_poly,
+            box_lo=tuple(float(v) for v in lo),
+            box_hi=tuple(float(v) for v in hi),
         )
 
     def _finish(
@@ -269,7 +334,9 @@ class SOSVerifier:
         result: SDPResult,
         t0: float,
         span=None,
-    ) -> Tuple[ConditionReport, Optional[Polynomial]]:
+    ) -> Tuple[
+        ConditionReport, Optional[Polynomial], Optional[ConditionCertificate]
+    ]:
         """Free-variable recovery, a-posteriori validation and reporting
         for one solved condition (mirrors :meth:`SOSProgram.solve`)."""
         cfg = self.config
@@ -305,17 +372,24 @@ class SOSVerifier:
                     **sdp_stats,
                 ),
                 None,
+                None,
             )
         lam_poly = sol.value(prep.lam_expr) if prep.lam_expr is not None else None
         if not cfg.validate:
             if span is not None:
                 span.set_attrs(feasible=True, validated=True)
+            cert = (
+                self._capture(prep, sol, lam_poly)
+                if cfg.capture_certificate
+                else None
+            )
             return (
                 ConditionReport(
                     name, True, True, elapsed, "validation skipped",
                     **sdp_stats,
                 ),
                 lam_poly,
+                cert,
             )
         # rebuild the fully-substituted LHS and validate the identity
         realized = prep.expr_known - prep.margin
@@ -323,11 +397,7 @@ class SOSVerifier:
             realized = realized - sol.value(s) * g
         if lam_poly is not None:
             realized = realized - lam_poly * prep.free_lambda_times
-        if prep.region.bounding_box is not None:
-            lo, hi = prep.region.bounding_box
-        else:  # pragma: no cover - all paper sets are bounded
-            n = self.problem.n_vars
-            lo, hi = -np.ones(n) * 1e3, np.ones(n) * 1e3
+        lo, hi = self._condition_box(prep.region)
         report = validate_sos_identity(
             realized,
             prep.slack,
@@ -349,6 +419,11 @@ class SOSVerifier:
             )
         if not report.ok:
             tel.metrics.inc(f"verifier.validation_failed.{base}")
+        cert = (
+            self._capture(prep, sol, lam_poly)
+            if (report.ok and cfg.capture_certificate)
+            else None
+        )
         return (
             ConditionReport(
                 name=name,
@@ -361,6 +436,7 @@ class SOSVerifier:
                 **sdp_stats,
             ),
             lam_poly,
+            cert,
         )
 
     def _putinar_check(
@@ -370,7 +446,10 @@ class SOSVerifier:
         region: SemialgebraicSet,
         margin: float,
         free_lambda_times: Optional[Polynomial] = None,
-    ) -> Tuple[ConditionReport, Optional[Polynomial]]:
+        endpoint: Tuple[float, ...] = (),
+    ) -> Tuple[
+        ConditionReport, Optional[Polynomial], Optional[ConditionCertificate]
+    ]:
         """Feasibility of ``expr - sum sigma_i g_i - margin (+ lambda * B) in SOS``.
 
         When ``free_lambda_times`` is given (the candidate ``B``), a free
@@ -386,7 +465,10 @@ class SOSVerifier:
             condition=name,
             paper_condition=PAPER_CONDITION_NUMBERS.get(base),
         ) as span:
-            prep = self._prepare(name, expr_known, region, margin, free_lambda_times)
+            prep = self._prepare(
+                name, expr_known, region, margin, free_lambda_times,
+                endpoint=endpoint,
+            )
             result = solve_sdp_resilient(
                 prep.sdp, cfg.sdp_options, cfg.recovery
             )
@@ -410,26 +492,31 @@ class SOSVerifier:
         t0 = time.perf_counter()
         cfg = self.config
         if cfg.parallel:
-            result = self._verify_parallel(B, t0)
+            result = self._verify_parallel(B, t0, scale)
             if result is not None:
                 return result
             # pool unavailable -> fall through to the serial path
         reports: List[ConditionReport] = []
+        certs: List[ConditionCertificate] = []
         lambda_poly: Optional[Polynomial] = None
         lambda_polys: dict = {}
 
         # (13): B >= 0 on Theta
-        rep, _ = self._putinar_check(
+        rep, _, cert = self._putinar_check(
             "init", B, self.problem.theta, margin=cfg.eps_init
         )
         reports.append(rep)
+        if cert is not None:
+            certs.append(cert)
 
         # (14): B < 0 on Xi  <=>  -B - eps1 >= 0
         if rep.ok:
-            rep_u, _ = self._putinar_check(
+            rep_u, _, cert_u = self._putinar_check(
                 "unsafe", -1.0 * B, self.problem.xi, margin=cfg.eps_unsafe
             )
             reports.append(rep_u)
+            if cert_u is not None:
+                certs.append(cert_u)
         else:
             reports.append(
                 ConditionReport("unsafe", False, False, 0.0, "skipped (init failed)")
@@ -444,14 +531,17 @@ class SOSVerifier:
                 )
                 lfb = lie_derivative(B, field_polys)
                 name = "lie" if len(endpoints) == 1 else f"lie[w={np.round(w, 6).tolist()}]"
-                rep_l, lam = self._putinar_check(
+                rep_l, lam, cert_l = self._putinar_check(
                     name,
                     lfb,
                     self.problem.psi,
                     margin=cfg.eps_lie,
                     free_lambda_times=B,
+                    endpoint=w,
                 )
                 reports.append(rep_l)
+                if cert_l is not None:
+                    certs.append(cert_l)
                 if lam is not None:
                     lambda_polys[name] = lam
                     if lambda_poly is None:
@@ -474,6 +564,25 @@ class SOSVerifier:
             elapsed_seconds=time.perf_counter() - t0,
             lambda_poly=lambda_poly,
             lambda_polys=lambda_polys or None,
+            certificate=self._bundle(B, scale, certs) if ok else None,
+        )
+
+    def _bundle(
+        self,
+        B: Polynomial,
+        scale: float,
+        certs: List[ConditionCertificate],
+    ) -> Optional[CertificateBundle]:
+        """Assemble the per-candidate bundle from passing-condition
+        certificates (``B`` is the normalized candidate they certify)."""
+        if not self.config.capture_certificate or not certs:
+            return None
+        return CertificateBundle(
+            barrier=B,
+            barrier_scale=float(scale) if scale > 0 else 1.0,
+            controller_polys=list(self.controller_polys),
+            sigma_star=list(self.sigma_star),
+            conditions=certs,
         )
 
     def _lie_preps(self, B: Polynomial) -> List[_PreparedCondition]:
@@ -491,13 +600,14 @@ class SOSVerifier:
             )
             preps.append(
                 self._prepare(
-                    name, lfb, self.problem.psi, cfg.eps_lie, free_lambda_times=B
+                    name, lfb, self.problem.psi, cfg.eps_lie,
+                    free_lambda_times=B, endpoint=w,
                 )
             )
         return preps
 
     def _verify_parallel(
-        self, B: Polynomial, t0: float
+        self, B: Polynomial, t0: float, scale: float
     ) -> Optional[VerificationResult]:
         """Solve all condition SDPs concurrently in a process pool.
 
@@ -557,21 +667,28 @@ class SOSVerifier:
                 return self._finish(prep, res, t0, span=span)
 
         reports: List[ConditionReport] = []
+        certs: List[ConditionCertificate] = []
         lambda_poly: Optional[Polynomial] = None
         lambda_polys: dict = {}
-        rep_init, _ = finish(preps[0], results[0])
+        rep_init, _, cert_i = finish(preps[0], results[0])
         reports.append(rep_init)
+        if cert_i is not None:
+            certs.append(cert_i)
         if rep_init.ok:
-            rep_u, _ = finish(preps[1], results[1])
+            rep_u, _, cert_u = finish(preps[1], results[1])
             reports.append(rep_u)
+            if cert_u is not None:
+                certs.append(cert_u)
         else:
             reports.append(
                 ConditionReport("unsafe", False, False, 0.0, "skipped (init failed)")
             )
         if all(r.ok for r in reports):
             for prep, res in zip(preps[2:], results[2:]):
-                rep_l, lam = finish(prep, res)
+                rep_l, lam, cert_l = finish(prep, res)
                 reports.append(rep_l)
+                if cert_l is not None:
+                    certs.append(cert_l)
                 if lam is not None:
                     lambda_polys[prep.name] = lam
                     if lambda_poly is None:
@@ -592,6 +709,7 @@ class SOSVerifier:
             elapsed_seconds=time.perf_counter() - t0,
             lambda_poly=lambda_poly,
             lambda_polys=lambda_polys or None,
+            certificate=self._bundle(B, scale, certs) if ok else None,
         )
 
     def _error_endpoints(self) -> List[Tuple[float, ...]]:

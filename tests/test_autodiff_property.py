@@ -1,103 +1,114 @@
-"""Property-based gradient checks for the autodiff engine."""
+"""Property-based gradient checks for the autodiff engine, driven by the
+shared seeded generator library (``repro.soundness.strategies``)."""
 
 import numpy as np
-import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.autodiff import Tensor
+from repro.soundness import strategies as st
+from repro.soundness.oracles import numeric_gradient
 
-
-def numeric_grad(fn, x, eps=1e-6):
-    g = np.zeros_like(x)
-    it = np.nditer(x, flags=["multi_index"])
-    while not it.finished:
-        idx = it.multi_index
-        xp, xm = x.copy(), x.copy()
-        xp[idx] += eps
-        xm[idx] -= eps
-        g[idx] = (fn(xp) - fn(xm)) / (2 * eps)
-        it.iternext()
-    return g
+SEED = st.resolve_seed(0)
 
 
 def agrees(build, x0, atol=2e-4):
     t = Tensor(x0, requires_grad=True)
     build(t).backward()
-    num = numeric_grad(lambda arr: build(Tensor(arr, requires_grad=True)).item(), x0)
+    num = numeric_gradient(
+        lambda arr: build(Tensor(arr, requires_grad=True)).item(), x0
+    )
     np.testing.assert_allclose(t.grad, num, atol=atol)
 
 
-arrays = st.integers(2, 5).flatmap(
-    lambda n: st.lists(
-        st.floats(-2, 2, allow_nan=False, allow_infinity=False),
-        min_size=n,
-        max_size=n,
-    ).map(lambda v: np.asarray(v))
-)
+def test_polynomial_chain_gradient():
+    st.run_property(
+        "autodiff-polynomial-chain",
+        st.float_arrays(),
+        lambda x0: agrees(
+            lambda t: ((t * t + t * 3.0 - 1.0) * (t - 0.5)).sum(), x0
+        ),
+        n_examples=st.fuzz_examples(30),
+        seed=SEED,
+    )
 
 
-@settings(max_examples=30, deadline=None)
-@given(arrays)
-def test_polynomial_chain_gradient(x0):
-    agrees(lambda t: ((t * t + t * 3.0 - 1.0) * (t - 0.5)).sum(), x0)
+def test_smooth_activation_chain():
+    st.run_property(
+        "autodiff-activation-chain",
+        st.float_arrays(),
+        lambda x0: agrees(
+            lambda t: (t.tanh() * t.sigmoid() + (t * 0.1).exp()).sum(), x0
+        ),
+        n_examples=st.fuzz_examples(30),
+        seed=SEED,
+    )
 
 
-@settings(max_examples=30, deadline=None)
-@given(arrays)
-def test_smooth_activation_chain(x0):
-    agrees(lambda t: (t.tanh() * t.sigmoid() + (t * 0.1).exp()).sum(), x0)
+def test_matmul_random_shapes():
+    def prop(case):
+        m, k, seed = case
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(m, k))
+        W0 = rng.normal(size=(k, 3))
+        agrees(lambda t: ((Tensor(X) @ t) * (Tensor(X) @ t)).mean(), W0)
+
+    st.run_property(
+        "autodiff-matmul-shapes",
+        st.tuples(st.integers(1, 4), st.integers(1, 4),
+                  st.integers(0, 10_000)),
+        prop,
+        n_examples=st.fuzz_examples(20),
+        seed=SEED,
+    )
 
 
-@settings(max_examples=20, deadline=None)
-@given(st.integers(1, 4), st.integers(1, 4), st.integers(0, 10_000))
-def test_matmul_random_shapes(m, k, seed):
-    rng = np.random.default_rng(seed)
-    X = rng.normal(size=(m, k))
-    W0 = rng.normal(size=(k, 3))
+def test_two_layer_network_gradient():
+    def prop(seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(6, 2))
+        W1 = rng.normal(size=(2, 4))
+        W2 = rng.normal(size=(4, 1))
 
-    def build(t):
-        return ((Tensor(X) @ t) * (Tensor(X) @ t)).mean()
+        def loss_for(w1):
+            h = (Tensor(X) @ Tensor(w1, requires_grad=False)).tanh()
+            return ((h @ Tensor(W2)) ** 2).mean()
 
-    agrees(build, W0)
+        t = Tensor(W1, requires_grad=True)
+        h = (Tensor(X) @ t).tanh()
+        ((h @ Tensor(W2)) ** 2).mean().backward()
+        num = numeric_gradient(lambda arr: loss_for(arr).item(), W1)
+        np.testing.assert_allclose(t.grad, num, atol=2e-4)
 
-
-@settings(max_examples=20, deadline=None)
-@given(st.integers(0, 10_000))
-def test_two_layer_network_gradient(seed):
-    rng = np.random.default_rng(seed)
-    X = rng.normal(size=(6, 2))
-    W1 = rng.normal(size=(2, 4))
-    W2 = rng.normal(size=(4, 1))
-
-    def loss_for(w1):
-        h = (Tensor(X) @ Tensor(w1, requires_grad=False)).tanh()
-        return ((h @ Tensor(W2)) ** 2).mean()
-
-    t = Tensor(W1, requires_grad=True)
-    h = (Tensor(X) @ t).tanh()
-    ((h @ Tensor(W2)) ** 2).mean().backward()
-    num = numeric_grad(lambda arr: loss_for(arr).item(), W1)
-    np.testing.assert_allclose(t.grad, num, atol=2e-4)
+    st.run_property(
+        "autodiff-two-layer",
+        st.integers(0, 10_000),
+        prop,
+        n_examples=st.fuzz_examples(20),
+        seed=SEED,
+    )
 
 
-@settings(max_examples=30, deadline=None)
-@given(arrays, arrays)
-def test_gradient_additivity(a, b):
+def test_gradient_additivity():
     """grad of f+g equals grad f + grad g (linearity of backward)."""
-    if a.shape != b.shape:
-        return
-    x0 = a.copy()
 
-    def f(t):
-        return (t * t).sum()
+    def prop(x0):
+        def f(t):
+            return (t * t).sum()
 
-    def g(t):
-        return (t.tanh() * 2.0).sum()
+        def g(t):
+            return (t.tanh() * 2.0).sum()
 
-    t1 = Tensor(x0, requires_grad=True)
-    f(t1).backward()
-    t2 = Tensor(x0, requires_grad=True)
-    g(t2).backward()
-    t3 = Tensor(x0, requires_grad=True)
-    (f(t3) + g(t3)).backward()
-    np.testing.assert_allclose(t3.grad, t1.grad + t2.grad, atol=1e-10)
+        t1 = Tensor(x0, requires_grad=True)
+        f(t1).backward()
+        t2 = Tensor(x0, requires_grad=True)
+        g(t2).backward()
+        t3 = Tensor(x0, requires_grad=True)
+        (f(t3) + g(t3)).backward()
+        np.testing.assert_allclose(t3.grad, t1.grad + t2.grad, atol=1e-10)
+
+    st.run_property(
+        "autodiff-additivity",
+        st.float_arrays(),
+        prop,
+        n_examples=st.fuzz_examples(30),
+        seed=SEED,
+    )

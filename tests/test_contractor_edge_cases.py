@@ -1,0 +1,87 @@
+"""Regression tests: degree-0 polynomials and empty boxes through the
+interval contractor and the box range bounds (these used to crash with a
+bare Interval ValueError / silently return unsound enclosures)."""
+
+import numpy as np
+import pytest
+
+from repro.poly import Polynomial
+from repro.poly.bounds import abs_bound_on_box, interval_eval
+from repro.smt.contractor import contract_box, contract_nonnegative
+
+
+def test_contract_nonnegative_empty_box_returns_none():
+    x, y = Polynomial.variables(2)
+    p = x * x + y - 1.0
+    out = contract_nonnegative(p, np.array([1.0, 0.0]), np.array([-1.0, 2.0]))
+    assert out is None
+
+
+def test_contract_box_empty_box_returns_none():
+    x, y = Polynomial.variables(2)
+    out = contract_box([x + y], np.array([0.5, 0.5]), np.array([0.4, 1.0]))
+    assert out is None
+
+
+def test_contract_nonnegative_degree_zero_positive_keeps_box():
+    p = Polynomial.constant(2, 3.0)
+    lo, hi = np.array([-1.0, -1.0]), np.array([1.0, 1.0])
+    out = contract_nonnegative(p, lo, hi)
+    assert out is not None
+    np.testing.assert_array_equal(out[0], lo)
+    np.testing.assert_array_equal(out[1], hi)
+
+
+def test_contract_nonnegative_degree_zero_negative_prunes():
+    p = Polynomial.constant(2, -0.5)
+    out = contract_nonnegative(p, np.array([-1.0, -1.0]), np.array([1.0, 1.0]))
+    assert out is None
+
+
+def test_contract_nonnegative_zero_polynomial_keeps_box():
+    p = Polynomial.zero(2)
+    lo, hi = np.array([-2.0, 0.0]), np.array([2.0, 1.0])
+    out = contract_nonnegative(p, lo, hi)
+    assert out is not None
+    np.testing.assert_array_equal(out[0], lo)
+    np.testing.assert_array_equal(out[1], hi)
+
+
+def test_contract_still_sound_on_active_constraint():
+    # x >= 1 intersected with [-2, 2]: the contractor must keep [1, 2]
+    x, = Polynomial.variables(1)
+    out = contract_nonnegative(x - 1.0, np.array([-2.0]), np.array([2.0]))
+    assert out is not None
+    lo, hi = out
+    assert lo[0] >= 1.0 - 1e-9 and hi[0] == pytest.approx(2.0)
+
+
+def test_interval_eval_rejects_empty_box():
+    x, y = Polynomial.variables(2)
+    with pytest.raises(ValueError, match="lo > hi"):
+        interval_eval(x * y, [1.0, 0.0], [0.0, 1.0])
+
+
+def test_abs_bound_rejects_empty_box():
+    x, y = Polynomial.variables(2)
+    with pytest.raises(ValueError, match="lo > hi"):
+        abs_bound_on_box(x + y, [1.0, 0.0], [0.0, 1.0])
+
+
+def test_interval_eval_degree_zero():
+    p = Polynomial.constant(3, -2.5)
+    low, high = interval_eval(p, [-1.0] * 3, [1.0] * 3)
+    assert low == pytest.approx(-2.5)
+    assert high == pytest.approx(-2.5)
+
+
+def test_interval_eval_encloses_true_range():
+    x, y = Polynomial.variables(2)
+    p = x * x - 2.0 * y + 0.5
+    lo_b, hi_b = [-1.0, -1.0], [1.0, 1.0]
+    low, high = interval_eval(p, lo_b, hi_b)
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(-1.0, 1.0, size=(2000, 2))
+    vals = p(pts)
+    assert low <= float(np.min(vals)) + 1e-12
+    assert high >= float(np.max(vals)) - 1e-12

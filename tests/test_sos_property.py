@@ -1,96 +1,119 @@
-"""Property-based tests for the SOS layer: completeness and soundness."""
+"""Property-based tests for the SOS layer (completeness and soundness),
+driven by the shared seeded generator library."""
+
+import random
 
 import numpy as np
-import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.poly import Polynomial
-from repro.poly.monomials import add_exponents, monomials_upto
 from repro.sos import SOSExpr, SOSProgram
+from repro.soundness import strategies as st
+
+SEED = st.resolve_seed(0)
 
 
-def gram_to_poly(n_vars, basis, Q):
-    coeffs = {}
-    for i, bi in enumerate(basis):
-        for j, bj in enumerate(basis):
-            a = add_exponents(bi, bj)
-            coeffs[a] = coeffs.get(a, 0.0) + Q[i, j]
-    return Polynomial(n_vars, coeffs)
+def test_true_sos_polynomials_accepted():
+    """Completeness: p = m^T Q m with random strictly-PD Q is certified."""
+
+    def prop(case):
+        n_vars, half_deg, seed = case
+        p = st.sos_polynomials(n_vars, half_deg).generate(random.Random(seed))
+        prog = SOSProgram(n_vars)
+        prog.require_sos(SOSExpr.from_polynomial(p))
+        sol = prog.solve()
+        assert sol.feasible, (
+            f"rejected a true SOS polynomial (n={n_vars}, d={half_deg}, "
+            f"seed {seed})"
+        )
+
+    st.run_property(
+        "sos-true-accepted",
+        st.tuples(st.integers(1, 2), st.integers(1, 2),
+                  st.integers(0, 10_000)),
+        prop,
+        n_examples=st.fuzz_examples(25),
+        seed=SEED,
+    )
 
 
-@settings(max_examples=25, deadline=None)
-@given(st.integers(0, 10_000), st.integers(1, 2), st.integers(1, 2))
-def test_true_sos_polynomials_accepted(seed, n_vars, half_deg):
-    """Completeness: p = m^T Q m with random PSD Q is always certified."""
-    rng = np.random.default_rng(seed)
-    basis = monomials_upto(n_vars, half_deg)
-    A = rng.normal(size=(len(basis), len(basis)))
-    Q = A @ A.T + 1e-3 * np.eye(len(basis))  # strictly PD for robustness
-    p = gram_to_poly(n_vars, basis, Q)
-    prog = SOSProgram(n_vars)
-    prog.require_sos(SOSExpr.from_polynomial(p))
-    sol = prog.solve()
-    assert sol.feasible, f"rejected a true SOS polynomial (seed {seed})"
-
-
-@settings(max_examples=25, deadline=None)
-@given(st.integers(0, 10_000))
-def test_negative_somewhere_rejected(seed):
+def test_negative_somewhere_rejected():
     """Soundness: polynomials with a visibly negative value are rejected."""
-    rng = np.random.default_rng(seed)
-    # random quadratic forced negative at a random point by construction
-    x0 = rng.uniform(-1, 1, size=2)
-    basis = monomials_upto(2, 1)
-    A = rng.normal(size=(3, 3))
-    Q = A @ A.T
-    p = gram_to_poly(2, basis, Q)
-    p = p - (p(x0) + 0.5)  # now p(x0) = -0.5
-    prog = SOSProgram(2)
-    prog.require_sos(SOSExpr.from_polynomial(p))
-    sol = prog.solve()
-    if sol.feasible:
-        # if the solver claims feasibility, the realized identity must
-        # catch the inconsistency — check values directly
-        realized = sol.slack_polynomial(prog._blocks[-1])
-        assert realized(x0) >= -1e-6  # SOS is nonnegative...
-        assert not np.isclose(realized(x0), p(x0), atol=0.25)  # ...so it can't match p
-    else:
-        assert not sol.feasible
+
+    def prop(seed):
+        rng = np.random.default_rng(seed)
+        x0 = rng.uniform(-1, 1, size=2)
+        p = st.sos_polynomials(2, 1).generate(random.Random(seed))
+        p = p - (p(x0) + 0.5)  # now p(x0) = -0.5
+        prog = SOSProgram(2)
+        prog.require_sos(SOSExpr.from_polynomial(p))
+        sol = prog.solve()
+        if sol.feasible:
+            # if the solver claims feasibility, the realized identity must
+            # catch the inconsistency — check values directly
+            realized = sol.slack_polynomial(prog._blocks[-1])
+            assert realized(x0) >= -1e-6  # SOS is nonnegative...
+            assert not np.isclose(realized(x0), p(x0), atol=0.25)
+
+    st.run_property(
+        "sos-negative-rejected",
+        st.integers(0, 10_000),
+        prop,
+        n_examples=st.fuzz_examples(25),
+        seed=SEED,
+    )
 
 
-@settings(max_examples=15, deadline=None)
-@given(st.integers(0, 10_000))
-def test_extracted_multipliers_are_sos(seed):
+def test_extracted_multipliers_are_sos():
     """Every SOS multiplier extracted from a feasible program evaluates
     nonnegatively (its Gram is PSD up to solver tolerance)."""
-    rng = np.random.default_rng(seed)
-    x = Polynomial.variable(1, 0)
-    # (2 - x) - margin >= 0 on [-1, 1] iff margin <= 1; stay clearly below
-    margin = float(rng.uniform(0.2, 0.9))
-    prog = SOSProgram(1)
-    sigma = prog.sos_poly(2)
-    # certify (2 - x) - margin >= 0 on [-1, 1]
-    expr = SOSExpr.from_polynomial(2.0 - x - margin) - sigma * (1.0 - x * x)
-    prog.require_sos(expr)
-    sol = prog.solve()
-    assert sol.feasible
-    sig_poly = sol.value(sigma)
-    xs = np.linspace(-3, 3, 61)[:, None]
-    assert np.all(sig_poly(xs) >= -1e-6)
 
-
-@settings(max_examples=15, deadline=None)
-@given(st.floats(0.1, 3.0), st.floats(-1.0, 1.0))
-def test_putinar_bound_scales(c, shift):
-    """Certifying p >= 0 on a box is invariant under positive scaling."""
-    x = Polynomial.variable(1, 0)
-    p = (x - shift) ** 2 + 0.1
-
-    def feasible(poly):
+    def prop(margin):
+        x = Polynomial.variable(1, 0)
         prog = SOSProgram(1)
-        s = prog.sos_poly(0)
-        prog.require_sos(SOSExpr.from_polynomial(poly) - s * (1.0 - x * x))
-        return prog.solve().feasible
+        sigma = prog.sos_poly(2)
+        # certify (2 - x) - margin >= 0 on [-1, 1]
+        expr = SOSExpr.from_polynomial(2.0 - x - margin) - sigma * (
+            1.0 - x * x
+        )
+        prog.require_sos(expr)
+        sol = prog.solve()
+        assert sol.feasible
+        sig_poly = sol.value(sigma)
+        xs = np.linspace(-3, 3, 61)[:, None]
+        assert np.all(sig_poly(xs) >= -1e-6)
 
-    assert feasible(p)
-    assert feasible(p * c)
+    st.run_property(
+        "sos-multipliers-sos",
+        st.floats(0.2, 0.9),
+        prop,
+        n_examples=st.fuzz_examples(15),
+        seed=SEED,
+    )
+
+
+def test_putinar_bound_scales():
+    """Certifying p >= 0 on a box is invariant under positive scaling."""
+
+    def prop(case):
+        c, shift = case
+        x = Polynomial.variable(1, 0)
+        p = (x - shift) ** 2 + 0.1
+
+        def feasible(poly):
+            prog = SOSProgram(1)
+            s = prog.sos_poly(0)
+            prog.require_sos(
+                SOSExpr.from_polynomial(poly) - s * (1.0 - x * x)
+            )
+            return prog.solve().feasible
+
+        assert feasible(p)
+        assert feasible(p * c)
+
+    st.run_property(
+        "sos-putinar-scales",
+        st.tuples(st.floats(0.1, 3.0), st.floats(-1.0, 1.0)),
+        prop,
+        n_examples=st.fuzz_examples(15),
+        seed=SEED,
+    )

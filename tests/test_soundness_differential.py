@@ -1,0 +1,153 @@
+"""Differential oracles: SOS vs interval verification and Tape vs naive
+backward must agree; disagreements must be detected and dumped."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.dynamics import CCDS, ControlAffineSystem
+from repro.poly import Polynomial
+from repro.sets import Box
+from repro.soundness import oracles
+from repro.verifier.interval_verifier import IntervalVerifierConfig
+
+FAST_INTERVAL = IntervalVerifierConfig(
+    max_boxes_per_check=10_000, time_limit_per_check=20.0
+)
+
+
+def decay_problem():
+    x, y = Polynomial.variables(2)
+    system = ControlAffineSystem.autonomous([-1.0 * x, -1.0 * y])
+    return CCDS(
+        system,
+        theta=Box.cube(2, -0.3, 0.3, name="theta"),
+        psi=Box.cube(2, -2.0, 2.0, name="psi"),
+        xi=Box.cube(2, 1.5, 2.0, name="xi"),
+        name="decay",
+    )
+
+
+def decay_barrier():
+    x, y = Polynomial.variables(2)
+    return Polynomial.constant(2, 1.0) - 0.5 * (x * x + y * y)
+
+
+# ----------------------------------------------------------------------
+# SOS vs interval
+# ----------------------------------------------------------------------
+def test_verifiers_agree_on_valid_barrier():
+    cmp = oracles.compare_verifiers(
+        decay_problem(), decay_barrier(),
+        interval_config=FAST_INTERVAL, dump=False,
+    )
+    assert cmp.sos_ok
+    assert cmp.ok
+    assert cmp.interval_outcomes.get("init") == "PROVED"
+
+
+def test_sos_rejection_is_not_a_disagreement():
+    # -B is negative on Theta: both verifiers reject, which the oracle
+    # must NOT flag (it is one-sided by design)
+    cmp = oracles.compare_verifiers(
+        decay_problem(), -1.0 * decay_barrier(),
+        interval_config=FAST_INTERVAL, dump=False,
+    )
+    assert not cmp.sos_ok
+    assert cmp.ok  # no disagreement recorded
+
+
+def test_controlled_system_comparison():
+    x, y = Polynomial.variables(2)
+    system = ControlAffineSystem.single_input(
+        [-1.0 * x, -1.0 * y], [0.0, 1.0]
+    )
+    prob = CCDS(
+        system,
+        theta=Box.cube(2, -0.3, 0.3, name="theta"),
+        psi=Box.cube(2, -2.0, 2.0, name="psi"),
+        xi=Box.cube(2, 1.5, 2.0, name="xi"),
+        name="decay-controlled",
+    )
+    h = [Polynomial.zero(2)]
+    cmp = oracles.compare_verifiers(
+        prob, decay_barrier(), controller_polys=h, sigma_star=[0.05],
+        interval_config=FAST_INTERVAL, dump=False,
+    )
+    assert cmp.sos_ok
+    assert cmp.ok
+
+
+# ----------------------------------------------------------------------
+# Tape vs naive backward
+# ----------------------------------------------------------------------
+def _leaves(seed=0, n_in=3, n_hidden=4):
+    rng = np.random.default_rng(seed)
+    W = Tensor(rng.normal(size=(n_in, n_hidden)), requires_grad=True)
+    b = Tensor(rng.normal(size=(1, n_hidden)), requires_grad=True)
+    X = Tensor(rng.normal(size=(6, n_in)))
+    return W, b, X
+
+
+@pytest.mark.parametrize("act", ["tanh", "sigmoid", "relu", "exp"])
+def test_tape_matches_naive_across_activations(act):
+    W, b, X = _leaves()
+
+    def build():
+        h = X @ W + b
+        h = getattr(h, act)()
+        return (h ** 2.0).mean()
+
+    assert oracles.compare_tape_gradients(build, [W, b], dump=False) == []
+
+
+def test_tape_matches_naive_deep_chain():
+    W, b, X = _leaves(seed=3)
+
+    def build():
+        h = (X @ W + b).tanh()
+        return ((h * h).sum() / 7.0 + h.abs().mean()) ** 2.0
+
+    assert oracles.compare_tape_gradients(build, [W, b], dump=False) == []
+
+
+def test_gradient_disagreement_is_detected(tmp_path, monkeypatch):
+    from repro.soundness import strategies as st
+
+    monkeypatch.setenv(st.DUMP_DIR_ENV, str(tmp_path))
+    W, b, X = _leaves(seed=1)
+    calls = {"n": 0}
+
+    def drifting_build():
+        # a non-deterministic forward pass: the second graph differs, so
+        # tape gradients cannot match the reference
+        calls["n"] += 1
+        scale = float(calls["n"])
+        return ((X @ W + b) * scale).sum()
+
+    dis = oracles.compare_tape_gradients(
+        drifting_build, [W, b], dump=True, dump_tag="drift"
+    )
+    assert dis
+    assert dis[0].oracle == "tape_vs_naive"
+    assert dis[0].dump_path and dis[0].dump_path.startswith(str(tmp_path))
+
+
+def test_polynomial_gradient_matches_numeric():
+    # anchor the autodiff oracle itself against central differences once
+    W = Tensor(np.array([[0.5], [-1.25]]), requires_grad=True)
+    X = Tensor(np.array([[1.0, 2.0], [0.5, -1.0]]))
+
+    def loss_value(w):
+        return float(np.sum((X.data @ w) ** 3))
+
+    loss = ((X @ W) ** 3.0).sum()
+    loss.backward()
+    eps = 1e-6
+    for i in range(2):
+        w_hi = W.data.copy()
+        w_lo = W.data.copy()
+        w_hi[i, 0] += eps
+        w_lo[i, 0] -= eps
+        numeric = (loss_value(w_hi) - loss_value(w_lo)) / (2 * eps)
+        assert W.grad[i, 0] == pytest.approx(numeric, rel=1e-5)

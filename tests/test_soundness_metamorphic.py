@@ -1,0 +1,151 @@
+"""Metamorphic properties of the verification pipeline: verdicts must be
+invariant under variable permutation and positive candidate scaling, and
+monotone under inclusion-error tightening."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.dynamics import CCDS, ControlAffineSystem
+from repro.poly import Polynomial
+from repro.sets import Box
+from repro.soundness import strategies as st
+from repro.verifier import SOSVerifier
+
+SEED = st.resolve_seed(0)
+
+
+def permute_poly(p: Polynomial, perm) -> Polynomial:
+    """Rename variables: new variable ``i`` is old variable ``perm[i]``."""
+    return Polynomial(
+        p.n_vars,
+        {
+            tuple(alpha[perm[i]] for i in range(p.n_vars)): c
+            for alpha, c in p.coeffs.items()
+        },
+    )
+
+
+def asymmetric_problem():
+    x, y = Polynomial.variables(2)
+    system = ControlAffineSystem.autonomous([-1.0 * x, -2.0 * y + 0.1 * x])
+    return CCDS(
+        system,
+        theta=Box([-0.3, -0.2], [0.3, 0.4], name="theta"),
+        psi=Box([-2.0, -1.5], [2.0, 2.5], name="psi"),
+        xi=Box([1.5, 1.8], [1.9, 2.4], name="xi"),
+        name="asym",
+    )
+
+
+def permuted_problem(prob: CCDS, perm) -> CCDS:
+    inv = [perm.index(i) for i in range(prob.n_vars)]
+
+    def permute_box(box: Box) -> Box:
+        lo, hi = box.bounding_box
+        return Box(
+            [lo[perm[i]] for i in range(len(lo))],
+            [hi[perm[i]] for i in range(len(hi))],
+            name=box.name,
+        )
+
+    f0 = [permute_poly(prob.system.f0[perm[i]], perm)
+          for i in range(prob.n_vars)]
+    system = ControlAffineSystem.autonomous(f0)
+    return CCDS(
+        system,
+        theta=permute_box(prob.theta),
+        psi=permute_box(prob.psi),
+        xi=permute_box(prob.xi),
+        name=prob.name + "-perm",
+    )
+
+
+def candidate_pool():
+    """A deterministic mix of likely-valid and clearly-invalid candidates."""
+    x, y = Polynomial.variables(2)
+    base = Polynomial.constant(2, 1.0)
+    cands = [
+        base - 0.5 * (x * x + y * y),          # valid barrier shape
+        base - 0.4 * x * x - 0.3 * y * y,      # valid, asymmetric
+        -1.0 * base + 0.5 * (x * x + y * y),   # violates init
+        base - 0.05 * (x * x + y * y),         # too flat: unsafe fails
+    ]
+    grams = st.psd_matrices(2)
+    rng = random.Random(SEED)
+    for _ in range(2):
+        Q = grams.generate(rng)
+        q = Q[0][0] * x * x + (Q[0][1] + Q[1][0]) * x * y + Q[1][1] * y * y
+        level = float(q(np.array([[1.7, 2.1]]))[0])
+        if level > 0:
+            cands.append(base - q * (1.0 / level))
+    return cands
+
+
+def verdict(prob, B):
+    return bool(SOSVerifier(prob, []).verify(B).ok)
+
+
+def test_variable_permutation_does_not_flip_verdicts():
+    prob = asymmetric_problem()
+    perm = [1, 0]
+    pprob = permuted_problem(prob, perm)
+    flips = []
+    for i, B in enumerate(candidate_pool()):
+        before = verdict(prob, B)
+        after = verdict(pprob, permute_poly(B, perm))
+        if before != after:
+            flips.append((i, before, after))
+    assert not flips, f"permutation flipped verdicts: {flips}"
+
+
+def test_positive_scaling_does_not_flip_verdicts():
+    prob = asymmetric_problem()
+    flips = []
+    for i, B in enumerate(candidate_pool()):
+        base = verdict(prob, B)
+        for c in (0.01, 3.0, 250.0):
+            scaled = verdict(prob, B * c)
+            if scaled != base:
+                flips.append((i, c, base, scaled))
+    assert not flips, f"scaling flipped verdicts: {flips}"
+
+
+def test_inclusion_tightening_cannot_break_success():
+    x, y = Polynomial.variables(2)
+    system = ControlAffineSystem.single_input(
+        [-1.0 * x, -1.0 * y], [0.0, 1.0]
+    )
+    prob = CCDS(
+        system,
+        theta=Box.cube(2, -0.3, 0.3, name="theta"),
+        psi=Box.cube(2, -2.0, 2.0, name="psi"),
+        xi=Box.cube(2, 1.5, 2.0, name="xi"),
+        name="decay-controlled",
+    )
+    B = Polynomial.constant(2, 1.0) - 0.5 * (x * x + y * y)
+    h = [Polynomial.zero(2)]
+    loose = bool(SOSVerifier(prob, h, sigma_star=[0.1]).verify(B).ok)
+    assert loose  # sanity: the loose problem is certifiable
+    # a tighter inclusion error only removes Lie obligations: success
+    # must be preserved at every smaller sigma (including zero)
+    for s in (0.05, 0.01, 0.0):
+        tight = bool(SOSVerifier(prob, h, sigma_star=[s]).verify(B).ok)
+        assert tight, f"tightening sigma to {s} flipped success to failure"
+
+
+def test_permutation_invariance_of_exact_recheck():
+    from repro.soundness import check_verification
+
+    prob = asymmetric_problem()
+    perm = [1, 0]
+    pprob = permuted_problem(prob, perm)
+    x, y = Polynomial.variables(2)
+    B = Polynomial.constant(2, 1.0) - 0.4 * x * x - 0.3 * y * y
+    v1 = SOSVerifier(prob, []).verify(B)
+    v2 = SOSVerifier(pprob, []).verify(permute_poly(B, perm))
+    assert v1.ok and v2.ok
+    r1 = check_verification(prob, v1)
+    r2 = check_verification(pprob, v2)
+    assert r1.ok and r2.ok

@@ -1,0 +1,190 @@
+"""The property-based generator library: seeded determinism, shrinking,
+failure dumps, and validity of every domain generator."""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.poly import Polynomial
+from repro.soundness import strategies as st
+
+
+# ----------------------------------------------------------------------
+# core machinery
+# ----------------------------------------------------------------------
+def test_generation_is_deterministic_per_seed():
+    strat = st.polynomials(2)
+    a = [strat.generate(random.Random(7)) for _ in range(5)]
+    b = [strat.generate(random.Random(7)) for _ in range(5)]
+    assert [p.coeffs for p in a] == [q.coeffs for q in b]
+    c = strat.generate(random.Random(8))
+    assert any(p.coeffs != c.coeffs for p in a)
+
+
+def test_integers_shrink_toward_lo():
+    strat = st.integers(3, 100)
+    for cand in strat.simplify(50):
+        assert 3 <= cand < 50
+
+
+def test_run_property_shrinks_to_boundary():
+    def prop(v):
+        assert v < 42, "too big"
+
+    with pytest.raises(st.PropertyFailure) as exc_info:
+        st.run_property(
+            "boundary", st.integers(0, 1000), prop,
+            n_examples=200, seed=5, dump=False,
+        )
+    failure = exc_info.value
+    assert failure.minimized == 42  # greedy shrink reaches the exact edge
+    assert failure.seed == 5
+    assert "too big" in failure.cause
+
+
+def test_run_property_passes_clean_suite():
+    ran = st.run_property(
+        "clean", st.floats(-1.0, 1.0),
+        lambda v: None, n_examples=30, seed=0, dump=False,
+    )
+    assert ran == 30
+
+
+def test_run_property_dumps_minimized_repro(tmp_path, monkeypatch):
+    monkeypatch.setenv(st.DUMP_DIR_ENV, str(tmp_path))
+
+    def prop(v):
+        assert v <= 10
+
+    with pytest.raises(st.PropertyFailure) as exc_info:
+        st.run_property("dumped", st.integers(0, 500), prop,
+                        n_examples=100, seed=1)
+    path = exc_info.value.dump_path
+    assert path and path.startswith(str(tmp_path))
+    doc = json.loads(open(path).read())
+    assert doc["property"] == "dumped"
+    assert doc["minimized"] == 11
+    assert doc["replay"] == f"{st.SEED_ENV}=1"
+
+
+def test_non_assertion_errors_propagate():
+    def prop(v):
+        raise RuntimeError("harness bug")
+
+    with pytest.raises(RuntimeError, match="harness bug"):
+        st.run_property("boom", st.integers(0, 1), prop,
+                        n_examples=1, seed=0, dump=False)
+
+
+def test_resolve_seed_reads_env(monkeypatch):
+    monkeypatch.delenv(st.SEED_ENV, raising=False)
+    assert st.resolve_seed(9) == 9
+    monkeypatch.setenv(st.SEED_ENV, "1234")
+    assert st.resolve_seed(9) == 1234
+
+
+def test_fuzz_examples_scales_under_opt_in(monkeypatch):
+    monkeypatch.delenv(st.FUZZ_LONG_ENV, raising=False)
+    assert st.fuzz_examples(10) == 10
+    monkeypatch.setenv(st.FUZZ_LONG_ENV, "1")
+    assert st.fuzz_examples(10) == 200
+
+
+def test_greedy_shrink_skips_erroring_candidates():
+    def simplify(v):
+        yield "not-an-int"  # predicate raises on this one
+        if v > 0:
+            yield v - 1
+
+    out = st.greedy_shrink(
+        3, simplify, lambda v: v + 0 >= 0, max_steps=10
+    )
+    assert out == 0
+
+
+# ----------------------------------------------------------------------
+# domain generators stay valid
+# ----------------------------------------------------------------------
+def test_polynomial_strategy_covers_edges_and_shrinks():
+    strat = st.polynomials(2, max_degree=3)
+    rng = random.Random(0)
+    saw_zero = saw_const = False
+    for _ in range(200):
+        p = strat.generate(rng)
+        assert isinstance(p, Polynomial) and p.n_vars == 2
+        assert p.degree <= 3
+        if p.is_zero:
+            saw_zero = True
+        elif p.degree == 0:
+            saw_const = True
+    assert saw_zero and saw_const  # edge cases are generated on purpose
+    p = strat.generate(random.Random(1))
+    for simpler in strat.simplify(p):
+        assert simpler.n_vars == 2
+
+
+def test_psd_matrices_are_psd():
+    strat = st.psd_matrices(4)
+    rng = random.Random(0)
+    for _ in range(20):
+        Q = np.array(strat.generate(rng))
+        assert np.all(np.linalg.eigvalsh(0.5 * (Q + Q.T)) > 0)
+
+
+def test_sos_polynomials_are_nonnegative():
+    strat = st.sos_polynomials(2, half_degree=1)
+    rng = random.Random(3)
+    pts = np.random.default_rng(0).uniform(-5, 5, size=(500, 2))
+    for _ in range(20):
+        p = strat.generate(rng)
+        assert np.all(p(pts) >= -1e-9)
+
+
+def test_boxes_are_nonempty():
+    strat = st.boxes(3)
+    rng = random.Random(0)
+    for _ in range(50):
+        lo, hi = strat.generate(rng)
+        assert len(lo) == len(hi) == 3
+        assert all(a < b for a, b in zip(lo, hi))
+
+
+def test_semialgebraic_sets_sample_inside():
+    strat = st.semialgebraic_sets(2)
+    rng = random.Random(0)
+    np_rng = np.random.default_rng(0)
+    for _ in range(10):
+        region = strat.generate(rng)
+        pts = region.sample(50, rng=np_rng)
+        assert np.all(region.contains(pts, tol=1e-9))
+
+
+def test_sdp_problems_carry_feasible_witness():
+    strat = st.sdp_problems()
+    rng = random.Random(0)
+    from repro.sdp import solve_sdp
+
+    for _ in range(10):
+        case = strat.generate(rng)
+        sdp, X0 = case["sdp"], case["witness"]
+        assert np.all(np.linalg.eigvalsh(X0) > 0)  # witness is interior
+        res = solve_sdp(sdp)
+        assert res.status.name in ("OPTIMAL", "FEASIBLE")
+
+
+def test_ccds_instances_are_well_formed():
+    strat = st.ccds_instances()
+    rng = random.Random(0)
+    np_rng = np.random.default_rng(0)
+    for _ in range(20):
+        prob = strat.generate(rng)
+        n = prob.n_vars
+        assert prob.system.degree() <= 3
+        assert len(prob.system.f0) == n
+        # Theta and Xi are disjoint by construction
+        theta_pts = prob.theta.sample(100, rng=np_rng)
+        assert not np.any(prob.xi.contains(theta_pts, tol=0.0))
+        # both live inside the domain box
+        assert np.all(prob.psi.contains(theta_pts, tol=1e-9))

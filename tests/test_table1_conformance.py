@@ -1,0 +1,85 @@
+"""Conformance of the 14 benchmark specs against the paper's Table 1:
+every C1-C14 instance must match its PAPER_TABLE1 row in state dimension,
+dynamics degree, and controller arity, and must instantiate cleanly."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.paper_values import PAPER_TABLE1
+from repro.benchmarks.systems import BENCHMARKS, get_benchmark
+from repro.controllers import NNController
+
+SYSTEM_NAMES = [f"C{i}" for i in range(1, 15)]
+
+
+def test_table_covers_exactly_the_paper_systems():
+    assert set(PAPER_TABLE1) == set(SYSTEM_NAMES)
+    assert set(SYSTEM_NAMES) <= set(BENCHMARKS)
+
+
+@pytest.mark.parametrize("name", SYSTEM_NAMES)
+def test_spec_matches_paper_row(name):
+    spec = get_benchmark(name)
+    row = PAPER_TABLE1[name]
+    assert spec.name == name
+    # dimension and dynamics degree straight off the paper row
+    assert spec.n_x == row.n_x
+    assert spec.d_f == row.d_f
+
+
+@pytest.mark.parametrize("name", SYSTEM_NAMES)
+def test_problem_instantiates_to_spec(name):
+    spec = get_benchmark(name)
+    row = PAPER_TABLE1[name]
+    prob = spec.make_problem()
+    assert prob.n_vars == row.n_x
+    assert prob.system.degree() == row.d_f
+    # every Table 1 system is single-input NN-controlled
+    assert prob.system.n_inputs == 1
+    assert len(prob.system.f0) == row.n_x
+    # regions live in the right dimension and the domain is bounded
+    for region in (prob.theta, prob.psi, prob.xi):
+        assert region.n_vars == row.n_x
+        lo, hi = region.bounding_box
+        assert len(lo) == len(hi) == row.n_x
+        assert np.all(np.asarray(lo, float) < np.asarray(hi, float))
+
+
+@pytest.mark.parametrize("name", SYSTEM_NAMES)
+def test_controller_arity_matches_system(name):
+    spec = get_benchmark(name)
+    prob = spec.make_problem()
+    # construct the controller net directly (same architecture the spec
+    # trains) to keep this conformance check cheap — behavior cloning is
+    # exercised elsewhere
+    controller = NNController(
+        n_vars=spec.n_x,
+        n_inputs=prob.system.n_inputs,
+        hidden=spec.controller_hidden,
+        rng=np.random.default_rng(0),
+    )
+    u = controller(np.zeros(spec.n_x))
+    assert u.shape == (prob.system.n_inputs,)
+    batch = controller(np.zeros((7, spec.n_x)))
+    assert batch.shape == (7, prob.system.n_inputs)
+    assert np.isfinite(controller.lipschitz_bound())
+
+
+@pytest.mark.parametrize("name", SYSTEM_NAMES)
+def test_spec_budgets_are_sane(name):
+    spec = get_benchmark(name)
+    assert spec.max_iterations >= 1
+    assert spec.n_samples > 0
+    assert spec.learner_epochs > 0
+    assert spec.inclusion_degree >= 1
+    assert spec.source  # provenance recorded for every row
+
+
+def test_initial_and_unsafe_sets_are_disjoint():
+    rng = np.random.default_rng(0)
+    for name in SYSTEM_NAMES:
+        prob = get_benchmark(name).make_problem()
+        pts = prob.theta.sample(200, rng=rng)
+        assert not np.any(prob.xi.contains(pts, tol=0.0)), (
+            f"{name}: initial and unsafe sets overlap"
+        )
