@@ -3,6 +3,7 @@
     python benchmarks/run_bench_perf.py
     python benchmarks/run_bench_perf.py --out results/BENCH_perf.json
     python benchmarks/run_bench_perf.py --baseline   # refresh the committed baseline
+    python benchmarks/run_bench_perf.py --profile    # collapsed stacks for the suite
 
 Runs the :mod:`repro.diagnostics.perfbench` suite — each bench times one
 pipeline hot path with the performance layer on and off and checks the
@@ -38,13 +39,27 @@ def main(argv=None) -> int:
                         help="output path (default results/BENCH_perf.json)")
     parser.add_argument("--baseline", action="store_true",
                         help="write results/BENCH_perf_baseline.json instead")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach the sampling profiler to the suite and "
+                             "write perf-suite.stacks.txt / .profile.json "
+                             "under results/telemetry/")
     args = parser.parse_args(argv)
 
     out = args.out or os.path.join(
         RESULTS_DIR,
         "BENCH_perf_baseline.json" if args.baseline else "BENCH_perf.json",
     )
-    doc = run_suite()
+    if args.profile:
+        from repro.telemetry.profiler import SamplingProfiler
+
+        profile_base = os.path.join(RESULTS_DIR, "telemetry", "perf-suite")
+        os.makedirs(os.path.dirname(profile_base), exist_ok=True)
+        with SamplingProfiler() as profiler:
+            doc = run_suite()
+        paths = profiler.write(profile_base)
+        print(f"profile: {paths['stacks']} {paths['profile']}")
+    else:
+        doc = run_suite()
     write_perf(out, doc)
 
     divergent = []

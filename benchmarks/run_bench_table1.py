@@ -5,6 +5,7 @@
     python benchmarks/run_bench_table1.py --jobs 4
     python benchmarks/run_bench_table1.py --checkpoint-dir results/ckpt --resume
     python benchmarks/run_bench_table1.py --time-budget 600
+    python benchmarks/run_bench_table1.py --profile
     REPRO_BENCH_SCALE=paper python benchmarks/run_bench_table1.py
 
 Runs SNBC on the selected Table-1 systems with full telemetry (trace +
@@ -68,6 +69,7 @@ def _run_one_serial(name, scale, args, failures):
                 args.checkpoint_dir, name, scale, args.resume
             ),
             time_budget_s=args.time_budget,
+            profile=getattr(args, "profile", False),
         )
     except Exception as exc:
         table1_common.BENCH_ROWS[name] = error_entry(exc)
@@ -117,6 +119,7 @@ def _run_parallel(names, scale, args) -> list:
                     args.checkpoint_dir, name, scale, args.resume
                 ),
                 time_budget_s=args.time_budget,
+                profile=getattr(args, "profile", False),
             ): name
             for name in names
         }
@@ -188,6 +191,10 @@ def main(argv=None) -> int:
     parser.add_argument("--time-budget", type=float, default=None,
                         help="per-system wall-clock budget in seconds; "
                              "overruns are recorded as 'timeout' rows")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach the sampling profiler to each run and "
+                             "write <base>.stacks.txt / <base>.profile.json "
+                             "next to its trace")
     args = parser.parse_args(argv)
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")

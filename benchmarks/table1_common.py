@@ -25,12 +25,25 @@ from repro.diagnostics import (
     write_bench,
 )
 from repro.telemetry import session as telemetry_session
+from repro.telemetry.profiler import SamplingProfiler
 
 #: every Table-1 run emits its trace + manifest here (overwritten per run)
 TELEMETRY_DIR = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), os.pardir, "results", "telemetry"
 )
 RESULTS_DIR = os.path.normpath(os.path.join(TELEMETRY_DIR, os.pardir))
+
+#: trace byte bound per run so long sweeps cannot fill the disk silently;
+#: override with REPRO_TRACE_MAX_BYTES (0 disables the bound)
+DEFAULT_TRACE_MAX_BYTES = 64 * 1024 * 1024
+
+
+def trace_max_bytes() -> Optional[int]:
+    raw = os.environ.get("REPRO_TRACE_MAX_BYTES")
+    if raw is None:
+        return DEFAULT_TRACE_MAX_BYTES
+    value = int(raw)
+    return value if value > 0 else None
 
 #: bench rows accumulated by :func:`run_snbc` this process, keyed by system
 BENCH_ROWS: Dict[str, dict] = {}
@@ -90,6 +103,7 @@ def run_snbc(
     checkpoint_path: Optional[str] = None,
     resume_from: Optional[str] = None,
     time_budget_s: Optional[float] = None,
+    profile: bool = False,
 ) -> SNBCResult:
     """One SNBC run with the spec's Table 1 configuration.
 
@@ -104,7 +118,10 @@ def run_snbc(
     ``checkpoint_path``/``resume_from`` thread through to
     :meth:`SNBC.run` (see ``docs/robustness.md``); ``time_budget_s``
     arms the per-run deadline, so an overrun lands as a clean
-    ``timeout`` row instead of an open-ended run.
+    ``timeout`` row instead of an open-ended run.  ``profile=True``
+    attaches the sampling profiler for the duration of the run and
+    writes ``<base>.stacks.txt`` / ``<base>.profile.json`` next to the
+    trace.
     """
     scale = scale or bench_scale()
     spec, problem, controller = prepared(name)
@@ -119,34 +136,44 @@ def run_snbc(
     trace_path = os.path.join(
         os.path.normpath(TELEMETRY_DIR), f"{name}-{scale}.jsonl"
     )
-    with telemetry_session(
-        trace_path,
-        name=f"table1/{name}",
-        config={
-            "scale": scale,
-            "snbc": snbc_config,
-            "learner": learner_config,
-        },
-        seed=snbc_config.seed,
-    ) as tel:
-        snbc = SNBC(
-            problem,
-            controller=controller,
-            learner_config=learner_config,
-            config=snbc_config,
-        )
-        result = snbc.run(resume_from=resume_from)
-        tel.manifest.finish(
-            result_outcome(result),
-            iterations=result.iterations,
-            timings={
-                "inclusion": result.timings.inclusion,
-                "learning": result.timings.learning,
-                "counterexample": result.timings.counterexample,
-                "verification": result.timings.verification,
-                "total": result.timings.total,
+    profiler = SamplingProfiler() if profile else None
+    try:
+        if profiler is not None:
+            profiler.start()
+        with telemetry_session(
+            trace_path,
+            name=f"table1/{name}",
+            config={
+                "scale": scale,
+                "snbc": snbc_config,
+                "learner": learner_config,
             },
-        )
+            seed=snbc_config.seed,
+            max_bytes=trace_max_bytes(),
+        ) as tel:
+            snbc = SNBC(
+                problem,
+                controller=controller,
+                learner_config=learner_config,
+                config=snbc_config,
+            )
+            result = snbc.run(resume_from=resume_from)
+            tel.manifest.finish(
+                result_outcome(result),
+                iterations=result.iterations,
+                timings={
+                    "inclusion": result.timings.inclusion,
+                    "learning": result.timings.learning,
+                    "counterexample": result.timings.counterexample,
+                    "verification": result.timings.verification,
+                    "total": result.timings.total,
+                },
+            )
+    finally:
+        if profiler is not None:
+            profiler.stop()
+            paths = profiler.write(trace_path)
+            print(f"[{name}] profile: {paths['stacks']} {paths['profile']}")
     # timeout/error runs may end before any candidate exists
     audit = (
         audit_certificate(result, problem)
@@ -165,6 +192,7 @@ def run_snbc_row(
     checkpoint_path: Optional[str] = None,
     resume_from: Optional[str] = None,
     time_budget_s: Optional[float] = None,
+    profile: bool = False,
 ) -> Tuple[dict, bool, int, float]:
     """Process-pool entry point for parallel Table-1 rows: run one system
     and return its BENCH row plus the printable summary fields (the
@@ -176,6 +204,7 @@ def run_snbc_row(
         checkpoint_path=checkpoint_path,
         resume_from=resume_from,
         time_budget_s=time_budget_s,
+        profile=profile,
     )
     return (
         BENCH_ROWS[name],

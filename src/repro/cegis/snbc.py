@@ -494,6 +494,11 @@ class SNBC:
                         sp.set_attrs(
                             ok=verification.ok,
                             failed=verification.failed_conditions(),
+                            sdp_convergence={
+                                rep.name: rep.sdp_convergence
+                                for rep in verification.conditions
+                                if getattr(rep, "sdp_convergence", "")
+                            },
                         )
                     timings.verification += sp.duration
 

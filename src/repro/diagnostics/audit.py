@@ -179,6 +179,8 @@ def audit_certificate(
                         "gap": float(rep.sdp_gap),
                         "primal_residual": float(rep.sdp_primal_residual),
                         "dual_residual": float(rep.sdp_dual_residual),
+                        "convergence": getattr(rep, "sdp_convergence", ""),
+                        "recovery_rung": getattr(rep, "sdp_recovery_rung", ""),
                     },
                 }
             )

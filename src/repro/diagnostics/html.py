@@ -376,6 +376,19 @@ def audit_section(audit: Optional[Dict[str, Any]]) -> str:
             if c.get("feasible") and c.get("validated")
             else '<span class="fail">failed</span>'
         )
+        convergence = sdp.get("convergence") or "-"
+        conv_cell = (
+            f'<span class="ok">{esc(convergence)}</span>'
+            if convergence == "healthy"
+            else (
+                f'<span class="fail">{esc(convergence)}</span>'
+                if convergence in ("diverging", "ill_conditioned", "stalling")
+                else esc(convergence)
+            )
+        )
+        rung = sdp.get("recovery_rung") or ""
+        if rung and rung != "base":
+            conv_cell += f" <span class='sub'>via {esc(rung)}</span>"
         rows.append(
             [
                 esc(c.get("name")),
@@ -387,11 +400,12 @@ def audit_section(audit: Optional[Dict[str, Any]]) -> str:
                 fmt(sdp.get("primal_residual")),
                 fmt(sdp.get("dual_residual")),
                 esc(sdp.get("iterations")),
+                conv_cell,
             ]
         )
     cond_table = _table(
         ["condition", "paper", "verdict", "min Gram eig", "residual bound",
-         "SDP gap", "primal res", "dual res", "IPM iters"],
+         "SDP gap", "primal res", "dual res", "IPM iters", "convergence"],
         rows,
     ) if rows else "<p class='sub'>no verified conditions recorded</p>"
 

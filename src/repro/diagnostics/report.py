@@ -153,11 +153,16 @@ def render_terminal(
             verdict = (
                 "ok" if c.get("feasible") and c.get("validated") else "FAILED"
             )
+            convergence = sdp.get("convergence") or "-"
+            rung = sdp.get("recovery_rung") or ""
+            if rung and rung != "base":
+                convergence += f" (via {rung})"
             lines.append(
                 f"  {c.get('name')} ({c.get('paper_condition')}): {verdict}  "
                 f"min Gram eig {_fmt(c.get('min_gram_eigenvalue'))}  "
                 f"residual {_fmt(c.get('residual_bound'))}  "
-                f"SDP gap {_fmt(sdp.get('gap'))}"
+                f"SDP gap {_fmt(sdp.get('gap'))}  "
+                f"ipm {convergence}"
             )
         for name_, m in (audit.get("grid_margins") or {}).items():
             margin = m.get("margin")

@@ -34,14 +34,16 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
-from repro.sdp.ipm import InteriorPointOptions, solve_sdp
 from repro.sdp.problem import SDPProblem
 from repro.sdp.result import SDPResult, SDPStatus
 from repro.telemetry import get_telemetry
+
+if TYPE_CHECKING:  # runtime import is deferred; see solve_sdp_resilient
+    from repro.sdp.ipm import InteriorPointOptions
 
 #: statuses worth retrying — everything else is a definitive verdict
 RETRYABLE_STATUSES = (SDPStatus.NUMERICAL_ERROR, SDPStatus.MAX_ITERATIONS)
@@ -103,9 +105,9 @@ def _jitter(problem: SDPProblem, eps: float) -> SDPProblem:
 def _attempt(
     strategy: str,
     problem: SDPProblem,
-    options: InteriorPointOptions,
+    options: "InteriorPointOptions",
     policy: RecoveryPolicy,
-) -> Tuple[SDPProblem, InteriorPointOptions]:
+) -> Tuple[SDPProblem, "InteriorPointOptions"]:
     """The (problem, options) pair a strategy actually solves."""
     if strategy == "rescale":
         return _rescale(problem), options
@@ -126,7 +128,7 @@ def _attempt(
 
 def solve_sdp_resilient(
     problem: SDPProblem,
-    options: Optional[InteriorPointOptions] = None,
+    options: Optional["InteriorPointOptions"] = None,
     policy: Optional[RecoveryPolicy] = None,
 ) -> SDPResult:
     """Solve with the recovery ladder on top of :func:`solve_sdp`.
@@ -136,9 +138,14 @@ def solve_sdp_resilient(
     to a plain :func:`solve_sdp` call.  The returned result's
     ``message`` records which strategy (if any) recovered the solve.
     """
+    # deferred to call time: repro.sdp.ipm itself imports
+    # repro.resilience.faults, and a module-level import here turned
+    # that mutual dependency into an entry-order-sensitive cycle
+    from repro.sdp.ipm import InteriorPointOptions, solve_sdp
+
     policy = policy or RecoveryPolicy()
     options = options or InteriorPointOptions()
-    base = solve_sdp(problem, options)
+    base = solve_sdp(problem, options, rung="base")
     if not policy.enabled or base.status not in RETRYABLE_STATUSES:
         return base
 
@@ -151,7 +158,7 @@ def solve_sdp_resilient(
             mod_problem, mod_options = _attempt(
                 strategy, problem, options, policy
             )
-            retry = solve_sdp(mod_problem, mod_options)
+            retry = solve_sdp(mod_problem, mod_options, rung=strategy)
         except ValueError:
             raise
         except Exception:  # a strategy must never make things worse

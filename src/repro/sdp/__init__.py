@@ -15,6 +15,7 @@ This is the engine behind every LMI feasibility test in
 from repro.sdp.svec import smat, svec, svec_dim
 from repro.sdp.problem import SDPProblem
 from repro.sdp.result import SDPResult, SDPStatus
+from repro.sdp.trace import IPMTrace, classify_convergence
 from repro.sdp.ipm import InteriorPointOptions, solve_sdp
 from repro.sdp.lmi import LMIResult, solve_lmi
 
@@ -22,6 +23,8 @@ __all__ = [
     "SDPProblem",
     "SDPResult",
     "SDPStatus",
+    "IPMTrace",
+    "classify_convergence",
     "InteriorPointOptions",
     "solve_sdp",
     "solve_lmi",

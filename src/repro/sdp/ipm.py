@@ -25,6 +25,12 @@ from repro.resilience.faults import fault_point, fired
 from repro.sdp.problem import SDPProblem
 from repro.sdp.result import SDPResult, SDPStatus
 from repro.sdp.svec import smat, svec, sym
+from repro.sdp.trace import (
+    DEFAULT_TRACE_CAPACITY,
+    IPMTrace,
+    classify_convergence,
+    make_record,
+)
 from repro.telemetry import get_telemetry
 
 logger = logging.getLogger(__name__)
@@ -48,6 +54,10 @@ class InteriorPointOptions:
     #: once per IPM iteration, so one iteration may overshoot — the cap
     #: is cooperative, like the pipeline-level ``TimeBudget``
     time_limit_s: Optional[float] = None
+    #: ring-buffer capacity for per-iteration trace records (the most
+    #: recent window is kept; recording is always on — it is noise-level
+    #: next to the per-iteration dense factorizations)
+    trace_capacity: int = DEFAULT_TRACE_CAPACITY
 
 
 class _BlockData:
@@ -64,7 +74,9 @@ class _BlockData:
 
 
 def solve_sdp(
-    problem: SDPProblem, options: Optional[InteriorPointOptions] = None
+    problem: SDPProblem,
+    options: Optional[InteriorPointOptions] = None,
+    rung: str = "base",
 ) -> SDPResult:
     """Solve a block-diagonal standard-form SDP.
 
@@ -72,6 +84,11 @@ def solve_sdp(
     :class:`SDPResult`; callers that only need feasibility should check
     ``result.status.ok`` *and* run their own a-posteriori validation of the
     primal blocks (see :mod:`repro.sos.validate`).
+
+    ``rung`` labels which recovery-ladder strategy this solve belongs to
+    (``"base"`` for a plain first attempt); it is stamped on the result
+    and the emitted trace so cross-run analysis can attribute iterations
+    to ladder rungs.
     """
     opts = options or InteriorPointOptions()
     tel = get_telemetry()
@@ -80,12 +97,14 @@ def solve_sdp(
         n_constraints=problem.n_constraints,
         n_blocks=len(problem.block_dims),
         total_dim=problem.total_dim,
+        rung=rung,
     ) as span:
         if fired("sdp.nonconvergence"):
             result = SDPResult(
                 status=SDPStatus.MAX_ITERATIONS,
                 iterations=opts.max_iterations,
                 message="injected non-convergence",
+                recovery_rung=rung,
             )
             span.set_attr("status", result.status.value)
             return result
@@ -95,6 +114,7 @@ def solve_sdp(
             return SDPResult(
                 status=SDPStatus.INCONSISTENT,
                 message="equality constraints are inconsistent (presolve)",
+                recovery_rung=rung,
             )
         try:
             fault_point("sdp.solve")
@@ -107,7 +127,9 @@ def solve_sdp(
             result = SDPResult(
                 status=SDPStatus.NUMERICAL_ERROR,
                 message=f"solver exception: {type(exc).__name__}: {exc}",
+                convergence_class="ill_conditioned",
             )
+        result.recovery_rung = rung
         # Expand dual variables back to the original constraint indexing.
         if result.y is not None and info.dropped_rows:
             y_full = np.zeros(problem.n_constraints)
@@ -119,6 +141,7 @@ def solve_sdp(
             gap=result.gap,
             primal_residual=result.primal_residual,
             dual_residual=result.dual_residual,
+            convergence=result.convergence_class,
         )
         if tel.enabled:
             tel.metrics.observe("sdp.iterations", result.iterations)
@@ -126,6 +149,17 @@ def solve_sdp(
             tel.metrics.observe("sdp.primal_residual", result.primal_residual)
             tel.metrics.observe("sdp.dual_residual", result.dual_residual)
             tel.metrics.inc(f"sdp.status.{result.status.value}")
+            tel.metrics.inc(f"sdp.convergence.{result.convergence_class}")
+            tel.event(
+                "sdp.ipm_trace",
+                status=result.status.value,
+                convergence=result.convergence_class,
+                rung=rung,
+                iterations=result.iterations,
+                n_records=len(result.ipm_trace),
+                dropped=result.ipm_trace_dropped,
+                records=result.ipm_trace,
+            )
     return result
 
 
@@ -155,6 +189,7 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
             primal_residual=0.0,
             dual_residual=0.0,
             message="no constraints; returning X = 0",
+            convergence_class="healthy",
         )
 
     total_n = problem.total_dim
@@ -208,6 +243,8 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
     prim_res = np.inf
     dual_res = np.inf
     t_start = time.perf_counter()
+    trace = IPMTrace(capacity=opts.trace_capacity)
+    rec = None
 
     for iteration in range(1, opts.max_iterations + 1):
         if (
@@ -231,6 +268,12 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
         dual_res = float(
             np.sqrt(sum(np.linalg.norm(r) ** 2 for r in Rd))
         ) / (1.0 + norm_C)
+        # a partially-filled record still lands in the trace on every
+        # break path below, so the classifier sees how the solve ended
+        rec = trace.add(make_record(
+            iteration, mu, rel_gap, prim_res, dual_res, pobj, dobj,
+            t=time.perf_counter() - t_start,
+        ))
 
         logger.log(
             logging.INFO if opts.verbose else logging.DEBUG,
@@ -266,6 +309,7 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
             Zinv.append(cho_solve(cf, np.eye(Zk.shape[0])))
         if failed:
             status, message = SDPStatus.NUMERICAL_ERROR, "Z lost positive definiteness"
+            rec["z_cholesky_ok"] = False
             break
 
         # Schur complement M_ij = sum_k tr(A_i X A_j Zinv)
@@ -278,11 +322,18 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
             SU = svec(U)  # (m, s)
             M += SU @ blk.svecs.T
         M = 0.5 * (M + M.T)
+        abs_diag = np.abs(np.diag(M))
+        max_diag = float(np.max(abs_diag)) if m else 0.0
+        min_diag = float(np.min(abs_diag)) if m else 0.0
+        rec["schur_diag_ratio"] = (
+            max_diag / min_diag if min_diag > 0.0 else float("inf")
+        )
 
         try:
             M_factor = cho_factor(M + 1e-14 * np.trace(M) / m * np.eye(m))
         except np.linalg.LinAlgError:
             M_factor = None
+            rec["schur_cholesky_ok"] = False
 
         def solve_M(rhs_vec: np.ndarray) -> np.ndarray:
             if M_factor is not None:
@@ -329,6 +380,7 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
         )
         gap_aff = max(gap_aff, 0.0)
         sigma = min(1.0, max((gap_aff / max(gap_now, 1e-300)) ** 3, 1e-8))
+        rec["sigma"] = float(sigma)
 
         # corrector
         K_corr = [
@@ -345,6 +397,8 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
         ad = min(1.0, opts.step_fraction * max_step(Z, dZ))
         if fired("sdp.ipm.step"):
             ap = ad = 0.0
+        rec["step_primal"] = float(ap)
+        rec["step_dual"] = float(ad)
         if ap <= 1e-12 and ad <= 1e-12:
             status, message = (
                 SDPStatus.NUMERICAL_ERROR,
@@ -379,4 +433,9 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
         dual_residual=dual_res,
         iterations=iteration,
         message=message,
+        convergence_class=classify_convergence(
+            trace.records(), tolerance=opts.tolerance
+        ),
+        ipm_trace=trace.records(),
+        ipm_trace_dropped=trace.dropped,
     )

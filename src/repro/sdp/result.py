@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -48,6 +48,19 @@ class SDPResult:
         Normalized equality / dual feasibility residuals.
     iterations:
         IPM iterations performed.
+    convergence_class:
+        Verdict of :func:`repro.sdp.trace.classify_convergence` over the
+        per-iteration trace (``healthy`` / ``stalling`` / ``diverging`` /
+        ``ill_conditioned`` / ``unknown``).
+    recovery_rung:
+        Which recovery-ladder rung produced this result (``"base"`` for
+        the unmodified first solve; see
+        :func:`repro.resilience.recovery.solve_sdp_resilient`).
+    ipm_trace:
+        Per-IPM-iteration records from the ring buffer (most recent
+        window; see :mod:`repro.sdp.trace` for the record schema).
+    ipm_trace_dropped:
+        Records evicted by the ring bound before termination.
     """
 
     status: SDPStatus
@@ -61,6 +74,10 @@ class SDPResult:
     dual_residual: float = float("inf")
     iterations: int = 0
     message: str = ""
+    convergence_class: str = "unknown"
+    recovery_rung: str = "base"
+    ipm_trace: List[Dict[str, Any]] = field(default_factory=list)
+    ipm_trace_dropped: int = 0
 
     @property
     def feasible(self) -> bool:

@@ -12,13 +12,21 @@ Three entry levels:
   spans and metrics into a JSONL trace plus a JSON run manifest under
   ``results/``.
 * **Humans** render a trace with ``python -m repro.telemetry.report
-  trace.jsonl`` — per-phase time breakdown and metric summaries.
+  trace.jsonl`` — per-phase time breakdown and metric summaries — or
+  aggregate a whole results tree with ``python -m repro.telemetry.fleet
+  results/``.
+
+Deeper instrumentation lives alongside: :mod:`repro.telemetry.profiler`
+(a stdlib sampling profiler writing collapsed stacks + per-phase
+self-time) and :mod:`repro.telemetry.store` (the cross-run fleet index
+behind the fleet CLI).
 
 The span/metric event schema is documented in :mod:`repro.telemetry.spans`.
 """
 
 from repro.telemetry.manifest import RunManifest, collect_git_sha, platform_info
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiler import SamplingProfiler
 from repro.telemetry.runtime import (
     Telemetry,
     configure,
@@ -34,6 +42,7 @@ from repro.telemetry.spans import (
     Tracer,
     load_events,
 )
+from repro.telemetry.store import RunRecord, fleet_summary, load_run, scan_runs
 
 __all__ = [
     "InMemorySink",
@@ -41,14 +50,19 @@ __all__ = [
     "MetricsRegistry",
     "NullSink",
     "RunManifest",
+    "RunRecord",
+    "SamplingProfiler",
     "Span",
     "Telemetry",
     "Tracer",
     "collect_git_sha",
     "configure",
     "disable",
+    "fleet_summary",
     "get_telemetry",
     "load_events",
+    "load_run",
     "platform_info",
+    "scan_runs",
     "session",
 ]

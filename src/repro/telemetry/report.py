@@ -11,7 +11,9 @@ Sections:
   ``phase`` attribute: inclusion / learning / verification /
   counterexample), with share-of-total.  These totals match
   ``SNBCResult.timings`` because both are filled from the same spans.
-* **Spans** — per-span-name aggregate (count, total, mean, max).
+* **Spans** — per-span-name aggregate (count, total, self, mean, max);
+  *self* is exclusive time (total minus direct-child spans), so nested
+  spans do not double-count.
 * **Metrics** — counters, gauges, and histogram summaries from the
   trailing ``metrics`` event.
 * **Caches** — hit rates derived from paired ``<name>.hits`` /
@@ -48,16 +50,55 @@ def phase_totals(events: Sequence[Dict[str, Any]]) -> Dict[str, float]:
     return totals
 
 
+def span_self_times(events: Sequence[Dict[str, Any]]) -> Dict[int, float]:
+    """Exclusive (self) seconds per span id: duration minus the summed
+    durations of its *direct* children, floored at 0 (clock jitter can
+    make children sum past the parent by nanoseconds)."""
+    child_sum: Dict[int, float] = {}
+    for e in events:
+        if e.get("type") != "span":
+            continue
+        parent = e.get("parent_id")
+        if parent is not None:
+            child_sum[parent] = child_sum.get(parent, 0.0) + float(
+                e.get("duration", 0.0)
+            )
+    out: Dict[int, float] = {}
+    for e in events:
+        if e.get("type") != "span":
+            continue
+        span_id = e.get("span_id")
+        if span_id is None:
+            continue
+        out[span_id] = max(
+            0.0, float(e.get("duration", 0.0)) - child_sum.get(span_id, 0.0)
+        )
+    return out
+
+
 def span_aggregates(
     events: Sequence[Dict[str, Any]],
-) -> List[Tuple[str, int, float, float, float]]:
-    """Per-name (count, total, mean, max) rows sorted by total desc."""
+) -> List[Tuple[str, int, float, float, float, float]]:
+    """Per-name (count, total, self, mean, max) rows sorted by total desc.
+
+    ``total`` is inclusive wall time; ``self`` excludes time attributed
+    to child spans, so nested spans (``snbc.verification`` wrapping
+    ``sdp.solve``) no longer double-count in a "where did the time go"
+    reading.
+    """
+    selfs = span_self_times(events)
     acc: Dict[str, List[float]] = {}
+    self_acc: Dict[str, float] = {}
     for e in events:
         if e.get("type") == "span":
-            acc.setdefault(e["name"], []).append(float(e.get("duration", 0.0)))
+            name = e["name"]
+            acc.setdefault(name, []).append(float(e.get("duration", 0.0)))
+            self_acc[name] = self_acc.get(name, 0.0) + selfs.get(
+                e.get("span_id"), float(e.get("duration", 0.0))
+            )
     rows = [
-        (name, len(ds), sum(ds), sum(ds) / len(ds), max(ds))
+        (name, len(ds), sum(ds), self_acc.get(name, 0.0), sum(ds) / len(ds),
+         max(ds))
         for name, ds in acc.items()
     ]
     rows.sort(key=lambda r: r[2], reverse=True)
@@ -153,11 +194,14 @@ def render_report(
     span_rows = span_aggregates(events)
     if span_rows:
         rows = [
-            [name, str(count), f"{total:.3f}", f"{mean:.4f}", f"{mx:.4f}"]
-            for name, count, total, mean, mx in span_rows[:max_span_rows]
+            [name, str(count), f"{total:.3f}", f"{self_total:.3f}",
+             f"{mean:.4f}", f"{mx:.4f}"]
+            for name, count, total, self_total, mean, mx
+            in span_rows[:max_span_rows]
         ]
         lines.append(h("Spans"))
-        lines += _table(["span", "count", "total s", "mean s", "max s"], rows, markdown)
+        lines += _table(["span", "count", "total s", "self s", "mean s",
+                         "max s"], rows, markdown)
         if len(span_rows) > max_span_rows:
             lines.append(f"... {len(span_rows) - max_span_rows} more span names")
         lines.append("")
@@ -207,9 +251,10 @@ def report_payload(
         "manifest": manifest,
         "phases": phase_totals(events),
         "spans": [
-            {"name": name, "count": count, "total": total, "mean": mean,
-             "max": mx}
-            for name, count, total, mean, mx in span_aggregates(events)
+            {"name": name, "count": count, "total": total, "self": self_total,
+             "mean": mean, "max": mx}
+            for name, count, total, self_total, mean, mx
+            in span_aggregates(events)
         ],
         "metrics": summary,
         "caches": [

@@ -4,10 +4,21 @@ Instrumented library code calls :func:`get_telemetry` at use time, so a
 harness that installs a session *after* objects were constructed is
 still picked up.  The default instance is disabled: spans still time
 (callers rely on durations) but nothing is recorded or written.
+
+Session activation is **per-context** (a :mod:`contextvars` variable),
+not a process global: two runs started in different threads each see
+their own sink, so a multi-run harness (the bench ``--jobs`` thread
+path, pytest-parallel, notebooks) cannot interleave events into one
+trace.  Threads spawned *inside* a session start from a fresh context
+and therefore fall back to the process default — pass the session's
+``Telemetry`` handle explicitly if a worker thread should record into
+it.  :func:`configure`/:func:`disable` still manage the process-wide
+fallback for single-run scripts.
 """
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
 from contextlib import contextmanager
@@ -54,9 +65,19 @@ class Telemetry:
 _lock = threading.Lock()
 _default = Telemetry(NullSink(), enabled=False)
 
+#: the session active in the *current* context (thread / task); sessions
+#: in sibling contexts do not see each other's sinks
+_active: "contextvars.ContextVar[Optional[Telemetry]]" = contextvars.ContextVar(
+    "repro_active_telemetry", default=None
+)
+
 
 def get_telemetry() -> Telemetry:
-    """The process-default instance (a disabled no-op unless configured)."""
+    """The active session's instance for this context, else the
+    process-default (a disabled no-op unless configured)."""
+    tel = _active.get()
+    if tel is not None:
+        return tel
     return _default
 
 
@@ -82,19 +103,24 @@ def session(
     config: Any = None,
     seed: Optional[int] = None,
     manifest_path: Optional[str] = None,
+    max_bytes: Optional[int] = None,
     **extra: Any,
 ) -> Iterator[Telemetry]:
-    """Route default telemetry into ``trace_path`` for the block.
+    """Route telemetry for *this context* into ``trace_path``.
 
     Writes a JSONL trace, appends the metrics summary on exit, and — when
     ``manifest_path`` is given (default: ``<trace>.manifest.json``) — a
-    run manifest.  The previous default instance is restored afterwards,
-    so nested/parallel harness code cannot leak a sink.
+    run manifest.  Activation uses a :mod:`contextvars` token, so
+    concurrent sessions in different threads each keep their own sink
+    and the previous state is restored on exit — nested/parallel harness
+    code cannot leak a sink or interleave into a sibling's trace.
+
+    ``max_bytes`` bounds the trace file (see
+    :class:`~repro.telemetry.spans.JSONLSink`); ``None`` means unbounded.
 
     The manifest outcome defaults to ``success``/``error``; set
     ``telemetry.manifest.finish(...)`` inside the block to override.
     """
-    global _default
     os.makedirs(os.path.dirname(os.path.abspath(trace_path)), exist_ok=True)
     if manifest_path is None:
         base = trace_path[:-6] if trace_path.endswith(".jsonl") else trace_path
@@ -102,10 +128,8 @@ def session(
     manifest = RunManifest.create(
         name, config=config, seed=seed, trace_path=trace_path, **extra
     )
-    tel = Telemetry(JSONLSink(trace_path), manifest=manifest)
-    with _lock:
-        previous = _default
-        _default = tel
+    tel = Telemetry(JSONLSink(trace_path, max_bytes=max_bytes), manifest=manifest)
+    token = _active.set(tel)
     try:
         yield tel
         if manifest.outcome is None:
@@ -115,7 +139,6 @@ def session(
             manifest.finish("error", error=f"{type(exc).__name__}: {exc}")
         raise
     finally:
-        with _lock:
-            _default = previous
+        _active.reset(token)
         tel.close()
         manifest.write(manifest_path)

@@ -69,22 +69,79 @@ class InMemorySink:
 
 
 class JSONLSink:
-    """Appends one JSON object per line to ``path`` (thread-safe)."""
+    """Appends one JSON object per line to ``path`` (thread-safe).
 
-    def __init__(self, path: str) -> None:
+    ``max_bytes`` (optional) bounds the file so long sweeps cannot fill
+    the disk silently: the first event that would cross the limit is
+    dropped and replaced by a ``{"type": "trace_truncated", ...}`` marker
+    at the cut point; every later event is counted but not written, and
+    :meth:`close` appends a final marker carrying the total drop count.
+    A bounded trace therefore always says — in-band — that and how much
+    it is missing.
+    """
+
+    def __init__(self, path: str, max_bytes: Optional[int] = None) -> None:
         self.path = str(path)
+        self.max_bytes = int(max_bytes) if max_bytes else None
         self._fh: Optional[TextIO] = open(self.path, "w", encoding="utf-8")
         self._lock = threading.Lock()
+        self._bytes_written = 0
+        self._dropped = 0
+
+    @property
+    def truncated(self) -> bool:
+        """True once the byte bound has been hit."""
+        with self._lock:
+            return self._dropped > 0
+
+    @property
+    def dropped_events(self) -> int:
+        """Events counted but not written because of ``max_bytes``."""
+        with self._lock:
+            return self._dropped
+
+    def _write_line(self, line: str) -> None:
+        assert self._fh is not None
+        self._fh.write(line + "\n")
+        self._bytes_written += len(line.encode("utf-8")) + 1
 
     def emit(self, event: Dict[str, Any]) -> None:
         line = json.dumps(event, default=_json_default, separators=(",", ":"))
         with self._lock:
-            if self._fh is not None:
-                self._fh.write(line + "\n")
+            if self._fh is None:
+                return
+            if self._dropped:
+                self._dropped += 1
+                return
+            nbytes = len(line.encode("utf-8")) + 1
+            if (
+                self.max_bytes is not None
+                and self._bytes_written + nbytes > self.max_bytes
+            ):
+                self._write_line(json.dumps(
+                    {
+                        "type": "trace_truncated",
+                        "max_bytes": self.max_bytes,
+                        "bytes_written": self._bytes_written,
+                    },
+                    separators=(",", ":"),
+                ))
+                self._dropped = 1
+                return
+            self._write_line(line)
 
     def close(self) -> None:
         with self._lock:
             if self._fh is not None:
+                if self._dropped:
+                    self._write_line(json.dumps(
+                        {
+                            "type": "trace_truncated",
+                            "max_bytes": self.max_bytes,
+                            "dropped_events": self._dropped,
+                        },
+                        separators=(",", ":"),
+                    ))
                 self._fh.flush()
                 self._fh.close()
                 self._fh = None

@@ -116,6 +116,11 @@ class ConditionReport:
     sdp_gap: float = float("nan")
     sdp_primal_residual: float = float("nan")
     sdp_dual_residual: float = float("nan")
+    #: verdict of the IPM convergence classifier over the per-iteration
+    #: trace (see :mod:`repro.sdp.trace`)
+    sdp_convergence: str = ""
+    #: which recovery-ladder rung produced the accepted solve
+    sdp_recovery_rung: str = ""
 
     @property
     def ok(self) -> bool:
@@ -356,7 +361,14 @@ class SOSVerifier:
             sdp_gap=float(sdp.gap),
             sdp_primal_residual=float(sdp.primal_residual),
             sdp_dual_residual=float(sdp.dual_residual),
+            sdp_convergence=getattr(sdp, "convergence_class", ""),
+            sdp_recovery_rung=getattr(sdp, "recovery_rung", ""),
         )
+        if span is not None:
+            span.set_attrs(
+                sdp_convergence=sdp_stats["sdp_convergence"],
+                sdp_recovery_rung=sdp_stats["sdp_recovery_rung"],
+            )
         if not sol.feasible:
             message = f"SDP status: {sol.status.value} ({sol.sdp_result.message})"
             if span is not None:

@@ -28,6 +28,7 @@ from repro.telemetry.report import (
     phase_totals,
     render_report,
     span_aggregates,
+    span_self_times,
 )
 from repro.telemetry.report import main as report_main
 
@@ -264,6 +265,65 @@ def test_session_writes_trace_and_manifest(tmp_path):
     assert manifest["config"] == {"k": 1}
 
 
+def test_concurrent_sessions_do_not_interleave(tmp_path):
+    """Two sessions in sibling threads must each get their own sink.
+
+    Before per-context activation this interleaved both runs' events
+    into whichever trace was installed last.
+    """
+    barrier = threading.Barrier(2)
+    errors = []
+
+    def run(tag):
+        trace = str(tmp_path / f"{tag}.jsonl")
+        try:
+            with session(trace, name=tag) as tel:
+                barrier.wait(timeout=10)  # both sessions open at once
+                for i in range(20):
+                    with tel.span(f"work.{tag}", i=i):
+                        pass
+                tel.metrics.inc(f"count.{tag}", 20)
+                barrier.wait(timeout=10)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(t,)) for t in ("a", "b")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    for tag, other in (("a", "b"), ("b", "a")):
+        events = load_events(str(tmp_path / f"{tag}.jsonl"))
+        spans = [e for e in events if e.get("type") == "span"]
+        assert len(spans) == 20
+        assert all(e["name"] == f"work.{tag}" for e in spans)
+        counters = events[-1]["summary"]["counters"]
+        assert counters == {f"count.{tag}": 20.0}
+        assert f"count.{other}" not in counters
+
+
+def test_session_is_context_scoped_not_global(tmp_path):
+    """A thread spawned outside any session keeps the disabled default
+    even while another thread has a session open."""
+    seen = {}
+    started = threading.Event()
+    release = threading.Event()
+
+    def outsider():
+        started.wait(timeout=10)
+        seen["enabled"] = get_telemetry().enabled
+        release.set()
+
+    t = threading.Thread(target=outsider)
+    t.start()
+    with session(str(tmp_path / "scoped.jsonl"), name="scoped"):
+        started.set()
+        release.wait(timeout=10)
+    t.join()
+    assert seen["enabled"] is False
+
+
 def test_session_marks_errors(tmp_path):
     trace = str(tmp_path / "bad.jsonl")
     with pytest.raises(ValueError):
@@ -370,3 +430,115 @@ def test_report_cli_partial_corruption_warns(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "skipped 1 malformed line" in captured.err
     assert "learning" in captured.out
+
+
+# ----------------------------------------------------------------------
+# self time
+# ----------------------------------------------------------------------
+def _span_event(name, span_id, parent_id, duration):
+    return {"type": "span", "name": name, "span_id": span_id,
+            "parent_id": parent_id, "duration": duration, "attrs": {}}
+
+
+def test_span_self_times_subtract_direct_children():
+    events = [
+        _span_event("leaf", 3, 2, 0.2),
+        _span_event("mid", 2, 1, 0.5),
+        _span_event("root", 1, None, 1.0),
+    ]
+    selfs = span_self_times(events)
+    assert selfs[3] == pytest.approx(0.2)   # leaf: no children
+    assert selfs[2] == pytest.approx(0.3)   # 0.5 - 0.2
+    assert selfs[1] == pytest.approx(0.5)   # 1.0 - 0.5 (direct child only)
+
+
+def test_span_self_times_floor_at_zero():
+    # clock jitter: children sum past the parent
+    events = [
+        _span_event("kid", 2, 1, 0.6),
+        _span_event("kid", 3, 1, 0.6),
+        _span_event("root", 1, None, 1.0),
+    ]
+    assert span_self_times(events)[1] == 0.0
+
+
+def test_span_aggregates_include_self_column():
+    events = [
+        _span_event("inner", 2, 1, 0.4),
+        _span_event("outer", 1, None, 1.0),
+    ]
+    rows = {name: (count, total, self_total, mean, mx)
+            for name, count, total, self_total, mean, mx
+            in span_aggregates(events)}
+    assert rows["outer"][1] == pytest.approx(1.0)   # total is inclusive
+    assert rows["outer"][2] == pytest.approx(0.6)   # self excludes child
+    assert rows["inner"][2] == pytest.approx(0.4)
+    text = render_report(events, fmt="text")
+    assert "self s" in text
+
+
+def test_report_payload_span_rows_carry_self(tmp_path):
+    from repro.telemetry.report import report_payload
+    events = load_events(_sample_trace(tmp_path))
+    payload = report_payload(events)
+    assert payload["spans"]
+    for row in payload["spans"]:
+        assert set(row) == {"name", "count", "total", "self", "mean", "max"}
+        assert 0.0 <= row["self"] <= row["total"] + 1e-12
+
+
+# ----------------------------------------------------------------------
+# JSONLSink max_bytes
+# ----------------------------------------------------------------------
+def test_jsonl_sink_unbounded_by_default(tmp_path):
+    path = str(tmp_path / "unbounded.jsonl")
+    sink = JSONLSink(path)
+    for i in range(100):
+        sink.emit({"type": "note", "i": i})
+    sink.close()
+    assert not sink.truncated
+    assert len(load_events(path)) == 100
+
+
+def test_jsonl_sink_max_bytes_truncates_with_markers(tmp_path):
+    path = str(tmp_path / "bounded.jsonl")
+    sink = JSONLSink(path, max_bytes=200)
+    for i in range(50):
+        sink.emit({"type": "note", "i": i, "pad": "x" * 20})
+    assert sink.truncated
+    dropped = sink.dropped_events
+    assert dropped > 0
+    sink.close()
+
+    events = load_events(path)
+    # some real events were written before the bound
+    assert any(e.get("type") == "note" for e in events)
+    markers = [e for e in events if e.get("type") == "trace_truncated"]
+    assert len(markers) == 2  # cut-point marker + closing total
+    assert markers[0]["max_bytes"] == 200
+    assert markers[0]["bytes_written"] <= 200
+    assert markers[-1]["dropped_events"] == dropped
+    # the bound holds for everything before the closing marker
+    assert sum(
+        len(json.dumps(e, separators=(",", ":")).encode()) + 1
+        for e in events[:-1]
+    ) <= 200 + len(json.dumps(markers[0], separators=(",", ":"))) + 1
+
+
+def test_jsonl_sink_emit_after_close_is_noop(tmp_path):
+    path = str(tmp_path / "closed.jsonl")
+    sink = JSONLSink(path, max_bytes=10_000)
+    sink.emit({"type": "note"})
+    sink.close()
+    sink.emit({"type": "late"})  # must not raise or write
+    assert [e["type"] for e in load_events(path)] == ["note"]
+
+
+def test_session_passes_max_bytes_through(tmp_path):
+    trace = str(tmp_path / "tight.jsonl")
+    with session(trace, name="tight", max_bytes=300) as tel:
+        for i in range(200):
+            with tel.span("filler", i=i, pad="y" * 30):
+                pass
+    events = load_events(trace)
+    assert any(e.get("type") == "trace_truncated" for e in events)
