@@ -42,7 +42,11 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="attach the sampling profiler to the suite and "
                              "write perf-suite.stacks.txt / .profile.json "
-                             "under results/telemetry/")
+                             "under results/telemetry/.  Samples this "
+                             "(parent) process only — stacks inside any "
+                             "process-pool workers a bench spawns are "
+                             "merged only if that path uses the telemetry "
+                             "trace-context layer")
     args = parser.parse_args(argv)
 
     out = args.out or os.path.join(
@@ -50,12 +54,27 @@ def main(argv=None) -> int:
         "BENCH_perf_baseline.json" if args.baseline else "BENCH_perf.json",
     )
     if args.profile:
-        from repro.telemetry.profiler import SamplingProfiler
+        from repro.telemetry.profiler import (
+            SamplingProfiler,
+            reset_active_profiler,
+            set_active_profiler,
+        )
 
+        print(
+            "warning: --profile samples the parent process only; "
+            "pool-worker stacks merge in only via the trace-context layer",
+            file=sys.stderr,
+        )
         profile_base = os.path.join(RESULTS_DIR, "telemetry", "perf-suite")
         os.makedirs(os.path.dirname(profile_base), exist_ok=True)
         with SamplingProfiler() as profiler:
-            doc = run_suite()
+            # register as the context-active profiler so any traced pool
+            # fan-out inside the suite folds its worker samples in
+            token = set_active_profiler(profiler)
+            try:
+                doc = run_suite()
+            finally:
+                reset_active_profiler(token)
         paths = profiler.write(profile_base)
         print(f"profile: {paths['stacks']} {paths['profile']}")
     else:

@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 
 import table1_common
 from table1_common import (
@@ -37,10 +38,13 @@ from table1_common import (
     run_snbc,
     run_snbc_row,
     systems_for_scale,
+    trace_max_bytes,
 )
 from repro.diagnostics import error_entry, result_outcome
 from repro.resilience import WorkerCrash
 from repro.resilience.faults import fault_point
+from repro.telemetry import session as telemetry_session
+from repro.telemetry.context import capture as capture_trace_context, merge_shard
 
 
 def _checkpoint_path(directory, name, scale):
@@ -57,6 +61,12 @@ def _resume_path(directory, name, scale, resume):
     return None
 
 
+def _parallel_verify_arg(args):
+    """None unless --parallel-verify was given (None = keep the spec's
+    default, so the flag's absence cannot flip a spec that enables it)."""
+    return True if getattr(args, "parallel_verify", False) else None
+
+
 def _run_one_serial(name, scale, args, failures):
     """Run one system in-process; any raise becomes an ``error`` row."""
     print(f"[{scale}] {name}: running SNBC ...", flush=True)
@@ -70,6 +80,7 @@ def _run_one_serial(name, scale, args, failures):
             ),
             time_budget_s=args.time_budget,
             profile=getattr(args, "profile", False),
+            parallel_verify=_parallel_verify_arg(args),
         )
     except Exception as exc:
         table1_common.BENCH_ROWS[name] = error_entry(exc)
@@ -90,6 +101,12 @@ def _run_one_serial(name, scale, args, failures):
         failures.append(name)
 
 
+def _run_trace_path(name, scale):
+    return os.path.join(
+        os.path.normpath(table1_common.TELEMETRY_DIR), f"{name}-{scale}.jsonl"
+    )
+
+
 def _run_parallel(names, scale, args) -> list:
     """Run Table-1 rows in a process pool; returns failed system names.
 
@@ -100,71 +117,122 @@ def _run_parallel(names, scale, args) -> list:
     ``WorkerCrash`` and retried once serially; other per-row raises
     become ``error`` rows.  Raises only when the pool cannot start at
     all — the caller then falls back to the serial loop.
+
+    The driver itself runs a telemetry session
+    (``results/telemetry/bench-<scale>.jsonl``, manifest role
+    ``bench_parent``): every submission happens under a ``bench.row``
+    span whose :class:`TraceContext` travels to the worker, and each
+    completed row's trace is merged back as a shard — one unified trace
+    across the whole fleet, plus a live ``bench-<scale>.status.json``
+    heartbeat with per-row worker liveness for
+    ``python -m repro.telemetry.tail``.
     """
     import concurrent.futures
     from concurrent.futures.process import BrokenProcessPool
 
     failures = []
     retry_serially = []
-    with concurrent.futures.ProcessPoolExecutor(max_workers=args.jobs) as pool:
-        futures = {
-            pool.submit(
-                run_snbc_row,
-                name,
-                scale,
-                checkpoint_path=_checkpoint_path(
-                    args.checkpoint_dir, name, scale
-                ),
-                resume_from=_resume_path(
-                    args.checkpoint_dir, name, scale, args.resume
-                ),
-                time_budget_s=args.time_budget,
-                profile=getattr(args, "profile", False),
-            ): name
-            for name in names
-        }
-        for fut in concurrent.futures.as_completed(futures):
-            name = futures[fut]
-            try:
-                fault_point("bench.pool")
-                row, success, iterations, total = fut.result()
-            except BrokenProcessPool as exc:
-                # the worker died (OOM kill, segfault): classify the row,
-                # then give the system one serial retry in this process
-                crash = WorkerCrash(
-                    f"pool worker died while running {name}: {exc}",
-                    cause=exc,
-                    system=name,
+    bench_trace = _run_trace_path("bench", scale)
+    with telemetry_session(
+        bench_trace,
+        name=f"table1-bench/{scale}",
+        config={"scale": scale, "jobs": args.jobs, "systems": list(names)},
+        max_bytes=trace_max_bytes(),
+        role="bench_parent",
+    ) as tel:
+        tel.status_update(
+            force=True, phase="bench", total_rows=len(names), completed_rows=0
+        )
+        completed = 0
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=args.jobs
+        ) as pool:
+            futures = {}
+            for i, name in enumerate(names):
+                with tel.span("bench.row", system=name, shard=i):
+                    ctx = capture_trace_context(shard_index=i)
+                    fut = pool.submit(
+                        run_snbc_row,
+                        name,
+                        scale,
+                        checkpoint_path=_checkpoint_path(
+                            args.checkpoint_dir, name, scale
+                        ),
+                        resume_from=_resume_path(
+                            args.checkpoint_dir, name, scale, args.resume
+                        ),
+                        time_budget_s=args.time_budget,
+                        profile=getattr(args, "profile", False),
+                        trace_ctx=ctx,
+                        submitted_at=time.time(),
+                        parallel_verify=_parallel_verify_arg(args),
+                    )
+                futures[fut] = name
+                tel.status_worker(name, state="submitted", shard_index=i)
+            for fut in concurrent.futures.as_completed(futures):
+                name = futures[fut]
+                try:
+                    fault_point("bench.pool")
+                    row, success, iterations, total = fut.result()
+                except BrokenProcessPool as exc:
+                    # the worker died (OOM kill, segfault): classify the
+                    # row, then give the system one serial retry in this
+                    # process
+                    crash = WorkerCrash(
+                        f"pool worker died while running {name}: {exc}",
+                        cause=exc,
+                        system=name,
+                    )
+                    table1_common.BENCH_ROWS[name] = error_entry(crash)
+                    print(
+                        f"[{scale}] {name}: WORKER CRASH ({exc}); "
+                        "will retry serially",
+                        flush=True,
+                    )
+                    retry_serially.append(name)
+                    tel.status_worker(name, state="crashed")
+                    continue
+                except Exception as exc:
+                    table1_common.BENCH_ROWS[name] = error_entry(exc)
+                    print(
+                        f"[{scale}] {name}: ERROR "
+                        f"({type(exc).__name__}: {exc})",
+                        flush=True,
+                    )
+                    failures.append(name)
+                    tel.status_worker(name, state="error")
+                    continue
+                finally:
+                    completed += 1
+                    tel.status_update(completed_rows=completed)
+                table1_common.BENCH_ROWS[name] = row
+                # fold the worker run's trace into the bench trace (the
+                # run's own artifacts stay on disk untouched)
+                merge_shard(tel, _run_trace_path(name, scale), keep=True)
+                outcome = row.get(
+                    "outcome", "success" if success else "failure"
                 )
-                table1_common.BENCH_ROWS[name] = error_entry(crash)
+                status = "ok" if outcome == "success" else outcome.upper()
+                tel.status_worker(
+                    name,
+                    state="done",
+                    outcome=outcome,
+                    queue_wait_s=row.get("queue_wait_s"),
+                )
                 print(
-                    f"[{scale}] {name}: WORKER CRASH ({exc}); "
-                    "will retry serially",
+                    f"[{scale}] {name}: {status}  iterations={iterations}  "
+                    f"T_e={total:.3f}s",
                     flush=True,
                 )
-                retry_serially.append(name)
-                continue
-            except Exception as exc:
-                table1_common.BENCH_ROWS[name] = error_entry(exc)
-                print(
-                    f"[{scale}] {name}: ERROR ({type(exc).__name__}: {exc})",
-                    flush=True,
-                )
-                failures.append(name)
-                continue
-            table1_common.BENCH_ROWS[name] = row
-            outcome = row.get("outcome", "success" if success else "failure")
-            status = "ok" if outcome == "success" else outcome.upper()
-            print(
-                f"[{scale}] {name}: {status}  iterations={iterations}  "
-                f"T_e={total:.3f}s",
-                flush=True,
-            )
-            if outcome != "success":
-                failures.append(name)
-    for name in retry_serially:
-        # overwrites the WorkerCrash row when the retry completes
-        _run_one_serial(name, scale, args, failures)
+                if outcome != "success":
+                    failures.append(name)
+        for name in retry_serially:
+            # overwrites the WorkerCrash row when the retry completes
+            _run_one_serial(name, scale, args, failures)
+        tel.manifest.finish(
+            "success" if not failures else "failure",
+            failed_systems=list(failures),
+        )
     return failures
 
 
@@ -194,10 +262,27 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="attach the sampling profiler to each run and "
                              "write <base>.stacks.txt / <base>.profile.json "
-                             "next to its trace")
+                             "next to its trace.  The profiler samples one "
+                             "process: with --jobs each row is profiled "
+                             "inside its worker and the driver process "
+                             "itself is not sampled; verifier-pool worker "
+                             "samples are folded into the owning run's "
+                             "profile via the trace-context merge")
+    parser.add_argument("--parallel-verify", action="store_true",
+                        help="override each spec to solve the verifier's "
+                             "condition SDPs in a process pool "
+                             "(SNBCConfig.parallel_verify=True); worker "
+                             "spans/metrics merge into the run trace")
     args = parser.parse_args(argv)
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
+    if args.profile and (args.jobs > 1 or args.parallel_verify):
+        print(
+            "warning: --profile samples one process at a time — the driver "
+            "is not profiled under --jobs; pool-worker samples are merged "
+            "into each run's profile by the trace-context layer",
+            file=sys.stderr,
+        )
 
     scale = bench_scale()
     names = (

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import time
 from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
@@ -25,7 +26,12 @@ from repro.diagnostics import (
     write_bench,
 )
 from repro.telemetry import session as telemetry_session
-from repro.telemetry.profiler import SamplingProfiler
+from repro.telemetry.context import TraceContext
+from repro.telemetry.profiler import (
+    SamplingProfiler,
+    reset_active_profiler,
+    set_active_profiler,
+)
 
 #: every Table-1 run emits its trace + manifest here (overwritten per run)
 TELEMETRY_DIR = os.path.join(
@@ -104,6 +110,8 @@ def run_snbc(
     resume_from: Optional[str] = None,
     time_budget_s: Optional[float] = None,
     profile: bool = False,
+    trace_ctx: Optional[TraceContext] = None,
+    parallel_verify: Optional[bool] = None,
 ) -> SNBCResult:
     """One SNBC run with the spec's Table 1 configuration.
 
@@ -121,7 +129,15 @@ def run_snbc(
     ``timeout`` row instead of an open-ended run.  ``profile=True``
     attaches the sampling profiler for the duration of the run and
     writes ``<base>.stacks.txt`` / ``<base>.profile.json`` next to the
-    trace.
+    trace; the profiler is also registered as the context-active one, so
+    samples from verifier pool workers fold into the same profile.
+
+    ``trace_ctx`` (a parent process's
+    :class:`~repro.telemetry.context.TraceContext`) makes this run a
+    shard of the parent's trace: the session inherits the parent's
+    ``trace_id`` and the parent merges this trace after the row
+    completes.  ``parallel_verify`` (when not ``None``) overrides the
+    spec's ``SNBCConfig.parallel_verify``.
     """
     scale = scale or bench_scale()
     spec, problem, controller = prepared(name)
@@ -132,14 +148,20 @@ def run_snbc(
             checkpoint_path=checkpoint_path or snbc_config.checkpoint_path,
             time_budget_s=time_budget_s or snbc_config.time_budget_s,
         )
+    if parallel_verify is not None:
+        snbc_config = dataclasses.replace(
+            snbc_config, parallel_verify=bool(parallel_verify)
+        )
     learner_config = spec.learner_config()
     trace_path = os.path.join(
         os.path.normpath(TELEMETRY_DIR), f"{name}-{scale}.jsonl"
     )
     profiler = SamplingProfiler() if profile else None
+    profiler_token = None
     try:
         if profiler is not None:
             profiler.start()
+            profiler_token = set_active_profiler(profiler)
         with telemetry_session(
             trace_path,
             name=f"table1/{name}",
@@ -150,6 +172,7 @@ def run_snbc(
             },
             seed=snbc_config.seed,
             max_bytes=trace_max_bytes(),
+            trace_context=trace_ctx,
         ) as tel:
             snbc = SNBC(
                 problem,
@@ -170,6 +193,8 @@ def run_snbc(
                 },
             )
     finally:
+        if profiler_token is not None:
+            reset_active_profiler(profiler_token)
         if profiler is not None:
             profiler.stop()
             paths = profiler.write(trace_path)
@@ -193,11 +218,25 @@ def run_snbc_row(
     resume_from: Optional[str] = None,
     time_budget_s: Optional[float] = None,
     profile: bool = False,
+    trace_ctx: Optional[TraceContext] = None,
+    submitted_at: Optional[float] = None,
+    parallel_verify: Optional[bool] = None,
 ) -> Tuple[dict, bool, int, float]:
     """Process-pool entry point for parallel Table-1 rows: run one system
     and return its BENCH row plus the printable summary fields (the
     worker's module-global :data:`BENCH_ROWS` is not shared with the
-    parent, so the row travels back in the return value)."""
+    parent, so the row travels back in the return value).
+
+    ``submitted_at`` (parent wall-clock at submit) yields the row's
+    ``queue_wait_s`` — how long the row sat in the pool queue before a
+    worker picked it up.  Keeping it separate stops queue wait from
+    being conflated with run time in fleet throughput numbers; the
+    regression gate ignores it (only the ``T_*`` timing keys gate).
+    """
+    queue_wait_s = (
+        max(0.0, time.time() - submitted_at) if submitted_at is not None
+        else None
+    )
     result = run_snbc(
         name,
         scale,
@@ -205,9 +244,14 @@ def run_snbc_row(
         resume_from=resume_from,
         time_budget_s=time_budget_s,
         profile=profile,
+        trace_ctx=trace_ctx,
+        parallel_verify=parallel_verify,
     )
+    row = BENCH_ROWS[name]
+    if queue_wait_s is not None:
+        row["queue_wait_s"] = round(queue_wait_s, 6)
     return (
-        BENCH_ROWS[name],
+        row,
         bool(result.success),
         int(result.iterations),
         float(result.timings.total),

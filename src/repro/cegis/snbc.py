@@ -410,6 +410,9 @@ class SNBC:
 
         try:
             budget.check(phase="inclusion")
+            tel.status_update(
+                phase="inclusion", budget_remaining_s=budget.remaining()
+            )
             self._ensure_inclusion(timings)
             h_polys = self._controller_polys()
             sigma = self._sigma_star()
@@ -461,6 +464,11 @@ class SNBC:
                 tel.metrics.inc("cegis.iterations")
                 budget.start_iteration(iteration)
                 budget.check(phase="learning")
+                tel.status_update(
+                    phase="learning",
+                    cegis_iteration=iteration,
+                    budget_remaining_s=budget.remaining(),
+                )
                 with tel.span("snbc.iteration", iteration=iteration) as it_span:
                     with tel.span(
                         "snbc.learning", phase="learning", iteration=iteration
@@ -484,6 +492,11 @@ class SNBC:
                     barrier, lam_poly = learner.candidate()
 
                     budget.check(phase="verification")
+                    tel.status_update(
+                        phase="verification",
+                        cegis_iteration=iteration,
+                        budget_remaining_s=budget.remaining(),
+                    )
                     self._apply_sdp_time_limit(budget)
                     with tel.span(
                         "snbc.verification",
@@ -538,10 +551,20 @@ class SNBC:
                         history.append(record)
                         it_span.set_attr("verified", True)
                         tel.event("cegis.iteration", **record.to_dict())
+                        tel.status_update(
+                            force=True,
+                            phase="verified",
+                            cegis_iteration=iteration,
+                        )
                         success = True
                         break
 
                     budget.check(phase="counterexample")
+                    tel.status_update(
+                        phase="counterexample",
+                        cegis_iteration=iteration,
+                        budget_remaining_s=budget.remaining(),
+                    )
                     with tel.span(
                         "snbc.counterexample",
                         phase="counterexample",
@@ -588,6 +611,12 @@ class SNBC:
                         sp.set_attrs(n_counterexamples=n_cex, failed=failed)
                     timings.counterexample += sp.duration
                     tel.metrics.inc("cegis.counterexamples", n_cex)
+                    tel.status_update(
+                        cex_new=n_cex,
+                        cex_total=int(
+                            tel.metrics.counter_value("cegis.counterexamples")
+                        ),
+                    )
                     it_span.set_attr("verified", False)
 
                 worst = max(

@@ -175,6 +175,10 @@ class BarrierLearner:
                 if tel.enabled:
                     tel.metrics.observe("learner.epoch_loss", terms.total)
                     tel.metrics.observe("learner.grad_norm", grad_norm)
+                    # throttled heartbeat (StatusWriter rate-limits writes)
+                    tel.status_update(
+                        learner_epoch=epochs_run + 1, learner_loss=terms.total
+                    )
                 if not np.isfinite(terms.total) or not np.isfinite(grad_norm):
                     # stop before the step poisons the weights: the caller
                     # still holds a finite parameter state it can restore

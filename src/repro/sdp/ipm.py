@@ -143,6 +143,9 @@ def solve_sdp(
             dual_residual=result.dual_residual,
             convergence=result.convergence_class,
         )
+        tel.status_update(
+            ipm_convergence=result.convergence_class, recovery_rung=rung
+        )
         if tel.enabled:
             tel.metrics.observe("sdp.iterations", result.iterations)
             tel.metrics.observe("sdp.final_gap", result.gap)
@@ -245,8 +248,12 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
     t_start = time.perf_counter()
     trace = IPMTrace(capacity=opts.trace_capacity)
     rec = None
+    tel = get_telemetry()
 
     for iteration in range(1, opts.max_iterations + 1):
+        # heartbeat: StatusWriter throttles, so this is one perf_counter
+        # read per iteration on runs with a status file, a no-op otherwise
+        tel.status_update(ipm_iteration=iteration)
         if (
             opts.time_limit_s is not None
             and time.perf_counter() - t_start > opts.time_limit_s

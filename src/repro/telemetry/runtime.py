@@ -21,12 +21,15 @@ from __future__ import annotations
 import contextvars
 import os
 import threading
+import time
+import uuid
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
 from repro.telemetry.manifest import RunManifest
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.spans import JSONLSink, NullSink, Tracer
+from repro.telemetry.status import StatusWriter
 
 
 class Telemetry:
@@ -37,12 +40,18 @@ class Telemetry:
         sink: Optional[Any] = None,
         enabled: bool = True,
         manifest: Optional[RunManifest] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.sink = sink or NullSink()
         self.enabled = bool(enabled) and not isinstance(self.sink, NullSink)
         self.tracer = Tracer(self.sink, enabled=self.enabled)
         self.metrics = MetricsRegistry(enabled=self.enabled)
         self.manifest = manifest
+        #: stable id shared by every process contributing to this run's
+        #: trace; None on the disabled default instance
+        self.trace_id = trace_id
+        #: optional StatusWriter (sessions attach one); None elsewhere
+        self.status: Optional[StatusWriter] = None
 
     # -- span/metric passthrough ---------------------------------------
     def span(self, name: str, **attrs: Any):
@@ -50,6 +59,18 @@ class Telemetry:
 
     def event(self, event_type: str, **payload: Any) -> None:
         self.tracer.emit_event(event_type, **payload)
+
+    def status_update(self, force: bool = False, **fields: Any) -> None:
+        """Heartbeat hook: merge ``fields`` into this run's status.json.
+        A no-op (attribute check only) when no StatusWriter is attached,
+        so library hooks can call it unconditionally."""
+        if self.status is not None:
+            self.status.update(force=force, **fields)
+
+    def status_worker(self, shard: Any, **fields: Any) -> None:
+        """Worker-lane liveness hook; no-op without a StatusWriter."""
+        if self.status is not None:
+            self.status.worker_update(shard, **fields)
 
     # -- lifecycle ------------------------------------------------------
     def flush(self) -> None:
@@ -104,6 +125,8 @@ def session(
     seed: Optional[int] = None,
     manifest_path: Optional[str] = None,
     max_bytes: Optional[int] = None,
+    trace_context: Any = None,
+    status: bool = True,
     **extra: Any,
 ) -> Iterator[Telemetry]:
     """Route telemetry for *this context* into ``trace_path``.
@@ -118,17 +141,56 @@ def session(
     ``max_bytes`` bounds the trace file (see
     :class:`~repro.telemetry.spans.JSONLSink`); ``None`` means unbounded.
 
+    Every session carries a ``trace_id``: a fresh ``uuid4`` hex, or —
+    when ``trace_context`` (a :class:`~repro.telemetry.context
+    .TraceContext` from a parent process) is given — the parent run's
+    id, so a fan-out of pool workers shares one id end to end.  The
+    first trace event is a ``trace_context`` anchor recording this
+    process's (perf_counter, wall) clock pair, which the parent's merge
+    uses to annotate monotonic-clock skew.
+
+    Unless ``status=False``, a live ``<base>.status.json`` heartbeat
+    (see :class:`~repro.telemetry.status.StatusWriter`) is attached and
+    finished with the manifest outcome — this is what
+    ``python -m repro.telemetry.tail`` watches.
+
     The manifest outcome defaults to ``success``/``error``; set
     ``telemetry.manifest.finish(...)`` inside the block to override.
     """
     os.makedirs(os.path.dirname(os.path.abspath(trace_path)), exist_ok=True)
+    base = trace_path[:-6] if trace_path.endswith(".jsonl") else trace_path
     if manifest_path is None:
-        base = trace_path[:-6] if trace_path.endswith(".jsonl") else trace_path
         manifest_path = base + ".manifest.json"
+    ctx = trace_context
+    trace_id = getattr(ctx, "trace_id", None) or uuid.uuid4().hex
+    if ctx is not None:
+        extra.setdefault("trace_context", ctx.to_dict())
+    extra.setdefault("trace_id", trace_id)
     manifest = RunManifest.create(
         name, config=config, seed=seed, trace_path=trace_path, **extra
     )
-    tel = Telemetry(JSONLSink(trace_path, max_bytes=max_bytes), manifest=manifest)
+    tel = Telemetry(
+        JSONLSink(trace_path, max_bytes=max_bytes),
+        manifest=manifest,
+        trace_id=trace_id,
+    )
+    anchor = {
+        "type": "trace_context",
+        "trace_id": trace_id,
+        "name": name,
+        "pid": os.getpid(),
+        "t_perf": time.perf_counter(),
+        "t_wall": time.time(),
+    }
+    if ctx is not None:
+        anchor["parent_span_id"] = getattr(ctx, "parent_span_id", None)
+        anchor["shard_index"] = getattr(ctx, "shard_index", None)
+        anchor["run_name"] = getattr(ctx, "run_name", None)
+    tel.sink.emit(anchor)
+    if status:
+        tel.status = StatusWriter(
+            base + ".status.json", name=name, trace_id=trace_id
+        )
     token = _active.set(tel)
     try:
         yield tel
@@ -140,5 +202,16 @@ def session(
         raise
     finally:
         _active.reset(token)
+        if ctx is not None and tel.enabled:
+            # a raw (unreduced) metrics export so the parent process can
+            # fold this run's observations into its own registry when it
+            # merges this trace as a shard
+            tel.sink.emit({
+                "type": "worker_metrics",
+                "shard_index": getattr(ctx, "shard_index", None),
+                "raw": tel.metrics.raw(),
+            })
+        if tel.status is not None:
+            tel.status.finish(manifest.outcome or "unknown")
         tel.close()
         manifest.write(manifest_path)

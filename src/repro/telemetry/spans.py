@@ -18,7 +18,6 @@ sink when enabled — the disabled path is two ``perf_counter()`` calls.
 
 from __future__ import annotations
 
-import itertools
 import json
 import threading
 import time
@@ -78,14 +77,27 @@ class JSONLSink:
     :meth:`close` appends a final marker carrying the total drop count.
     A bounded trace therefore always says — in-band — that and how much
     it is missing.
+
+    ``flush_every`` controls line-granular durability: the file is
+    flushed after every ``flush_every``-th line (default 1, i.e. after
+    each line) so a live ``tail`` and crash post-mortems always see a
+    trace ending on a complete JSON line.  Pass 0 to restore buffered
+    writes (flush only on close).
     """
 
-    def __init__(self, path: str, max_bytes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        path: str,
+        max_bytes: Optional[int] = None,
+        flush_every: int = 1,
+    ) -> None:
         self.path = str(path)
         self.max_bytes = int(max_bytes) if max_bytes else None
+        self.flush_every = max(0, int(flush_every))
         self._fh: Optional[TextIO] = open(self.path, "w", encoding="utf-8")
         self._lock = threading.Lock()
         self._bytes_written = 0
+        self._lines_since_flush = 0
         self._dropped = 0
 
     @property
@@ -104,6 +116,11 @@ class JSONLSink:
         assert self._fh is not None
         self._fh.write(line + "\n")
         self._bytes_written += len(line.encode("utf-8")) + 1
+        if self.flush_every:
+            self._lines_since_flush += 1
+            if self._lines_since_flush >= self.flush_every:
+                self._fh.flush()
+                self._lines_since_flush = 0
 
     def emit(self, event: Dict[str, Any]) -> None:
         line = json.dumps(event, default=_json_default, separators=(",", ":"))
@@ -213,8 +230,26 @@ class Tracer:
     def __init__(self, sink: Optional[Any] = None, enabled: bool = True) -> None:
         self.sink = sink or NullSink()
         self.enabled = bool(enabled)
-        self._ids = itertools.count(1)
+        self._id_lock = threading.Lock()
+        self._next_id = 1
         self._local = threading.local()
+
+    def _new_id(self) -> int:
+        with self._id_lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
+    def reserve_ids(self, count: int) -> int:
+        """Reserve a contiguous block of ``count`` span ids and return the
+        first one.  Used when merging worker shard traces: worker span ids
+        are remapped into a reserved block so they can never collide with
+        ids the parent tracer hands out later."""
+        count = max(0, int(count))
+        with self._id_lock:
+            base = self._next_id
+            self._next_id += count
+            return base
 
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
@@ -236,7 +271,7 @@ class Tracer:
         parent = stack[-1].span_id if stack else None
         sp = Span(
             name=name,
-            span_id=next(self._ids),
+            span_id=self._new_id(),
             parent_id=parent,
             t_start=time.perf_counter(),
             wall_start=time.time(),

@@ -25,17 +25,37 @@ from repro.soundness.certificate import (
     MultiplierCertificate,
 )
 from repro.telemetry import get_telemetry
+from repro.telemetry.context import (
+    TraceContext,
+    capture as capture_trace_context,
+    merge_shard,
+    worker_session,
+)
+from repro.telemetry.profiler import get_active_profiler
 
 
 def _solve_sdp_task(
     sdp: SDPProblem,
     options: Optional[InteriorPointOptions],
     policy: Optional[RecoveryPolicy] = None,
+    trace_ctx: Optional["TraceContext"] = None,
+    shard_path: Optional[str] = None,
 ) -> SDPResult:
     """Process-pool worker: solve one compiled SDP (module-level so it
     pickles).  The recovery ladder runs inside the worker so a pool solve
-    degrades exactly like a serial one."""
-    return solve_sdp_resilient(sdp, options, policy)
+    degrades exactly like a serial one.
+
+    When the parent run is traced it ships a :class:`TraceContext` and a
+    shard path: the solve then runs inside a worker-side telemetry
+    session whose spans/metrics (and profiler samples, when the parent
+    is profiling) land in the shard file for the parent to merge.  With
+    ``trace_ctx=None`` (telemetry off) the pre-existing untraced path
+    runs unchanged.
+    """
+    if trace_ctx is None or shard_path is None:
+        return solve_sdp_resilient(sdp, options, policy)
+    with worker_session(trace_ctx, shard_path):
+        return solve_sdp_resilient(sdp, options, policy)
 
 #: paper numbering of the three sub-problem families (conditions (13)-(15))
 PAPER_CONDITION_NUMBERS = {"init": 13, "unsafe": 14, "lie": 15}
@@ -638,6 +658,39 @@ class SOSVerifier:
             self._prepare("unsafe", -1.0 * B, self.problem.xi, cfg.eps_unsafe),
         ]
         preps.extend(self._lie_preps(B))
+
+        # trace propagation: when this run is traced, each submission
+        # carries a TraceContext and a shard file the worker's session
+        # writes; the shards are merged back below (also after a crash,
+        # so completed workers' spans survive a broken pool).  Untraced
+        # runs submit with ctx=None — the pre-PR worker path, unchanged.
+        profile_workers = get_active_profiler() is not None
+        shard_dir: Optional[str] = None
+        shards: List[Tuple[Optional[TraceContext], Optional[str]]] = []
+        if capture_trace_context() is not None:
+            import tempfile
+
+            shard_dir = tempfile.mkdtemp(prefix="repro-verify-shards-")
+        for i, p in enumerate(preps):
+            if shard_dir is None:
+                shards.append((None, None))
+            else:
+                shards.append((
+                    capture_trace_context(shard_index=i, profile=profile_workers),
+                    os.path.join(shard_dir, f"shard-{i}.jsonl"),
+                ))
+
+        def merge_worker_shards() -> None:
+            if shard_dir is None:
+                return
+            for _, shard_path in shards:
+                if shard_path is not None:
+                    merge_shard(tel, shard_path)
+            try:
+                os.rmdir(shard_dir)
+            except OSError:
+                pass
+
         try:
             import concurrent.futures
             from concurrent.futures.process import BrokenProcessPool
@@ -646,14 +699,18 @@ class SOSVerifier:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=max_workers
             ) as pool:
-                futures = [
-                    pool.submit(
-                        _solve_sdp_task, p.sdp, cfg.sdp_options, cfg.recovery
-                    )
-                    for p in preps
-                ]
+                futures = []
+                for i, (p, (ctx, shard_path)) in enumerate(zip(preps, shards)):
+                    tel.status_worker(i, state="submitted", task=p.name)
+                    futures.append(pool.submit(
+                        _solve_sdp_task, p.sdp, cfg.sdp_options, cfg.recovery,
+                        ctx, shard_path,
+                    ))
                 fault_point("verifier.pool")
-                results = [f.result() for f in futures]
+                results = []
+                for i, f in enumerate(futures):
+                    results.append(f.result())
+                    tel.status_worker(i, state="done")
         except BrokenProcessPool as exc:
             # a worker died mid-solve (e.g. OOM-killed): classify, then
             # degrade to the serial path — same result, just slower
@@ -664,10 +721,13 @@ class SOSVerifier:
                 error=f"{type(exc).__name__}: {exc}",
                 n_conditions=len(preps),
             )
+            merge_worker_shards()
             return None
         except Exception:
             tel.metrics.inc("verifier.pool.fallbacks")
+            merge_worker_shards()
             return None
+        merge_worker_shards()
         tel.metrics.inc("verifier.pool.tasks", len(preps))
 
         def finish(prep: _PreparedCondition, res: SDPResult):

@@ -1,11 +1,16 @@
 """Tests for the fleet telemetry store and CLI (store.py / fleet.py).
 
-The committed fixtures under ``tests/data/fleet/`` are two real run
-artifact families copied from ``results/telemetry/``:
+The committed fixtures under ``tests/data/fleet/`` are run artifact
+families (the first two copied from real ``results/telemetry/`` runs):
 
 * ``C1-smoke`` — written *after* IPM tracing landed (``sdp.ipm_trace``
   events, audit conditions carrying ``convergence``/``recovery_rung``).
 * ``C3-smoke`` — an older-schema trace with none of those fields.
+* ``C5-smoke`` — a partially-written family: manifest with no recorded
+  outcome plus a stale ``.status.json`` heartbeat (a killed run).
+* ``bench-smoke`` — a ``--jobs`` bench-parent trace (manifest
+  ``extra.role == "bench_parent"``) holding merged copies of row spans;
+  indexed but excluded from aggregates.
 
 ``tests/data/fleet_golden.json`` pins the exact ``fleet_summary``
 aggregate over them.
@@ -85,7 +90,9 @@ def test_load_run_without_manifest_still_indexes(tmp_path):
     rec = load_run(str(p), root=str(tmp_path))
     assert rec is not None
     assert rec.name == "unknown"
-    assert rec.outcome == "unknown"
+    # no manifest at all == partially-written family: explicit marker
+    assert rec.outcome == "incomplete"
+    assert rec.incomplete
     assert rec.system == "orphan"
     assert rec.scale == "smoke"
     assert rec.phases == {"learning": 0.5}
@@ -104,19 +111,42 @@ def test_load_run_flags_truncated_trace(tmp_path):
 # ----------------------------------------------------------------------
 # scan + aggregate
 # ----------------------------------------------------------------------
-def test_scan_runs_finds_both_fixtures():
+def test_scan_runs_finds_all_fixtures():
     records = scan_runs(FIXTURES)
-    assert [r.base for r in records] == ["C1-smoke", "C3-smoke"]
-    assert [r.system for r in records] == ["C1", "C3"]
+    assert [r.base for r in records] == [
+        "C1-smoke", "C3-smoke", "C5-smoke", "bench-smoke"
+    ]
+
+
+def test_load_run_partial_family_is_incomplete():
+    rec = load_run(os.path.join(FIXTURES, "C5-smoke.jsonl"), root=FIXTURES)
+    assert rec is not None
+    assert rec.name == "table1/C5"
+    assert rec.outcome == "incomplete"
+    assert rec.incomplete
+    assert rec.elapsed_seconds is None
+    assert "learning" in rec.phases  # partial trace still contributes
+
+
+def test_load_run_bench_parent_role():
+    rec = load_run(os.path.join(FIXTURES, "bench-smoke.jsonl"), root=FIXTURES)
+    assert rec is not None
+    assert rec.role == "bench_parent"
+    assert rec.outcome == "success"
+    assert not rec.incomplete
 
 
 def test_fleet_summary_aggregates_fixtures():
     summary = fleet_summary(scan_runs(FIXTURES))
     assert summary["kind"] == "fleet_summary"
-    assert summary["n_runs"] == 2
-    assert summary["n_systems"] == 2
-    assert summary["outcomes"] == {"success": 2}
-    assert set(summary["systems"]) == {"C1", "C3"}
+    # bench-parent trace is listed but excluded from every aggregate
+    assert summary["n_runs"] == 3
+    assert summary["n_parent_traces"] == 1
+    assert summary["n_incomplete"] == 1
+    assert summary["n_systems"] == 3
+    assert summary["outcomes"] == {"incomplete": 1, "success": 2}
+    assert set(summary["systems"]) == {"C1", "C3", "C5"}
+    assert len(summary["runs"]) == 4  # listing keeps the parent trace
     c1 = summary["systems"]["C1"]
     assert c1["runs"] == 1
     assert c1["scales"] == ["smoke"]
@@ -164,7 +194,9 @@ def test_run_record_to_dict_rounds_and_sorts():
 def test_fleet_cli_text_output(capsys):
     assert fleet_main([FIXTURES]) == 0
     out = capsys.readouterr().out
-    assert "2 run(s) across 2 system(s)" in out
+    assert "3 run(s) across 3 system(s)" in out
+    assert "incomplete=1" in out
+    assert "bench-parent traces=1" in out
     assert "C1-smoke" in out and "C3-smoke" in out
     assert "== Systems ==" in out
     assert "IPM convergence classes" in out
@@ -182,7 +214,7 @@ def test_fleet_cli_out_writes_document(tmp_path, capsys):
     capsys.readouterr()
     doc = json.load(open(out))
     assert doc["kind"] == "fleet_summary"
-    assert doc["n_runs"] == 2
+    assert doc["n_runs"] == 3
 
 
 def test_fleet_cli_empty_root(tmp_path, capsys):
@@ -212,9 +244,61 @@ def test_fleet_round_trip_over_committed_results_tree():
     assert c1.outcome == "success"
     assert c1.iterations == 2
     summary = fleet_summary(records)
-    assert summary["n_runs"] == len(records)
+    n_parents = sum(1 for r in records if r.role == "bench_parent")
+    assert summary["n_runs"] == len(records) - n_parents
     assert "C1" in summary["systems"]
     assert json.dumps(summary)  # JSON-clean end to end
+
+
+# ----------------------------------------------------------------------
+# partial / stale / empty results trees
+# ----------------------------------------------------------------------
+def test_scan_tolerates_stale_heartbeat_tree(tmp_path):
+    """A tree holding only a mid-run family — trace plus a status
+    heartbeat that stopped updating, no finalized manifest — indexes
+    without crashing and flags the run ``incomplete``."""
+    (tmp_path / "X1-smoke.jsonl").write_text(
+        '{"type":"span","name":"snbc.learning","span_id":2,"parent_id":1,'
+        '"duration":0.4,"attrs":{"phase":"learning"}}\n'
+    )
+    (tmp_path / "X1-smoke.status.json").write_text(json.dumps({
+        "schema_version": 1, "name": "table1/X1", "pid": 999,
+        "started_wall": 1786150000.0, "heartbeat_wall": 1786150002.0,
+        "phase": "learning", "outcome": None, "workers": {},
+    }))
+    records = scan_runs(str(tmp_path))
+    assert len(records) == 1  # the status sidecar is not its own run
+    assert records[0].incomplete
+    assert records[0].outcome == "incomplete"
+    summary = fleet_summary(records)
+    assert summary["n_incomplete"] == 1
+    assert summary["outcomes"] == {"incomplete": 1}
+    assert json.dumps(summary)
+
+
+def test_scan_tolerates_torn_trailing_line(tmp_path):
+    """A trace whose writer died mid-line (no trailing newline, torn
+    JSON) still indexes from its complete prefix lines."""
+    (tmp_path / "Y1-smoke.jsonl").write_text(
+        '{"type":"span","name":"snbc.inclusion","span_id":2,"parent_id":1,'
+        '"duration":0.2,"attrs":{"phase":"inclusion"}}\n'
+        '{"type":"span","name":"snbc.lear'
+    )
+    records = scan_runs(str(tmp_path))
+    assert len(records) == 1
+    assert records[0].phases == {"inclusion": 0.2}
+    assert records[0].incomplete
+
+
+def test_fleet_summary_excludes_bench_parent_from_aggregates():
+    records = scan_runs(FIXTURES)
+    summary = fleet_summary(records)
+    # the parent trace's merged span copies must not leak into any
+    # per-system phase totals ("smoke" is what its name would parse to)
+    assert "smoke" not in summary["systems"]
+    listed_roles = {r["base"]: r["role"] for r in summary["runs"]}
+    assert listed_roles["bench-smoke"] == "bench_parent"
+    assert listed_roles["C1-smoke"] is None
 
 
 def test_render_fleet_text_marks_truncated():

@@ -407,7 +407,8 @@ def test_report_cli_json_format(tmp_path, capsys):
     trace = _sample_trace(tmp_path)
     assert report_main([trace, "--format", "json"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert set(payload) == {"manifest", "phases", "spans", "metrics", "caches"}
+    assert set(payload) == {"manifest", "phases", "spans", "workers",
+                            "metrics", "caches"}
     assert payload["manifest"]["name"] == "report-test"
     assert set(payload["phases"]) == {"learning", "verification"}
     assert payload["metrics"]["counters"]["cegis.iterations"] == 2.0
@@ -542,3 +543,37 @@ def test_session_passes_max_bytes_through(tmp_path):
                 pass
     events = load_events(trace)
     assert any(e.get("type") == "trace_truncated" for e in events)
+
+
+# ----------------------------------------------------------------------
+# JSONLSink flush_every (line-granular durability)
+# ----------------------------------------------------------------------
+def test_jsonl_sink_flushes_every_line_by_default(tmp_path):
+    path = str(tmp_path / "live.jsonl")
+    sink = JSONLSink(path)
+    sink.emit({"type": "a"})
+    sink.emit({"type": "b"})
+    # visible on disk immediately, without close(): this is what lets
+    # `tail` follow a live trace and crash post-mortems see everything
+    assert [e["type"] for e in load_events(path)] == ["a", "b"]
+    sink.close()
+
+
+def test_jsonl_sink_flush_every_zero_buffers_until_close(tmp_path):
+    path = str(tmp_path / "buffered.jsonl")
+    sink = JSONLSink(path, flush_every=0)
+    sink.emit({"type": "a"})  # small enough to sit in the IO buffer
+    assert load_events(path) == []
+    sink.close()
+    assert [e["type"] for e in load_events(path)] == ["a"]
+
+
+def test_jsonl_sink_flush_every_n(tmp_path):
+    path = str(tmp_path / "batched.jsonl")
+    sink = JSONLSink(path, flush_every=3)
+    sink.emit({"type": "a"})
+    sink.emit({"type": "b"})
+    assert load_events(path) == []  # batch not full yet
+    sink.emit({"type": "c"})  # third line triggers the flush
+    assert [e["type"] for e in load_events(path)] == ["a", "b", "c"]
+    sink.close()
