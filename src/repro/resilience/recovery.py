@@ -7,6 +7,10 @@ bad initial iterates, tolerances tighter than the data supports).  When
 ``MAX_ITERATIONS``, :func:`solve_sdp_resilient` walks a bounded ladder
 of *sound* retry strategies:
 
+``cold_restart`` (warm-started base solves only)
+    Re-solve from the default cold initialization before anything else:
+    a failed warm start (see :class:`repro.sdp.ipm.WarmStart`) most
+    often just means the previous iterate was a bad starting point.
 ``rescale``
     Row-rescale every equality constraint (and its rhs) to unit norm.
     The feasible set is unchanged — only the Schur system conditioning.
@@ -130,6 +134,7 @@ def solve_sdp_resilient(
     problem: SDPProblem,
     options: Optional["InteriorPointOptions"] = None,
     policy: Optional[RecoveryPolicy] = None,
+    warm_start=None,
 ) -> SDPResult:
     """Solve with the recovery ladder on top of :func:`solve_sdp`.
 
@@ -137,6 +142,13 @@ def solve_sdp_resilient(
     status is retryable, so on healthy instances this is bit-identical
     to a plain :func:`solve_sdp` call.  The returned result's
     ``message`` records which strategy (if any) recovered the solve.
+
+    ``warm_start`` (an optional :class:`repro.sdp.ipm.WarmStart`) is
+    applied to the base solve only.  A warm-started solve that fails
+    retryably first gets one plain *cold* re-solve (rung
+    ``cold_restart``) before any problem-mutating strategy runs — the
+    warm point itself is the most likely culprit, and a cold solve is
+    exactly what the caller would have run without warm starting.
     """
     # deferred to call time: repro.sdp.ipm itself imports
     # repro.resilience.faults, and a module-level import here turned
@@ -145,12 +157,65 @@ def solve_sdp_resilient(
 
     policy = policy or RecoveryPolicy()
     options = options or InteriorPointOptions()
-    base = solve_sdp(problem, options, rung="base")
+    base = solve_sdp(problem, options, rung="base", warm_start=warm_start)
+    return _recover(problem, options, policy, base)
+
+
+def solve_sdp_batch_resilient(
+    problems,
+    options: Optional["InteriorPointOptions"] = None,
+    policy: Optional[RecoveryPolicy] = None,
+    warm_starts=None,
+) -> list:
+    """Batched counterpart of :func:`solve_sdp_resilient`.
+
+    The base solves run as one lockstep batch
+    (:func:`repro.sdp.ipm.solve_sdp_batch`, bitwise-equal per lane to
+    serial solves); any lane that fails retryably then walks the same
+    per-problem recovery ladder serially — recovery is the rare path,
+    so it does not need the batch machinery.
+    """
+    from repro.sdp.ipm import InteriorPointOptions, solve_sdp_batch
+
+    policy = policy or RecoveryPolicy()
+    options = options or InteriorPointOptions()
+    base_results = solve_sdp_batch(
+        problems, options, rung="base", warm_starts=warm_starts
+    )
+    return [
+        _recover(problem, options, policy, base)
+        for problem, base in zip(problems, base_results)
+    ]
+
+
+def _recover(
+    problem: SDPProblem,
+    options: "InteriorPointOptions",
+    policy: RecoveryPolicy,
+    base: SDPResult,
+) -> SDPResult:
+    """Walk the ladder for one base result (shared serial/batch tail)."""
+    from repro.sdp.ipm import solve_sdp
+
     if not policy.enabled or base.status not in RETRYABLE_STATUSES:
         return base
 
     tel = get_telemetry()
     tel.metrics.inc("sdp.recovery.engaged")
+    if base.warm_started:
+        # warm-start fallback rung: retry cold before mutating anything
+        tel.metrics.inc("sdp.recovery.cold_restart.attempts")
+        retry = solve_sdp(problem, options, rung="cold_restart")
+        if retry.status in _DEFINITIVE:
+            tel.metrics.inc("sdp.recovery.cold_restart.successes")
+            retry.message = (
+                f"{retry.message} (recovered via cold_restart after "
+                f"{base.status.value})"
+            ).strip()
+            return retry
+        base = retry
+        if base.status not in RETRYABLE_STATUSES:
+            return base
     best = base
     for strategy in policy.strategies[: max(0, policy.max_attempts)]:
         tel.metrics.inc(f"sdp.recovery.{strategy}.attempts")

@@ -12,24 +12,38 @@ This is the engine behind every LMI feasibility test in
 :mod:`repro.sos` and :mod:`repro.verifier`.
 """
 
-from repro.sdp.svec import smat, svec, svec_dim
-from repro.sdp.problem import SDPProblem
+from repro.sdp.svec import smat, smat_batch, svec, svec_dim
+from repro.sdp.problem import (
+    BlockComposition,
+    SDPProblem,
+    compose_block_diagonal,
+)
 from repro.sdp.result import SDPResult, SDPStatus
 from repro.sdp.trace import IPMTrace, classify_convergence
-from repro.sdp.ipm import InteriorPointOptions, solve_sdp
+from repro.sdp.ipm import (
+    InteriorPointOptions,
+    WarmStart,
+    solve_sdp,
+    solve_sdp_batch,
+)
 from repro.sdp.lmi import LMIResult, solve_lmi
 
 __all__ = [
     "SDPProblem",
     "SDPResult",
     "SDPStatus",
+    "BlockComposition",
+    "compose_block_diagonal",
     "IPMTrace",
     "classify_convergence",
     "InteriorPointOptions",
+    "WarmStart",
     "solve_sdp",
+    "solve_sdp_batch",
     "solve_lmi",
     "LMIResult",
     "svec",
     "smat",
+    "smat_batch",
     "svec_dim",
 ]

@@ -9,6 +9,30 @@ the problem
 each iteration linearizes the perturbed complementarity ``X Z = sigma mu I``
 as ``dX Z + X dZ = K`` and eliminates ``dX`` and ``dZ`` through the Schur
 complement ``M`` with entries ``M_ij = tr(A_i X A_j Z^{-1})``.
+
+Solver fast path
+----------------
+The per-iteration loop lives in :class:`_IPMState` so the serial driver
+(:func:`solve_sdp`) and the lockstep batch driver (:func:`solve_sdp_batch`)
+share the arithmetic verbatim.  Three layers of speedup sit on top of the
+textbook loop:
+
+* ``fast_kernels`` (default on, **bitwise identical** to the legacy scipy
+  path — enforced by the identity suite): raw LAPACK calls
+  (``dpotrf``/``dpotrs``/``dtrtrs``) instead of the scipy wrappers whose
+  per-call overhead dominates on the small blocks SOS programs produce,
+  one Cholesky of X and Z per iteration reused across both line-search
+  calls (the iterates do not change in between), and the per-block Schur
+  assembly collapsed into two reshaped GEMMs instead of ``m`` batched
+  3-tensor matmuls.
+* ``schur_mode="structured"`` (opt-in, *not* bitwise): assemble the Schur
+  complement as an exact congruence ``M = Q Q^T`` with rows
+  ``vec(L^{-1} A_i R)`` where ``X = R R^T`` and ``Z = L L^T`` — one
+  triangular solve + two GEMMs per block, and ``M`` is exactly symmetric
+  PSD by construction.
+* warm starts (opt-in via the ``warm_start`` argument, *not* bitwise):
+  start from a previous solve's primal/dual point pushed back into the
+  interior; see :class:`WarmStart`.
 """
 
 from __future__ import annotations
@@ -20,11 +44,12 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.linalg import cho_factor, cho_solve, cholesky, solve_triangular
+from scipy.linalg import lapack as _lapack
 
 from repro.resilience.faults import fault_point, fired
-from repro.sdp.problem import SDPProblem
+from repro.sdp.problem import PresolveInfo, SDPProblem
 from repro.sdp.result import SDPResult, SDPStatus
-from repro.sdp.svec import smat, svec, sym
+from repro.sdp.svec import smat, smat_batch, svec, sym
 from repro.sdp.trace import (
     DEFAULT_TRACE_CAPACITY,
     IPMTrace,
@@ -34,6 +59,9 @@ from repro.sdp.trace import (
 from repro.telemetry import get_telemetry
 
 logger = logging.getLogger(__name__)
+
+#: accepted values for :attr:`InteriorPointOptions.schur_mode`
+SCHUR_MODES = ("gemm", "structured")
 
 
 @dataclass
@@ -58,25 +86,167 @@ class InteriorPointOptions:
     #: recent window is kept; recording is always on — it is noise-level
     #: next to the per-iteration dense factorizations)
     trace_capacity: int = DEFAULT_TRACE_CAPACITY
+    #: use raw LAPACK kernels, per-iteration factorization reuse and the
+    #: single-GEMM Schur assembly.  Bitwise result-identical to the
+    #: legacy scipy-wrapper path (``False``), which is kept as the
+    #: benchmark reference and regression oracle.
+    fast_kernels: bool = True
+    #: Schur assembly strategy under ``fast_kernels``: ``"gemm"``
+    #: (default; bitwise-identical to the legacy loop) or
+    #: ``"structured"`` (factored congruence ``M = Q Q^T``; exactly
+    #: symmetric but *not* bitwise — opt-in).  Ignored when
+    #: ``fast_kernels`` is off.
+    schur_mode: str = "gemm"
+    #: interior push applied to a warm-start point, as a fraction of the
+    #: cold-start scales ``xi``/``eta``: ``X0 = X_prev + push*xi*I``.
+    #: Small values trust the previous iterate more (fewer iterations on
+    #: nearby problems) at the cost of robustness on large moves; a
+    #: retryable warm failure gets one cold re-solve (``cold_restart``)
+    #: before the recovery ladder engages.
+    warm_start_push: float = 1e-3
+
+
+@dataclass
+class WarmStart:
+    """A primal/dual point to start the IPM from (see ``warm_start`` on
+    :func:`solve_sdp`).
+
+    ``y`` is indexed by the *original* (pre-presolve) constraint rows —
+    exactly how :class:`SDPResult` reports it — and is restricted to the
+    presolved row subset internally.  A warm start whose shapes do not
+    match the problem (the SOS template changed size between CEGIS
+    iterations) is silently dropped in favor of a cold start, counted in
+    the ``sdp.warm_start.rejected`` metric.
+    """
+
+    X: List[np.ndarray]
+    y: np.ndarray
+    Z: List[np.ndarray]
+
+    @classmethod
+    def from_result(cls, result: SDPResult) -> Optional["WarmStart"]:
+        """Capture a solve's final iterate; ``None`` when the result has
+        no usable (finite, complete) primal-dual point."""
+        if result.y is None or not result.X or not result.Z:
+            return None
+        if len(result.X) != len(result.Z):
+            return None
+        arrays = list(result.X) + list(result.Z) + [result.y]
+        if not all(np.all(np.isfinite(a)) for a in arrays):
+            return None
+        return cls(
+            X=[np.array(x, dtype=float) for x in result.X],
+            y=np.array(result.y, dtype=float),
+            Z=[np.array(z, dtype=float) for z in result.Z],
+        )
+
+
+# ----------------------------------------------------------------------
+# raw LAPACK kernels (bitwise-identical to the scipy wrappers they
+# replace — asserted by tests/test_perf_identity.py — minus the per-call
+# python overhead that dominates on SOS-sized blocks)
+# ----------------------------------------------------------------------
+def _chol_lower_or_none(M: np.ndarray) -> Optional[np.ndarray]:
+    """Lower Cholesky factor, or ``None`` when ``M`` is not PD / not
+    finite (the legacy line search treated both as a zero step)."""
+    if not np.all(np.isfinite(M)):
+        return None
+    c, info = _lapack.dpotrf(M, lower=1, clean=1)
+    return c if info == 0 else None
+
+
+def _potrf_upper(M: np.ndarray) -> np.ndarray:
+    """Upper Cholesky factor a la ``cho_factor`` (raises on non-PD)."""
+    c, info = _lapack.dpotrf(M, lower=0, clean=0)
+    if info != 0:
+        raise np.linalg.LinAlgError(
+            f"matrix is not positive definite (dpotrf info={info})"
+        )
+    return c
+
+
+def _potrs_upper(c: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Solve with an upper factor from :func:`_potrf_upper`."""
+    x, info = _lapack.dpotrs(c, B, lower=0)
+    if info != 0:
+        raise np.linalg.LinAlgError(f"dpotrs failed (info={info})")
+    return x
+
+
+def _potrs_lower(c: np.ndarray, B: np.ndarray) -> np.ndarray:
+    x, info = _lapack.dpotrs(c, B, lower=1)
+    if info != 0:
+        raise np.linalg.LinAlgError(f"dpotrs failed (info={info})")
+    return x
+
+
+def _solve_lower(L: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Forward substitution ``L x = B`` (lower triangular)."""
+    x, info = _lapack.dtrtrs(L, B, lower=1)
+    if info != 0:
+        raise np.linalg.LinAlgError(f"dtrtrs failed (info={info})")
+    return x
+
+
+def _schur_regularization(M: np.ndarray, m: int) -> float:
+    """Diagonal jitter for the Schur Cholesky.
+
+    Healthy Schur complements (positive finite trace) get exactly the
+    historical ``1e-14 * tr(M) / m`` value — same float operations, so
+    default-on solves stay bitwise.  The guards fix the degenerate
+    cases: ``m == 0`` and a zero/negative/non-finite trace used to
+    produce a nan/zero jitter, turning a recoverable least-squares
+    fallback into either a crash (``cho_factor`` raising ``ValueError``
+    on nan) or a misleading ``schur_cholesky_ok=False``.
+    """
+    if m <= 0:
+        return 0.0
+    tr = float(np.trace(M))
+    if np.isfinite(tr) and tr > 0.0:
+        return 1e-14 * tr / m
+    diag = np.abs(np.diag(M))
+    fallback = (
+        float(np.max(diag)) if diag.size and bool(np.all(np.isfinite(diag))) else 0.0
+    )
+    return 1e-14 * max(1.0, fallback)
 
 
 class _BlockData:
-    """Per-block dense constraint tensors used by the Schur assembly."""
+    """Per-block dense constraint tensors used by the Schur assembly.
+
+    Built once per solve from the (static) svec constraint rows; the
+    layouts below are what make the per-iteration assembly pure BLAS-3:
+
+    ``dense``
+        ``(m, n, n)`` stack of the constraint matrices ``A_i``.
+    ``dense_h``
+        ``(n, m*n)`` horizontal concatenation ``[A_1 | A_2 | ...]`` —
+        one GEMM ``X @ dense_h`` computes every ``X A_i`` product.
+    """
 
     def __init__(self, n: int, svec_rows: np.ndarray):
         self.n = n
         self.svecs = svec_rows  # (m, s)
         m = svec_rows.shape[0]
-        self.dense = np.stack([smat(svec_rows[i], n) for i in range(m)]) if m else (
-            np.zeros((0, n, n))
-        )
+        if m:
+            self.dense = smat_batch(svec_rows, n)
+            self.dense_h = np.ascontiguousarray(
+                self.dense.transpose(1, 0, 2).reshape(n, m * n)
+            )
+        else:
+            self.dense = np.zeros((0, n, n))
+            self.dense_h = np.zeros((n, 0))
         self.norm = float(np.linalg.norm(svec_rows)) if m else 0.0
 
 
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
 def solve_sdp(
     problem: SDPProblem,
     options: Optional[InteriorPointOptions] = None,
     rung: str = "base",
+    warm_start: Optional[WarmStart] = None,
 ) -> SDPResult:
     """Solve a block-diagonal standard-form SDP.
 
@@ -89,8 +259,17 @@ def solve_sdp(
     (``"base"`` for a plain first attempt); it is stamped on the result
     and the emitted trace so cross-run analysis can attribute iterations
     to ladder rungs.
+
+    ``warm_start`` (optional) seeds the IPM from a previous solve's
+    primal/dual point, pushed back into the interior by
+    ``options.warm_start_push``.  Incompatible shapes fall back to a
+    cold start; ``result.warm_started`` records whether the point was
+    used.  Warm-started solves follow a different central path, so they
+    are *not* bitwise-comparable to cold solves — callers wanting the
+    bitwise guarantee must not pass a warm start.
     """
     opts = options or InteriorPointOptions()
+    _check_options(opts)
     tel = get_telemetry()
     with tel.span(
         "sdp.solve",
@@ -100,12 +279,7 @@ def solve_sdp(
         rung=rung,
     ) as span:
         if fired("sdp.nonconvergence"):
-            result = SDPResult(
-                status=SDPStatus.MAX_ITERATIONS,
-                iterations=opts.max_iterations,
-                message="injected non-convergence",
-                recovery_rung=rung,
-            )
+            result = _injected_nonconvergence(opts, rung)
             span.set_attr("status", result.status.value)
             return result
         reduced, info = problem.presolved()
@@ -118,7 +292,8 @@ def solve_sdp(
             )
         try:
             fault_point("sdp.solve")
-            result = _solve_reduced(reduced, opts)
+            warm = _restrict_warm(problem, warm_start, info, opts, tel)
+            result = _solve_reduced(reduced, opts, warm=warm)
         except (np.linalg.LinAlgError, FloatingPointError) as exc:
             # dense linear algebra can still throw outside the guarded
             # factorizations (e.g. eigvalsh non-convergence); classify it
@@ -129,12 +304,7 @@ def solve_sdp(
                 message=f"solver exception: {type(exc).__name__}: {exc}",
                 convergence_class="ill_conditioned",
             )
-        result.recovery_rung = rung
-        # Expand dual variables back to the original constraint indexing.
-        if result.y is not None and info.dropped_rows:
-            y_full = np.zeros(problem.n_constraints)
-            y_full[np.asarray(info.kept_rows, dtype=int)] = result.y
-            result.y = y_full
+        _finish_solve(problem, info, result, rung, tel)
         span.set_attrs(
             status=result.status.value,
             iterations=result.iterations,
@@ -143,87 +313,565 @@ def solve_sdp(
             dual_residual=result.dual_residual,
             convergence=result.convergence_class,
         )
-        tel.status_update(
-            ipm_convergence=result.convergence_class, recovery_rung=rung
-        )
-        if tel.enabled:
-            tel.metrics.observe("sdp.iterations", result.iterations)
-            tel.metrics.observe("sdp.final_gap", result.gap)
-            tel.metrics.observe("sdp.primal_residual", result.primal_residual)
-            tel.metrics.observe("sdp.dual_residual", result.dual_residual)
-            tel.metrics.inc(f"sdp.status.{result.status.value}")
-            tel.metrics.inc(f"sdp.convergence.{result.convergence_class}")
-            tel.event(
-                "sdp.ipm_trace",
-                status=result.status.value,
-                convergence=result.convergence_class,
-                rung=rung,
-                iterations=result.iterations,
-                n_records=len(result.ipm_trace),
-                dropped=result.ipm_trace_dropped,
-                records=result.ipm_trace,
-            )
     return result
 
 
-def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult:
-    dims = problem.block_dims
-    m = problem.n_constraints
-    b = problem.rhs()
-    C = [c.copy() for c in problem.C]
-    A_full = problem.constraint_matrix()
-    blocks: List[_BlockData] = []
-    start = 0
-    for n in dims:
-        s = n * (n + 1) // 2
-        blocks.append(_BlockData(n, A_full[:, start : start + s]))
-        start += s
+def solve_sdp_batch(
+    problems: Sequence[SDPProblem],
+    options: Optional[InteriorPointOptions] = None,
+    rung: str = "base",
+    warm_starts: Optional[Sequence[Optional[WarmStart]]] = None,
+) -> List[SDPResult]:
+    """Solve several independent SDPs as one lockstep block solve.
 
-    if m == 0:
-        X = [np.zeros((n, n)) for n in dims]
-        return SDPResult(
-            status=SDPStatus.OPTIMAL,
-            X=X,
-            y=np.zeros(0),
-            Z=C,
-            primal_objective=0.0,
-            dual_objective=0.0,
-            gap=0.0,
-            primal_residual=0.0,
-            dual_residual=0.0,
-            message="no constraints; returning X = 0",
-            convergence_class="healthy",
+    This is the structure-exploiting way to solve the block-diagonal
+    composition of ``problems`` (see
+    :func:`repro.sdp.problem.compose_block_diagonal`): because the lanes
+    share no blocks and no constraint rows, the joint Schur complement
+    is block-diagonal and each lane's central path is independent — so
+    the composed solve decomposes *exactly* into per-lane iterations,
+    which this driver advances round-robin.  Each lane performs the same
+    float operations in the same order as a standalone
+    :func:`solve_sdp` call, so per-lane results are **bitwise
+    identical** to serial solves; the win is shared Python/dispatch
+    overhead and a single traversal for telemetry.
+
+    ``warm_starts`` (optional, one entry per lane, ``None`` entries OK)
+    applies per-lane warm starts with the same semantics as
+    :func:`solve_sdp`.
+    """
+    opts = options or InteriorPointOptions()
+    _check_options(opts)
+    tel = get_telemetry()
+    n_lanes = len(problems)
+    warms: List[Optional[WarmStart]] = (
+        list(warm_starts) if warm_starts is not None else [None] * n_lanes
+    )
+    if len(warms) != n_lanes:
+        raise ValueError("warm_starts must have one entry per problem")
+    results: List[Optional[SDPResult]] = [None] * n_lanes
+    states: List[Optional[_IPMState]] = [None] * n_lanes
+    infos: List[Optional[PresolveInfo]] = [None] * n_lanes
+    with tel.span("sdp.solve_batch", n_lanes=n_lanes, rung=rung) as span:
+        for i, problem in enumerate(problems):
+            # per-lane setup mirrors the serial pre-loop path
+            if fired("sdp.nonconvergence"):
+                results[i] = _injected_nonconvergence(opts, rung)
+                continue
+            reduced, info = problem.presolved()
+            infos[i] = info
+            if info.inconsistent:
+                results[i] = SDPResult(
+                    status=SDPStatus.INCONSISTENT,
+                    message="equality constraints are inconsistent (presolve)",
+                    recovery_rung=rung,
+                )
+                continue
+            try:
+                fault_point("sdp.solve")
+                if reduced.n_constraints == 0:
+                    results[i] = _zero_constraint_result(reduced)
+                    continue
+                states[i] = _IPMState(
+                    reduced,
+                    opts,
+                    warm=_restrict_warm(problem, warms[i], info, opts, tel),
+                )
+            except (np.linalg.LinAlgError, FloatingPointError) as exc:
+                results[i] = _exception_result(exc, tel)
+        # lockstep rounds: every live lane advances one IPM iteration per
+        # round, in lane order, until all lanes terminate
+        live = [i for i in range(n_lanes) if states[i] is not None]
+        while live:
+            still_live = []
+            for i in live:
+                st = states[i]
+                try:
+                    st.step()
+                except (np.linalg.LinAlgError, FloatingPointError) as exc:
+                    results[i] = _exception_result(exc, tel)
+                    states[i] = None
+                    continue
+                if st.finished or st.iteration >= opts.max_iterations:
+                    results[i] = st.finalize()
+                    states[i] = None
+                else:
+                    still_live.append(i)
+            live = still_live
+        out: List[SDPResult] = []
+        for i, problem in enumerate(problems):
+            result = results[i]
+            assert result is not None
+            if infos[i] is not None and result.status is not SDPStatus.INCONSISTENT:
+                _finish_solve(problem, infos[i], result, rung, tel)
+            else:
+                result.recovery_rung = rung
+            out.append(result)
+        span.set_attrs(
+            statuses=",".join(r.status.value for r in out),
+            iterations=sum(r.iterations for r in out),
+        )
+    return out
+
+
+def _check_options(opts: InteriorPointOptions) -> None:
+    if opts.schur_mode not in SCHUR_MODES:
+        raise ValueError(
+            f"schur_mode must be one of {SCHUR_MODES}, got {opts.schur_mode!r}"
         )
 
-    total_n = problem.total_dim
-    norm_b = float(np.linalg.norm(b))
-    norm_C = float(np.sqrt(sum(np.linalg.norm(c) ** 2 for c in C)))
 
-    # -- initialization (CSDP-style magnitude heuristics)
-    row_norms = np.linalg.norm(A_full, axis=1)
-    xi = max(
-        opts.init_scale,
-        float(np.max(np.abs(b) / (1.0 + row_norms))) * max(dims) if m else 0.0,
+def _injected_nonconvergence(opts: InteriorPointOptions, rung: str) -> SDPResult:
+    return SDPResult(
+        status=SDPStatus.MAX_ITERATIONS,
+        iterations=opts.max_iterations,
+        message="injected non-convergence",
+        recovery_rung=rung,
     )
-    X = [xi * np.eye(n) for n in dims]
-    eta = max(opts.init_scale, norm_C)
-    Z = [eta * np.eye(n) for n in dims]
-    y = np.zeros(m)
 
-    def operator_A(Xb: Sequence[np.ndarray]) -> np.ndarray:
-        out = np.zeros(m)
-        for blk, Xk in zip(blocks, Xb):
+
+def _exception_result(exc: BaseException, tel) -> SDPResult:
+    tel.metrics.inc("sdp.status.exception")
+    return SDPResult(
+        status=SDPStatus.NUMERICAL_ERROR,
+        message=f"solver exception: {type(exc).__name__}: {exc}",
+        convergence_class="ill_conditioned",
+    )
+
+
+def _restrict_warm(
+    problem: SDPProblem,
+    warm: Optional[WarmStart],
+    info: PresolveInfo,
+    opts: InteriorPointOptions,
+    tel,
+) -> Optional[Tuple[List[np.ndarray], np.ndarray, List[np.ndarray]]]:
+    """Validate a warm start against ``problem`` and restrict its dual
+    vector to the presolved row subset; ``None`` on any mismatch."""
+    if warm is None:
+        return None
+    dims = problem.block_dims
+    ok = (
+        len(warm.X) == len(dims)
+        and len(warm.Z) == len(dims)
+        and warm.y.shape == (problem.n_constraints,)
+        and all(x.shape == (n, n) for x, n in zip(warm.X, dims))
+        and all(z.shape == (n, n) for z, n in zip(warm.Z, dims))
+    )
+    if not ok:
+        tel.metrics.inc("sdp.warm_start.rejected")
+        return None
+    kept = np.asarray(info.kept_rows, dtype=int)
+    y_red = warm.y[kept] if info.dropped_rows else warm.y.copy()
+    tel.metrics.inc("sdp.warm_start.used")
+    return ([x for x in warm.X], y_red, [z for z in warm.Z])
+
+
+def _finish_solve(
+    problem: SDPProblem,
+    info: PresolveInfo,
+    result: SDPResult,
+    rung: str,
+    tel,
+) -> None:
+    """Shared post-solve bookkeeping: rung stamp, dual expansion back to
+    the original constraint indexing, and telemetry emission."""
+    result.recovery_rung = rung
+    if result.y is not None and info.dropped_rows:
+        y_full = np.zeros(problem.n_constraints)
+        y_full[np.asarray(info.kept_rows, dtype=int)] = result.y
+        result.y = y_full
+    tel.status_update(
+        ipm_convergence=result.convergence_class, recovery_rung=rung
+    )
+    if tel.enabled:
+        tel.metrics.observe("sdp.iterations", result.iterations)
+        tel.metrics.observe("sdp.final_gap", result.gap)
+        tel.metrics.observe("sdp.primal_residual", result.primal_residual)
+        tel.metrics.observe("sdp.dual_residual", result.dual_residual)
+        tel.metrics.inc(f"sdp.status.{result.status.value}")
+        tel.metrics.inc(f"sdp.convergence.{result.convergence_class}")
+        tel.event(
+            "sdp.ipm_trace",
+            status=result.status.value,
+            convergence=result.convergence_class,
+            rung=rung,
+            iterations=result.iterations,
+            n_records=len(result.ipm_trace),
+            dropped=result.ipm_trace_dropped,
+            records=result.ipm_trace,
+        )
+
+
+def _zero_constraint_result(problem: SDPProblem) -> SDPResult:
+    dims = problem.block_dims
+    return SDPResult(
+        status=SDPStatus.OPTIMAL,
+        X=[np.zeros((n, n)) for n in dims],
+        y=np.zeros(0),
+        Z=[c.copy() for c in problem.C],
+        primal_objective=0.0,
+        dual_objective=0.0,
+        gap=0.0,
+        primal_residual=0.0,
+        dual_residual=0.0,
+        message="no constraints; returning X = 0",
+        convergence_class="healthy",
+    )
+
+
+def _solve_reduced(
+    problem: SDPProblem,
+    opts: InteriorPointOptions,
+    warm: Optional[Tuple[List[np.ndarray], np.ndarray, List[np.ndarray]]] = None,
+) -> SDPResult:
+    if problem.n_constraints == 0:
+        return _zero_constraint_result(problem)
+    state = _IPMState(problem, opts, warm=warm)
+    while not state.finished and state.iteration < opts.max_iterations:
+        state.step()
+    return state.finalize()
+
+
+# ----------------------------------------------------------------------
+# the iteration engine
+# ----------------------------------------------------------------------
+class _IPMState:
+    """One lane of the predictor-corrector iteration.
+
+    Both drivers advance lanes exclusively through :meth:`step`, so a
+    lane's float-operation sequence is identical whether it runs alone
+    (:func:`solve_sdp`) or interleaved with others
+    (:func:`solve_sdp_batch`) — the bitwise guarantee of the batched
+    tri-condition solve rests on exactly this.
+
+    The per-iteration work is split into named ``_phase`` methods so the
+    sampling profiler attributes time to solver sub-phases instead of
+    one opaque frame; the same boundaries feed the ``t_*`` sub-phase
+    timers in the trace records (see :mod:`repro.sdp.trace`).
+    """
+
+    def __init__(
+        self,
+        problem: SDPProblem,
+        opts: InteriorPointOptions,
+        warm: Optional[
+            Tuple[List[np.ndarray], np.ndarray, List[np.ndarray]]
+        ] = None,
+    ):
+        self.opts = opts
+        self.dims = problem.block_dims
+        self.n_blocks = len(self.dims)
+        self.m = problem.n_constraints
+        self.b = problem.rhs()
+        self.C = [c.copy() for c in problem.C]
+        A_full = problem.constraint_matrix()
+        self.blocks: List[_BlockData] = []
+        start = 0
+        for n in self.dims:
+            s = n * (n + 1) // 2
+            self.blocks.append(_BlockData(n, A_full[:, start : start + s]))
+            start += s
+        self.total_n = problem.total_dim
+        self.norm_b = float(np.linalg.norm(self.b))
+        self.norm_C = float(
+            np.sqrt(sum(np.linalg.norm(c) ** 2 for c in self.C))
+        )
+
+        # -- initialization (CSDP-style magnitude heuristics)
+        row_norms = np.linalg.norm(A_full, axis=1)
+        xi = max(
+            opts.init_scale,
+            float(np.max(np.abs(self.b) / (1.0 + row_norms))) * max(self.dims)
+            if self.m
+            else 0.0,
+        )
+        eta = max(opts.init_scale, self.norm_C)
+        self.warm_started = False
+        if warm is not None:
+            Xw, yw, Zw = warm
+            push_x = opts.warm_start_push * xi
+            push_z = opts.warm_start_push * eta
+            self.X = [sym(Xw[k]) + push_x * np.eye(n) for k, n in enumerate(self.dims)]
+            self.Z = [sym(Zw[k]) + push_z * np.eye(n) for k, n in enumerate(self.dims)]
+            self.y = yw.copy()
+            self.warm_started = True
+        else:
+            self.X = [xi * np.eye(n) for n in self.dims]
+            self.Z = [eta * np.eye(n) for n in self.dims]
+            self.y = np.zeros(self.m)
+
+        self.status = SDPStatus.MAX_ITERATIONS
+        self.message = ""
+        self.iteration = 0
+        self.rel_gap = np.inf
+        self.prim_res = np.inf
+        self.dual_res = np.inf
+        self.t_start = time.perf_counter()
+        self.trace = IPMTrace(capacity=opts.trace_capacity)
+        self.finished = False
+        self.tel = get_telemetry()
+        # per-iteration scratch
+        self.rp: Optional[np.ndarray] = None
+        self.Rd: List[np.ndarray] = []
+        self.mu = np.inf
+        self.Zinv: List[np.ndarray] = []
+        self._ls_X: Optional[List[Optional[np.ndarray]]] = None
+        self._ls_Z: Optional[List[Optional[np.ndarray]]] = None
+
+    # -- operators ------------------------------------------------------
+    def _operator_A(self, Xb: Sequence[np.ndarray]) -> np.ndarray:
+        out = np.zeros(self.m)
+        for blk, Xk in zip(self.blocks, Xb):
             out += blk.svecs @ svec(Xk)
         return out
 
-    def operator_AT(yv: np.ndarray) -> List[np.ndarray]:
-        return [smat(blk.svecs.T @ yv, blk.n) for blk in blocks]
+    def _operator_AT(self, yv: np.ndarray) -> List[np.ndarray]:
+        return [smat(blk.svecs.T @ yv, blk.n) for blk in self.blocks]
 
-    def inner(Ab: Sequence[np.ndarray], Bb: Sequence[np.ndarray]) -> float:
+    @staticmethod
+    def _inner(Ab: Sequence[np.ndarray], Bb: Sequence[np.ndarray]) -> float:
         return float(sum(np.sum(a * bmat) for a, bmat in zip(Ab, Bb)))
 
-    def max_step(Mb: Sequence[np.ndarray], dMb: Sequence[np.ndarray]) -> float:
-        """Largest alpha with M + alpha dM still PSD (per-block minimum)."""
+    def _stop(self, status: SDPStatus, message: str) -> None:
+        self.status = status
+        self.message = message
+        self.finished = True
+
+    # -- sub-phases -----------------------------------------------------
+    def _phase_residuals(self, rec: dict) -> bool:
+        """Residuals, objectives and the termination tests; fills the
+        head of the trace record.  Returns False when the solve ended."""
+        opts = self.opts
+        self.rp = self.b - self._operator_A(self.X)
+        ATy = self._operator_AT(self.y)
+        self.Rd = [
+            self.C[k] - ATy[k] - self.Z[k] for k in range(self.n_blocks)
+        ]
+        mu = self._inner(self.X, self.Z) / self.total_n
+        if fired("sdp.ipm.mu"):
+            mu = float("nan")
+        self.mu = mu
+        pobj = self._inner(self.C, self.X)
+        dobj = float(self.b @ self.y)
+        self.rel_gap = self._inner(self.X, self.Z) / (
+            1.0 + abs(pobj) + abs(dobj)
+        )
+        self.prim_res = float(np.linalg.norm(self.rp)) / (1.0 + self.norm_b)
+        self.dual_res = float(
+            np.sqrt(sum(np.linalg.norm(r) ** 2 for r in self.Rd))
+        ) / (1.0 + self.norm_C)
+        rec.update(
+            mu=float(mu),
+            rel_gap=float(self.rel_gap),
+            primal_residual=float(self.prim_res),
+            dual_residual=float(self.dual_res),
+            primal_objective=float(pobj),
+            dual_objective=float(dobj),
+        )
+
+        logger.log(
+            logging.INFO if opts.verbose else logging.DEBUG,
+            "ipm it=%3d mu=%9.2e gap=%9.2e pres=%9.2e dres=%9.2e pobj=%+.6e",
+            self.iteration, mu, self.rel_gap, self.prim_res, self.dual_res,
+            pobj,
+        )
+
+        if not np.isfinite(mu) or mu < 0:
+            self._stop(SDPStatus.NUMERICAL_ERROR, "mu became invalid")
+            return False
+        if (
+            self.rel_gap < opts.tolerance
+            and self.prim_res < opts.tolerance
+            and self.dual_res < opts.tolerance
+        ):
+            self._stop(SDPStatus.OPTIMAL, "converged")
+            return False
+        if (
+            dobj > opts.infeasibility_threshold * (1.0 + self.norm_C)
+            and self.dual_res < 1e-4
+        ):
+            self._stop(
+                SDPStatus.PRIMAL_INFEASIBLE,
+                "dual objective diverging; primal likely infeasible",
+            )
+            return False
+        if (
+            pobj < -opts.infeasibility_threshold * (1.0 + self.norm_b)
+            and self.prim_res < 1e-4
+        ):
+            self._stop(
+                SDPStatus.DUAL_INFEASIBLE,
+                "primal objective diverging; dual likely infeasible",
+            )
+            return False
+        return True
+
+    def _phase_z_factor(self, rec: dict) -> bool:
+        """Factor the Z blocks and form ``Z^{-1}``; False on breakdown."""
+        opts = self.opts
+        t0 = time.perf_counter()
+        self.Zinv = []
+        self._ls_Z = None
+        structured = opts.fast_kernels and opts.schur_mode == "structured"
+        if structured:
+            ls_Z: List[Optional[np.ndarray]] = []
+        failed = False
+        for Zk in self.Z:
+            try:
+                fault_point("sdp.ipm.z_cholesky")
+                if not opts.fast_kernels:
+                    cf = cho_factor(Zk)
+                elif structured:
+                    # one lower factor, shared by Zinv, the structured
+                    # Schur congruence and the line search
+                    L = _chol_lower_or_none(Zk)
+                    if L is None:
+                        raise np.linalg.LinAlgError("Z not positive definite")
+                else:
+                    cf = _potrf_upper(Zk)
+            except np.linalg.LinAlgError:
+                failed = True
+                break
+            if not opts.fast_kernels:
+                self.Zinv.append(cho_solve(cf, np.eye(Zk.shape[0])))
+            elif structured:
+                ls_Z.append(L)
+                self.Zinv.append(_potrs_lower(L, np.eye(Zk.shape[0])))
+            else:
+                self.Zinv.append(_potrs_upper(cf, np.eye(Zk.shape[0])))
+        rec["t_z_factor"] = time.perf_counter() - t0
+        if failed:
+            rec["z_cholesky_ok"] = False
+            self._stop(
+                SDPStatus.NUMERICAL_ERROR, "Z lost positive definiteness"
+            )
+            return False
+        if structured:
+            self._ls_Z = ls_Z
+        return True
+
+    def _phase_schur_assembly(self, rec: dict) -> Optional[np.ndarray]:
+        """Assemble the Schur complement ``M_ij = tr(A_i X A_j Z^{-1})``."""
+        opts = self.opts
+        t0 = time.perf_counter()
+        m = self.m
+        M = np.zeros((m, m))
+        structured = opts.fast_kernels and opts.schur_mode == "structured"
+        if structured:
+            self._ls_X = []
+        for k, blk in enumerate(self.blocks):
+            if blk.n == 0 or blk.svecs.size == 0:
+                if structured:
+                    self._ls_X.append(_chol_lower_or_none(self.X[k]))
+                continue
+            n = blk.n
+            if not opts.fast_kernels:
+                # legacy loop: per-block batched 3-tensor matmuls
+                U = self.X[k][None, :, :] @ blk.dense @ self.Zinv[k][None, :, :]
+                U = 0.5 * (U + np.transpose(U, (0, 2, 1)))
+                SU = svec(U)  # (m, s)
+                M += SU @ blk.svecs.T
+                continue
+            Rx = None
+            if structured:
+                Rx = _chol_lower_or_none(self.X[k])
+                self._ls_X.append(Rx)
+            if structured and Rx is not None and self._ls_Z is not None:
+                # exact congruence: M += Q Q^T with rows vec(L^{-1} A_i R)
+                Lz = self._ls_Z[k]
+                W_h = _solve_lower(Lz, blk.dense_h)  # (n, m*n)
+                W_v = np.ascontiguousarray(
+                    W_h.reshape(n, m, n).transpose(1, 0, 2)
+                ).reshape(m * n, n)
+                Qm = (W_v @ Rx).reshape(m, n * n)
+                M += Qm @ Qm.T
+                continue
+            # fast default: the legacy per-block computation collapsed
+            # into two reshaped GEMMs (bitwise-identical — the broadcast
+            # matmuls above dispatch to the same dgemm per slice)
+            T = (self.X[k] @ blk.dense_h).reshape(n, m, n).transpose(1, 0, 2)
+            U = (np.ascontiguousarray(T).reshape(m * n, n) @ self.Zinv[k]).reshape(
+                m, n, n
+            )
+            U = 0.5 * (U + np.transpose(U, (0, 2, 1)))
+            SU = svec(U)
+            M += SU @ blk.svecs.T
+        M = 0.5 * (M + M.T)
+        abs_diag = np.abs(np.diag(M))
+        max_diag = float(np.max(abs_diag)) if m else 0.0
+        min_diag = float(np.min(abs_diag)) if m else 0.0
+        rec["schur_diag_ratio"] = (
+            max_diag / min_diag if min_diag > 0.0 else float("inf")
+        )
+        rec["t_schur_assembly"] = time.perf_counter() - t0
+        if not np.all(np.isfinite(M)):
+            # legacy behavior was a ValueError escaping the solver; a
+            # clean numerical-error verdict keeps the recovery ladder in
+            # play (see _schur_regularization)
+            rec["schur_cholesky_ok"] = False
+            self._stop(
+                SDPStatus.NUMERICAL_ERROR, "Schur complement lost finiteness"
+            )
+            return None
+        return M
+
+    def _phase_schur_factor(self, M: np.ndarray, rec: dict):
+        """Regularized Cholesky of ``M`` (least-squares fallback marker)."""
+        t0 = time.perf_counter()
+        jitter = _schur_regularization(M, self.m)
+        try:
+            if self.opts.fast_kernels:
+                M_factor = _potrf_upper(M + jitter * np.eye(self.m))
+            else:
+                M_factor = cho_factor(M + jitter * np.eye(self.m))
+        except np.linalg.LinAlgError:
+            M_factor = None
+            rec["schur_cholesky_ok"] = False
+        rec["t_schur_factor"] = time.perf_counter() - t0
+        return M_factor
+
+    def _solve_M(self, M, M_factor, rhs_vec: np.ndarray) -> np.ndarray:
+        if M_factor is not None:
+            if self.opts.fast_kernels:
+                return _potrs_upper(M_factor, rhs_vec)
+            return cho_solve(M_factor, rhs_vec)
+        return np.linalg.lstsq(M, rhs_vec, rcond=None)[0]
+
+    def _direction(
+        self, M, M_factor, Kterm: List[np.ndarray]
+    ) -> Tuple[List[np.ndarray], np.ndarray, List[np.ndarray]]:
+        """Solve the Newton system for complementarity target ``Kterm``.
+
+        ``dX Z + X dZ = Kterm - X Z`` together with the two feasibility
+        equations; returns (dX, dy, dZ).
+        """
+        assert self.rp is not None
+        rhs = self.b.copy()
+        for k in range(self.n_blocks):
+            rhs -= self.blocks[k].svecs @ svec(sym(Kterm[k] @ self.Zinv[k]))
+            rhs += self.blocks[k].svecs @ svec(
+                sym(self.X[k] @ self.Rd[k] @ self.Zinv[k])
+            )
+        dy = self._solve_M(M, M_factor, rhs)
+        ATdy = self._operator_AT(dy)
+        dZ = [self.Rd[k] - ATdy[k] for k in range(self.n_blocks)]
+        dX = [
+            sym(
+                Kterm[k] @ self.Zinv[k]
+                - self.X[k]
+                - self.X[k] @ dZ[k] @ self.Zinv[k]
+            )
+            for k in range(self.n_blocks)
+        ]
+        return dX, dy, dZ
+
+    # -- line search ----------------------------------------------------
+    def _max_step_legacy(
+        self, Mb: Sequence[np.ndarray], dMb: Sequence[np.ndarray]
+    ) -> float:
+        """Largest alpha with M + alpha dM still PSD (per-block minimum);
+        the reference scipy-wrapper path (``fast_kernels=False``)."""
         alpha = np.inf
         for Mk, dMk in zip(Mb, dMb):
             if not np.all(np.isfinite(dMk)):
@@ -239,210 +887,183 @@ def _solve_reduced(problem: SDPProblem, opts: InteriorPointOptions) -> SDPResult
                 alpha = min(alpha, -1.0 / lam_min)
         return float(alpha)
 
-    status = SDPStatus.MAX_ITERATIONS
-    message = ""
-    iteration = 0
-    rel_gap = np.inf
-    prim_res = np.inf
-    dual_res = np.inf
-    t_start = time.perf_counter()
-    trace = IPMTrace(capacity=opts.trace_capacity)
-    rec = None
-    tel = get_telemetry()
+    @staticmethod
+    def _max_step_factored(
+        factors: Sequence[Optional[np.ndarray]], dMb: Sequence[np.ndarray]
+    ) -> float:
+        """Fast-kernel line search against precomputed lower factors
+        (``None`` factor == failed Cholesky == zero step, exactly the
+        legacy semantics)."""
+        alpha = np.inf
+        for L, dMk in zip(factors, dMb):
+            if not np.all(np.isfinite(dMk)):
+                return 0.0
+            if L is None:
+                return 0.0
+            W = _solve_lower(L, dMk)
+            W = _solve_lower(L, W.T)
+            lam_min = float(np.linalg.eigvalsh(sym(W))[0])
+            if lam_min < 0:
+                alpha = min(alpha, -1.0 / lam_min)
+        return float(alpha)
 
-    for iteration in range(1, opts.max_iterations + 1):
+    def _line_search_factors(self) -> None:
+        """One Cholesky of X and Z per iteration, shared by both
+        line-search calls (the iterates do not change in between — the
+        legacy path factored them twice with identical results)."""
+        if self._ls_X is None:
+            self._ls_X = [_chol_lower_or_none(Xk) for Xk in self.X]
+        if self._ls_Z is None:
+            self._ls_Z = [_chol_lower_or_none(Zk) for Zk in self.Z]
+
+    def _max_step(
+        self,
+        which: str,
+        Mb: Sequence[np.ndarray],
+        dMb: Sequence[np.ndarray],
+    ) -> float:
+        if not self.opts.fast_kernels:
+            return self._max_step_legacy(Mb, dMb)
+        self._line_search_factors()
+        factors = self._ls_X if which == "X" else self._ls_Z
+        assert factors is not None
+        return self._max_step_factored(factors, dMb)
+
+    # -- one iteration --------------------------------------------------
+    def step(self) -> None:
+        """Advance one predictor-corrector iteration (or terminate)."""
+        opts = self.opts
+        self.iteration += 1
         # heartbeat: StatusWriter throttles, so this is one perf_counter
         # read per iteration on runs with a status file, a no-op otherwise
-        tel.status_update(ipm_iteration=iteration)
+        self.tel.status_update(ipm_iteration=self.iteration)
         if (
             opts.time_limit_s is not None
-            and time.perf_counter() - t_start > opts.time_limit_s
+            and time.perf_counter() - self.t_start > opts.time_limit_s
         ):
-            status = SDPStatus.MAX_ITERATIONS
-            message = f"time limit of {opts.time_limit_s:.3f}s reached"
-            break
-        # residuals
-        rp = b - operator_A(X)
-        ATy = operator_AT(y)
-        Rd = [C[k] - ATy[k] - Z[k] for k in range(len(dims))]
-        mu = inner(X, Z) / total_n
-        if fired("sdp.ipm.mu"):
-            mu = float("nan")
-        pobj = inner(C, X)
-        dobj = float(b @ y)
-        rel_gap = inner(X, Z) / (1.0 + abs(pobj) + abs(dobj))
-        prim_res = float(np.linalg.norm(rp)) / (1.0 + norm_b)
-        dual_res = float(
-            np.sqrt(sum(np.linalg.norm(r) ** 2 for r in Rd))
-        ) / (1.0 + norm_C)
-        # a partially-filled record still lands in the trace on every
-        # break path below, so the classifier sees how the solve ended
-        rec = trace.add(make_record(
-            iteration, mu, rel_gap, prim_res, dual_res, pobj, dobj,
-            t=time.perf_counter() - t_start,
-        ))
-
-        logger.log(
-            logging.INFO if opts.verbose else logging.DEBUG,
-            "ipm it=%3d mu=%9.2e gap=%9.2e pres=%9.2e dres=%9.2e pobj=%+.6e",
-            iteration, mu, rel_gap, prim_res, dual_res, pobj,
-        )
-
-        if not np.isfinite(mu) or mu < 0:
-            status, message = SDPStatus.NUMERICAL_ERROR, "mu became invalid"
-            break
-        if rel_gap < opts.tolerance and prim_res < opts.tolerance and dual_res < opts.tolerance:
-            status, message = SDPStatus.OPTIMAL, "converged"
-            break
-        if dobj > opts.infeasibility_threshold * (1.0 + norm_C) and dual_res < 1e-4:
-            status = SDPStatus.PRIMAL_INFEASIBLE
-            message = "dual objective diverging; primal likely infeasible"
-            break
-        if pobj < -opts.infeasibility_threshold * (1.0 + norm_b) and prim_res < 1e-4:
-            status = SDPStatus.DUAL_INFEASIBLE
-            message = "primal objective diverging; dual likely infeasible"
-            break
-
-        # factor Z blocks
-        Zinv: List[np.ndarray] = []
-        failed = False
-        for Zk in Z:
-            try:
-                fault_point("sdp.ipm.z_cholesky")
-                cf = cho_factor(Zk)
-            except np.linalg.LinAlgError:
-                failed = True
-                break
-            Zinv.append(cho_solve(cf, np.eye(Zk.shape[0])))
-        if failed:
-            status, message = SDPStatus.NUMERICAL_ERROR, "Z lost positive definiteness"
-            rec["z_cholesky_ok"] = False
-            break
-
-        # Schur complement M_ij = sum_k tr(A_i X A_j Zinv)
-        M = np.zeros((m, m))
-        for k, blk in enumerate(blocks):
-            if blk.n == 0 or blk.svecs.size == 0:
-                continue
-            U = X[k][None, :, :] @ blk.dense @ Zinv[k][None, :, :]
-            U = 0.5 * (U + np.transpose(U, (0, 2, 1)))
-            SU = svec(U)  # (m, s)
-            M += SU @ blk.svecs.T
-        M = 0.5 * (M + M.T)
-        abs_diag = np.abs(np.diag(M))
-        max_diag = float(np.max(abs_diag)) if m else 0.0
-        min_diag = float(np.min(abs_diag)) if m else 0.0
-        rec["schur_diag_ratio"] = (
-            max_diag / min_diag if min_diag > 0.0 else float("inf")
-        )
-
-        try:
-            M_factor = cho_factor(M + 1e-14 * np.trace(M) / m * np.eye(m))
-        except np.linalg.LinAlgError:
-            M_factor = None
-            rec["schur_cholesky_ok"] = False
-
-        def solve_M(rhs_vec: np.ndarray) -> np.ndarray:
-            if M_factor is not None:
-                return cho_solve(M_factor, rhs_vec)
-            return np.linalg.lstsq(M, rhs_vec, rcond=None)[0]
-
-        def direction(
-            Kterm: List[np.ndarray],
-        ) -> Tuple[List[np.ndarray], np.ndarray, List[np.ndarray]]:
-            """Solve the Newton system for complementarity target ``Kterm``.
-
-            ``dX Z + X dZ = Kterm - X Z`` together with the two feasibility
-            equations; returns (dX, dy, dZ).
-            """
-            rhs = b.copy()
-            for k in range(len(dims)):
-                rhs -= blocks[k].svecs @ svec(sym(Kterm[k] @ Zinv[k]))
-                rhs += blocks[k].svecs @ svec(sym(X[k] @ Rd[k] @ Zinv[k]))
-            dy = solve_M(rhs)
-            ATdy = operator_AT(dy)
-            dZ = [Rd[k] - ATdy[k] for k in range(len(dims))]
-            dX = [
-                sym(Kterm[k] @ Zinv[k] - X[k] - X[k] @ dZ[k] @ Zinv[k])
-                for k in range(len(dims))
-            ]
-            return dX, dy, dZ
-
-        # predictor (affine scaling)
-        K_aff = [np.zeros((n, n)) for n in dims]
-        dX_aff, dy_aff, dZ_aff = direction(K_aff)
-        if fired("sdp.ipm.direction"):
-            dy_aff = np.full_like(dy_aff, np.nan)
-        if not all(
-            np.all(np.isfinite(d)) for d in dX_aff + dZ_aff
-        ) or not np.all(np.isfinite(dy_aff)):
-            status, message = SDPStatus.NUMERICAL_ERROR, "non-finite search direction"
-            break
-        ap_aff = min(1.0, opts.step_fraction * max_step(X, dX_aff))
-        ad_aff = min(1.0, opts.step_fraction * max_step(Z, dZ_aff))
-        gap_now = inner(X, Z)
-        gap_aff = inner(
-            [X[k] + ap_aff * dX_aff[k] for k in range(len(dims))],
-            [Z[k] + ad_aff * dZ_aff[k] for k in range(len(dims))],
-        )
-        gap_aff = max(gap_aff, 0.0)
-        sigma = min(1.0, max((gap_aff / max(gap_now, 1e-300)) ** 3, 1e-8))
-        rec["sigma"] = float(sigma)
-
-        # corrector
-        K_corr = [
-            sigma * mu * np.eye(dims[k]) - dX_aff[k] @ dZ_aff[k]
-            for k in range(len(dims))
-        ]
-        dX, dy, dZ = direction(K_corr)
-        if not all(
-            np.all(np.isfinite(d)) for d in dX + dZ
-        ) or not np.all(np.isfinite(dy)):
-            status, message = SDPStatus.NUMERICAL_ERROR, "non-finite search direction"
-            break
-        ap = min(1.0, opts.step_fraction * max_step(X, dX))
-        ad = min(1.0, opts.step_fraction * max_step(Z, dZ))
-        if fired("sdp.ipm.step"):
-            ap = ad = 0.0
-        rec["step_primal"] = float(ap)
-        rec["step_dual"] = float(ad)
-        if ap <= 1e-12 and ad <= 1e-12:
-            status, message = (
-                SDPStatus.NUMERICAL_ERROR,
-                "step lengths collapsed (stalled)",
+            self._stop(
+                SDPStatus.MAX_ITERATIONS,
+                f"time limit of {opts.time_limit_s:.3f}s reached",
             )
-            break
+            return
+        # a partially-filled record still lands in the trace on every
+        # stop path below, so the classifier sees how the solve ended
+        rec = self.trace.add(make_record(
+            self.iteration, np.nan, np.nan, np.nan, np.nan, np.nan, np.nan,
+            t=0.0,
+        ))
+        # per-iteration scratch reset (line-search factor cache)
+        self._ls_X = None
+        self._ls_Z = None
+        try:
+            if not self._phase_residuals(rec):
+                return
+            if not self._phase_z_factor(rec):
+                return
+            M = self._phase_schur_assembly(rec)
+            if M is None:
+                return
+            M_factor = self._phase_schur_factor(M, rec)
 
-        X = [X[k] + ap * dX[k] for k in range(len(dims))]
-        y = y + ad * dy
-        Z = [Z[k] + ad * dZ[k] for k in range(len(dims))]
+            # predictor (affine scaling)
+            K_aff = [np.zeros((n, n)) for n in self.dims]
+            dX_aff, dy_aff, dZ_aff = self._direction(M, M_factor, K_aff)
+            if fired("sdp.ipm.direction"):
+                dy_aff = np.full_like(dy_aff, np.nan)
+            if not all(
+                np.all(np.isfinite(d)) for d in dX_aff + dZ_aff
+            ) or not np.all(np.isfinite(dy_aff)):
+                self._stop(
+                    SDPStatus.NUMERICAL_ERROR, "non-finite search direction"
+                )
+                return
+            t_ls = time.perf_counter()
+            ap_aff = min(
+                1.0, opts.step_fraction * self._max_step("X", self.X, dX_aff)
+            )
+            ad_aff = min(
+                1.0, opts.step_fraction * self._max_step("Z", self.Z, dZ_aff)
+            )
+            rec["t_line_search"] = time.perf_counter() - t_ls
+            gap_now = self._inner(self.X, self.Z)
+            gap_aff = self._inner(
+                [self.X[k] + ap_aff * dX_aff[k] for k in range(self.n_blocks)],
+                [self.Z[k] + ad_aff * dZ_aff[k] for k in range(self.n_blocks)],
+            )
+            gap_aff = max(gap_aff, 0.0)
+            sigma = min(1.0, max((gap_aff / max(gap_now, 1e-300)) ** 3, 1e-8))
+            rec["sigma"] = float(sigma)
 
-    pobj = inner(C, X)
-    dobj = float(b @ y)
-    # Loose-tolerance acceptance: if we stopped on iterations/stall but the
-    # iterate is essentially optimal, report it as such.
-    if status in (SDPStatus.MAX_ITERATIONS, SDPStatus.NUMERICAL_ERROR):
-        if rel_gap < 1e5 * opts.tolerance and prim_res < 1e5 * opts.tolerance and (
-            dual_res < 1e5 * opts.tolerance
-        ):
-            status = SDPStatus.OPTIMAL
-            message = (message + "; accepted at loose tolerance").strip("; ")
+            # corrector
+            K_corr = [
+                sigma * self.mu * np.eye(self.dims[k])
+                - dX_aff[k] @ dZ_aff[k]
+                for k in range(self.n_blocks)
+            ]
+            dX, dy, dZ = self._direction(M, M_factor, K_corr)
+            if not all(
+                np.all(np.isfinite(d)) for d in dX + dZ
+            ) or not np.all(np.isfinite(dy)):
+                self._stop(
+                    SDPStatus.NUMERICAL_ERROR, "non-finite search direction"
+                )
+                return
+            t_ls = time.perf_counter()
+            ap = min(1.0, opts.step_fraction * self._max_step("X", self.X, dX))
+            ad = min(1.0, opts.step_fraction * self._max_step("Z", self.Z, dZ))
+            rec["t_line_search"] += time.perf_counter() - t_ls
+            if fired("sdp.ipm.step"):
+                ap = ad = 0.0
+            rec["step_primal"] = float(ap)
+            rec["step_dual"] = float(ad)
+            if ap <= 1e-12 and ad <= 1e-12:
+                self._stop(
+                    SDPStatus.NUMERICAL_ERROR,
+                    "step lengths collapsed (stalled)",
+                )
+                return
 
-    return SDPResult(
-        status=status,
-        X=X,
-        y=y,
-        Z=Z,
-        primal_objective=pobj,
-        dual_objective=dobj,
-        gap=rel_gap,
-        primal_residual=prim_res,
-        dual_residual=dual_res,
-        iterations=iteration,
-        message=message,
-        convergence_class=classify_convergence(
-            trace.records(), tolerance=opts.tolerance
-        ),
-        ipm_trace=trace.records(),
-        ipm_trace_dropped=trace.dropped,
-    )
+            self.X = [
+                self.X[k] + ap * dX[k] for k in range(self.n_blocks)
+            ]
+            self.y = self.y + ad * dy
+            self.Z = [
+                self.Z[k] + ad * dZ[k] for k in range(self.n_blocks)
+            ]
+        finally:
+            rec["t"] = time.perf_counter() - self.t_start
+
+    def finalize(self) -> SDPResult:
+        pobj = self._inner(self.C, self.X)
+        dobj = float(self.b @ self.y)
+        status, message = self.status, self.message
+        # Loose-tolerance acceptance: if we stopped on iterations/stall but
+        # the iterate is essentially optimal, report it as such.
+        if status in (SDPStatus.MAX_ITERATIONS, SDPStatus.NUMERICAL_ERROR):
+            tol = self.opts.tolerance
+            if (
+                self.rel_gap < 1e5 * tol
+                and self.prim_res < 1e5 * tol
+                and self.dual_res < 1e5 * tol
+            ):
+                status = SDPStatus.OPTIMAL
+                message = (message + "; accepted at loose tolerance").strip("; ")
+        return SDPResult(
+            status=status,
+            X=self.X,
+            y=self.y,
+            Z=self.Z,
+            primal_objective=pobj,
+            dual_objective=dobj,
+            gap=self.rel_gap,
+            primal_residual=self.prim_res,
+            dual_residual=self.dual_res,
+            iterations=self.iteration,
+            message=message,
+            convergence_class=classify_convergence(
+                self.trace.records(), tolerance=self.opts.tolerance
+            ),
+            ipm_trace=self.trace.records(),
+            ipm_trace_dropped=self.trace.dropped,
+            warm_started=self.warm_started,
+        )

@@ -66,6 +66,27 @@ def smat(vec: np.ndarray, n: int) -> np.ndarray:
     return mat
 
 
+def smat_batch(vecs: np.ndarray, n: int) -> np.ndarray:
+    """Batched :func:`smat`: rebuild ``(m, n, n)`` matrices from ``(m, s)``.
+
+    One fancy-index scatter instead of ``m`` python-level calls; each row
+    produces bitwise the same matrix as ``smat(row, n)`` (same division by
+    the same scale vector, same placements).
+    """
+    vecs = np.asarray(vecs, dtype=float)
+    if vecs.ndim != 2 or vecs.shape[1] != svec_dim(n):
+        raise ValueError(
+            f"svec batch for n={n} must have shape (m, {svec_dim(n)}), "
+            f"got {vecs.shape}"
+        )
+    rows, cols = _triu_indices(n)
+    vals = vecs / _svec_scale(n)
+    out = np.zeros((vecs.shape[0], n, n))
+    out[:, rows, cols] = vals
+    out[:, cols, rows] = vals
+    return out
+
+
 def sym(mat: np.ndarray) -> np.ndarray:
     """Symmetric part ``(M + M^T) / 2``."""
     return 0.5 * (mat + mat.T)

@@ -187,13 +187,10 @@ class ConditionWorkspace:
             G_proj, r_proj = G, r
         sdp = SDPProblem(self._block_sizes)
         sdp.set_trace_objective(1.0)
-        offsets = self._offsets
-        n_blocks = len(self._block_sizes)
-        for i in range(G_proj.shape[0]):
-            svecs = [
-                G_proj[i, offsets[k]: offsets[k + 1]] for k in range(n_blocks)
-            ]
-            sdp.add_constraint_svec(svecs, float(r_proj[i]))
+        # bulk add: same row data as the per-row add_constraint_svec loop
+        # (bitwise-identical solves) and G_proj doubles as the problem's
+        # stacked constraint-matrix memo, skipping re-concatenation
+        sdp.add_constraints_from_matrix(G_proj, r_proj)
         return sdp, Bf, r, G
 
     def solve(

@@ -14,6 +14,10 @@ Sections:
 * **Spans** — per-span-name aggregate (count, total, self, mean, max);
   *self* is exclusive time (total minus direct-child spans), so nested
   spans do not double-count.
+* **IPM sub-phases** — solver time attributed inside the interior-point
+  iteration (Z factorization, Schur assembly, Schur factorization, line
+  search), aggregated from the per-iteration timers every
+  ``sdp.ipm_trace`` event carries.
 * **Metrics** — counters, gauges, and histogram summaries from the
   trailing ``metrics`` event.
 * **Caches** — hit rates derived from paired ``<name>.hits`` /
@@ -151,6 +155,47 @@ def worker_lanes(events: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
     return sorted(lanes.values(), key=lambda lane: str(lane["shard"]))
 
 
+#: solver sub-phase keys in per-iteration IPM trace records, in
+#: iteration order (see :mod:`repro.sdp.trace`)
+IPM_SUBPHASES = ("t_z_factor", "t_schur_assembly", "t_schur_factor",
+                 "t_line_search")
+
+
+def ipm_subphase_totals(
+    events: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Aggregate solver sub-phase timers across all ``sdp.ipm_trace``
+    events (one per solve, carrying per-iteration records).
+
+    Returns one row per sub-phase with total seconds, the number of
+    iterations that recorded the phase, and mean seconds per iteration —
+    attributing time *inside* the IPM instead of to the solve span as a
+    whole.  Empty when no solve emitted timed records (e.g. traces from
+    before the timers existed).
+    """
+    totals = {k: 0.0 for k in IPM_SUBPHASES}
+    counts = {k: 0 for k in IPM_SUBPHASES}
+    for e in events:
+        if e.get("type") != "sdp.ipm_trace":
+            continue
+        for rec in e.get("records") or []:
+            for k in IPM_SUBPHASES:
+                v = rec.get(k)
+                if isinstance(v, (int, float)) and v == v:  # skip nan/None
+                    totals[k] += float(v)
+                    counts[k] += 1
+    return [
+        {
+            "phase": k[2:],
+            "seconds": totals[k],
+            "iterations": counts[k],
+            "mean_s": totals[k] / counts[k] if counts[k] else 0.0,
+        }
+        for k in IPM_SUBPHASES
+        if counts[k]
+    ]
+
+
 def metrics_summary(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
     """The last ``metrics`` event's summary (empty if none was emitted)."""
     summary: Dict[str, Any] = {}
@@ -269,6 +314,22 @@ def render_report(
                         rows, markdown)
         lines.append("")
 
+    subphases = ipm_subphase_totals(events)
+    if subphases:
+        grand = sum(r["seconds"] for r in subphases)
+        rows = [
+            [r["phase"], f"{r['seconds']:.3f}", str(r["iterations"]),
+             _fmt(r["mean_s"]),
+             f"{100.0 * r['seconds'] / grand:.1f}%" if grand else "-"]
+            for r in subphases
+        ]
+        lines.append(h("IPM sub-phases"))
+        lines += _table(
+            ["phase", "seconds", "iterations", "mean s/it", "share"],
+            rows, markdown,
+        )
+        lines.append("")
+
     summary = metrics_summary(events)
     counters = summary.get("counters", {})
     gauges = summary.get("gauges", {})
@@ -320,6 +381,7 @@ def report_payload(
             in span_aggregates(events)
         ],
         "workers": worker_lanes(events),
+        "ipm_subphases": ipm_subphase_totals(events),
         "metrics": summary,
         "caches": [
             {"name": name, "hits": hits, "misses": misses, "hit_rate": rate}

@@ -12,8 +12,12 @@ import numpy as np
 from repro.dynamics import CCDS
 from repro.poly import Polynomial, lie_derivative
 from repro.resilience.faults import fault_point
-from repro.resilience.recovery import RecoveryPolicy, solve_sdp_resilient
-from repro.sdp import InteriorPointOptions, SDPProblem, SDPResult
+from repro.resilience.recovery import (
+    RecoveryPolicy,
+    solve_sdp_batch_resilient,
+    solve_sdp_resilient,
+)
+from repro.sdp import InteriorPointOptions, SDPProblem, SDPResult, WarmStart
 from repro.sdp.svec import svec
 from repro.sets import SemialgebraicSet
 from repro.sos import SOSExpr, SOSProgram, validate_sos_identity
@@ -40,6 +44,7 @@ def _solve_sdp_task(
     policy: Optional[RecoveryPolicy] = None,
     trace_ctx: Optional["TraceContext"] = None,
     shard_path: Optional[str] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> SDPResult:
     """Process-pool worker: solve one compiled SDP (module-level so it
     pickles).  The recovery ladder runs inside the worker so a pool solve
@@ -53,9 +58,9 @@ def _solve_sdp_task(
     runs unchanged.
     """
     if trace_ctx is None or shard_path is None:
-        return solve_sdp_resilient(sdp, options, policy)
+        return solve_sdp_resilient(sdp, options, policy, warm_start=warm_start)
     with worker_session(trace_ctx, shard_path):
-        return solve_sdp_resilient(sdp, options, policy)
+        return solve_sdp_resilient(sdp, options, policy, warm_start=warm_start)
 
 #: paper numbering of the three sub-problem families (conditions (13)-(15))
 PAPER_CONDITION_NUMBERS = {"init": 13, "unsafe": 14, "lie": 15}
@@ -110,6 +115,24 @@ class VerifierConfig:
     #: Putinar identities over ℚ.  Capture is pure bookkeeping — it never
     #: changes verdicts or solver behavior.
     capture_certificate: bool = True
+    #: solve the three condition LMIs (13)/(14)/(15-endpoints) as one
+    #: block-diagonal batch (:func:`repro.sdp.problem.compose_block_diagonal`
+    #: + the lockstep driver :func:`repro.sdp.ipm.solve_sdp_batch`).
+    #: Per-condition solves are bitwise-identical to the serial path —
+    #: only Python/dispatch overhead is shared — and skip/short-circuit
+    #: semantics are reconstructed, so the :class:`VerificationResult`
+    #: matches the serial one field for field (wall-clock aside).
+    #: Ignored when ``parallel`` dispatches to a process pool.
+    batch_conditions: bool = False
+    #: seed each condition's IPM from its previous successful solve
+    #: (the learner moves the candidate only slightly between CEGIS
+    #: iterations, so the old primal/dual point is near the new central
+    #: path).  Dimension changes and non-convergence fall back to a cold
+    #: start through the recovery ladder's ``cold_restart`` rung.  NOT
+    #: bitwise-comparable to cold solves (different central path), hence
+    #: off by default; verdicts and a-posteriori validation are
+    #: unaffected.
+    warm_start: bool = False
 
 
 @dataclass
@@ -235,6 +258,9 @@ class SOSVerifier:
         self.config = config or VerifierConfig()
         #: condition base name -> cached :class:`ConditionWorkspace`
         self._workspaces: Dict[str, ConditionWorkspace] = {}
+        #: condition name -> last successful solve's primal/dual point
+        #: (populated only under ``config.warm_start``)
+        self._warm: Dict[str, WarmStart] = {}
 
     # ------------------------------------------------------------------
     def _multiplier_degree(self, target: int, g: Polynomial) -> int:
@@ -502,9 +528,34 @@ class SOSVerifier:
                 endpoint=endpoint,
             )
             result = solve_sdp_resilient(
-                prep.sdp, cfg.sdp_options, cfg.recovery
+                prep.sdp, cfg.sdp_options, cfg.recovery,
+                warm_start=self._warm_for(name),
             )
+            self._note_warm(name, result)
             return self._finish(prep, result, t0, span=span)
+
+    def _warm_for(self, name: str) -> Optional[WarmStart]:
+        """The stored warm-start point for a condition (None when the
+        feature is off or no previous successful solve exists)."""
+        if not self.config.warm_start:
+            return None
+        return self._warm.get(name)
+
+    def _note_warm(self, name: str, result: SDPResult) -> None:
+        """Update the per-condition warm-start store from a solve.
+
+        Successful solves overwrite the stored point; failed solves drop
+        it (a point that just led the IPM astray is worse than a cold
+        start next iteration).
+        """
+        if not self.config.warm_start:
+            return
+        if result.status.ok:
+            ws = WarmStart.from_result(result)
+            if ws is not None:
+                self._warm[name] = ws
+                return
+        self._warm.pop(name, None)
 
     # ------------------------------------------------------------------
     def verify(self, B: Polynomial) -> VerificationResult:
@@ -528,6 +579,8 @@ class SOSVerifier:
             if result is not None:
                 return result
             # pool unavailable -> fall through to the serial path
+        elif cfg.batch_conditions:
+            return self._verify_batched(B, t0, scale)
         reports: List[ConditionReport] = []
         certs: List[ConditionCertificate] = []
         lambda_poly: Optional[Polynomial] = None
@@ -704,7 +757,7 @@ class SOSVerifier:
                     tel.status_worker(i, state="submitted", task=p.name)
                     futures.append(pool.submit(
                         _solve_sdp_task, p.sdp, cfg.sdp_options, cfg.recovery,
-                        ctx, shard_path,
+                        ctx, shard_path, self._warm_for(p.name),
                     ))
                 fault_point("verifier.pool")
                 results = []
@@ -729,6 +782,54 @@ class SOSVerifier:
             return None
         merge_worker_shards()
         tel.metrics.inc("verifier.pool.tasks", len(preps))
+        for p, res in zip(preps, results):
+            self._note_warm(p.name, res)
+        return self._assemble(preps, results, B, t0, scale)
+
+    def _verify_batched(
+        self, B: Polynomial, t0: float, scale: float
+    ) -> VerificationResult:
+        """Solve all condition SDPs as one lockstep block batch.
+
+        The three LMIs (13)-(15) are independent, so their block-diagonal
+        composition decomposes exactly (see
+        :func:`repro.sdp.problem.compose_block_diagonal`); the lockstep
+        driver advances the lanes together, performing per lane the same
+        float operations as serial solves — the assembled
+        :class:`VerificationResult` is bitwise-identical to the serial
+        path's, with skip/short-circuit semantics reconstructed just like
+        the pool path.
+        """
+        cfg = self.config
+        preps = [
+            self._prepare("init", B, self.problem.theta, cfg.eps_init),
+            self._prepare("unsafe", -1.0 * B, self.problem.xi, cfg.eps_unsafe),
+        ]
+        preps.extend(self._lie_preps(B))
+        results = solve_sdp_batch_resilient(
+            [p.sdp for p in preps],
+            cfg.sdp_options,
+            cfg.recovery,
+            warm_starts=[self._warm_for(p.name) for p in preps],
+        )
+        for p, res in zip(preps, results):
+            self._note_warm(p.name, res)
+        return self._assemble(preps, results, B, t0, scale)
+
+    def _assemble(
+        self,
+        preps: List[_PreparedCondition],
+        results: List[SDPResult],
+        B: Polynomial,
+        t0: float,
+        scale: float,
+    ) -> VerificationResult:
+        """Turn eagerly-computed per-condition solves into the serial
+        path's :class:`VerificationResult`: finish conditions in serial
+        order and reconstruct the skip/short-circuit semantics (unsafe
+        skipped after an init failure, the Lie loop stopping at the first
+        failing endpoint).  Shared by the pool and batched paths."""
+        tel = get_telemetry()
 
         def finish(prep: _PreparedCondition, res: SDPResult):
             with tel.span(

@@ -203,10 +203,11 @@ def test_default_trace_capacity_covers_default_max_iterations():
 
 def test_trace_is_deterministic_modulo_wall_clock():
     def canon(res):
-        # "t" is wall-clock (excluded); everything else must match bitwise.
-        # json.dumps also normalizes NaN comparison (nan != nan in dicts).
+        # "t" and the "t_*" sub-phase timers are wall-clock (excluded);
+        # everything else must match bitwise.  json.dumps also normalizes
+        # NaN comparison (nan != nan in dicts).
         return json.dumps(
-            [{k: v for k, v in rec.items() if k != "t"}
+            [{k: v for k, v in rec.items() if not k.startswith("t")}
              for rec in res.ipm_trace],
             sort_keys=True,
         )

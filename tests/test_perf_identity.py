@@ -283,3 +283,98 @@ def test_compiled_violation_kernels_match_reference():
     np.testing.assert_allclose(
         ref.gradient(pts), fast.gradient(pts), rtol=1e-12, atol=1e-14
     )
+
+
+# ----------------------------------------------------------------------
+# batched tri-condition solves + warm starts (solver fast path, PR 8)
+# ----------------------------------------------------------------------
+def _condition_iterations(result):
+    return sum(
+        c.sdp_iterations
+        for c in result.conditions
+        if c.sdp_iterations is not None and c.sdp_iterations > 0
+    )
+
+
+def assert_certificates_identical(a, b):
+    """Bitwise equality of two CertificateBundles."""
+    if a is None or b is None:
+        assert a is b
+        return
+    assert a.barrier.coeffs == b.barrier.coeffs
+    assert a.barrier_scale == b.barrier_scale
+    assert len(a.conditions) == len(b.conditions)
+    for ca, cb in zip(a.conditions, b.conditions):
+        assert ca.name == cb.name
+        assert ca.margin == cb.margin
+        assert np.array_equal(ca.slack_gram, cb.slack_gram)
+        assert len(ca.multipliers) == len(cb.multipliers)
+        for ma, mb in zip(ca.multipliers, cb.multipliers):
+            assert np.array_equal(ma.gram, mb.gram)
+
+
+def test_batched_verify_equals_serial():
+    prob = decay_problem()
+    serial = SOSVerifier(
+        prob, [], config=VerifierConfig(batch_conditions=False)
+    )
+    batched = SOSVerifier(
+        prob, [], config=VerifierConfig(batch_conditions=True)
+    )
+    # passing and failing candidates: the batched path must reproduce the
+    # serial skip/short-circuit semantics bitwise
+    for candidate in (radial_barrier(2), -1.0 * radial_barrier(2)):
+        ra = batched.verify(candidate)
+        rb = serial.verify(candidate)
+        assert_results_identical(ra, rb)
+        assert_certificates_identical(ra.certificate, rb.certificate)
+
+
+def test_batched_and_warm_verify_c1_candidate():
+    from repro.benchmarks import get_benchmark
+    from repro.cegis import SNBC
+
+    spec = get_benchmark("C1")
+    problem = spec.make_problem()
+    result = SNBC(problem, controller=spec.make_controller()).run()
+    assert result.success
+    B = result.barrier
+    h = result.inclusion.polynomials
+    sigma = result.inclusion.sigma_star
+
+    serial = SOSVerifier(problem, h, sigma, config=VerifierConfig())
+    batched = SOSVerifier(
+        problem, h, sigma, config=VerifierConfig(batch_conditions=True)
+    )
+    rs = serial.verify(B)
+    rb = batched.verify(B)
+    assert rs.ok
+    assert_results_identical(rb, rs)
+    assert_certificates_identical(rb.certificate, rs.certificate)
+
+    # warm starting is NOT bitwise (different central path) but must be
+    # verdict-equivalent and must not cost extra IPM iterations
+    warm = SOSVerifier(
+        problem, h, sigma, config=VerifierConfig(warm_start=True)
+    )
+    warm.verify(B)  # seeds the per-condition warm-start store
+    rw = warm.verify(B)
+    assert rw.ok == rs.ok
+    assert [
+        (c.name, c.feasible, c.validated) for c in rw.conditions
+    ] == [(c.name, c.feasible, c.validated) for c in rs.conditions]
+    assert _condition_iterations(rw) <= _condition_iterations(rs)
+
+
+def test_warm_store_cleared_on_failure():
+    prob = decay_problem()
+    v = SOSVerifier(prob, [], config=VerifierConfig(warm_start=True))
+    good = radial_barrier(2)
+    v.verify(good)
+    assert v._warm  # seeded by the successful solves
+    v.verify(-1.0 * good)
+    # conditions that now fail must not keep a stale warm point
+    for name, ws in v._warm.items():
+        assert ws is not None
+    r = v.verify(good)
+    assert r.ok

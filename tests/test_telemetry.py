@@ -24,6 +24,7 @@ from repro.telemetry import (
 from repro.telemetry.metrics import percentile
 from repro.telemetry.report import (
     cache_rates,
+    ipm_subphase_totals,
     metrics_summary,
     phase_totals,
     render_report,
@@ -408,7 +409,7 @@ def test_report_cli_json_format(tmp_path, capsys):
     assert report_main([trace, "--format", "json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert set(payload) == {"manifest", "phases", "spans", "workers",
-                            "metrics", "caches"}
+                            "metrics", "caches", "ipm_subphases"}
     assert payload["manifest"]["name"] == "report-test"
     assert set(payload["phases"]) == {"learning", "verification"}
     assert payload["metrics"]["counters"]["cegis.iterations"] == 2.0
@@ -577,3 +578,33 @@ def test_jsonl_sink_flush_every_n(tmp_path):
     sink.emit({"type": "c"})  # third line triggers the flush
     assert [e["type"] for e in load_events(path)] == ["a", "b", "c"]
     sink.close()
+
+
+def test_ipm_subphase_totals_aggregates_trace_events():
+    nan = float("nan")
+    events = [
+        {"type": "sdp.ipm_trace", "records": [
+            {"iteration": 1, "t_z_factor": 0.01, "t_schur_assembly": 0.02,
+             "t_schur_factor": 0.005, "t_line_search": 0.03},
+            {"iteration": 2, "t_z_factor": 0.01, "t_schur_assembly": nan,
+             "t_schur_factor": 0.005, "t_line_search": nan},
+        ]},
+        {"type": "metric_snapshot"},  # ignored
+        {"type": "sdp.ipm_trace", "records": [
+            {"iteration": 1, "t_z_factor": 0.02},
+        ]},
+    ]
+    rows = ipm_subphase_totals(events)
+    by_phase = {r["phase"]: r for r in rows}
+    assert by_phase["z_factor"]["iterations"] == 3
+    assert by_phase["z_factor"]["seconds"] == pytest.approx(0.04)
+    # nan timers (early-exit iterations) are skipped, not counted
+    assert by_phase["schur_assembly"]["iterations"] == 1
+    assert by_phase["line_search"]["seconds"] == pytest.approx(0.03)
+    for r in rows:
+        assert r["mean_s"] == pytest.approx(r["seconds"] / r["iterations"])
+
+
+def test_ipm_subphase_totals_empty_without_trace_events():
+    assert ipm_subphase_totals([]) == []
+    assert ipm_subphase_totals([{"type": "span"}]) == []
