@@ -17,8 +17,14 @@ One bad row never loses the table: a system that raises is recorded with
 ``outcome: "error"`` (exception class included) and the remaining rows
 still run; deadline overruns (``--time-budget``) land as ``timeout``
 rows (the paper's OOT).  In ``--jobs`` mode a dead worker is classified
-as a ``WorkerCrash`` and its row is retried once serially before being
-recorded.  ``--checkpoint-dir``/``--resume`` continue interrupted runs
+as a ``WorkerCrash`` and the row is redelivered to a serial retry loop
+governed by the same :class:`repro.resilience.RetryPolicy` the
+certification service uses — transient kinds (``WorkerCrash``,
+``SolverNumericalError``) retry with exponential backoff up to the
+policy's attempt bound, terminal kinds fail fast — and every row
+records ``retries`` (extra attempts consumed) and ``redelivered``
+(whether it was pulled back from a dead worker).
+``--checkpoint-dir``/``--resume`` continue interrupted runs
 bit-identically (see ``docs/robustness.md``).  Exits nonzero when any
 selected system fails to produce a certificate, so CI fails fast even
 before the gate compares timings.
@@ -41,7 +47,7 @@ from table1_common import (
     trace_max_bytes,
 )
 from repro.diagnostics import error_entry, result_outcome
-from repro.resilience import WorkerCrash
+from repro.resilience import RetryPolicy, WorkerCrash
 from repro.resilience.faults import fault_point
 from repro.telemetry import session as telemetry_session
 from repro.telemetry.context import capture as capture_trace_context, merge_shard
@@ -107,6 +113,57 @@ def _run_trace_path(name, scale):
     )
 
 
+#: the same policy the certification service applies to its workers —
+#: WorkerCrash/SolverNumericalError retry with backoff, everything else
+#: fails fast; bench rows are cheap enough for short backoff floors
+BENCH_RETRY_POLICY = RetryPolicy(max_attempts=2, base_delay_s=0.1,
+                                 max_delay_s=2.0)
+
+
+def _annotate_row(name, retries, redelivered):
+    """Record retry accounting on a completed BENCH row."""
+    row = table1_common.BENCH_ROWS.get(name)
+    if isinstance(row, dict):
+        row["retries"] = int(retries)
+        row["redelivered"] = bool(redelivered)
+
+
+def _run_serial_with_retry(name, scale, args, failures,
+                           policy=BENCH_RETRY_POLICY, redelivered=False):
+    """Serial execution of one row under the shared retry policy.
+
+    Each attempt that ends in an ``error`` row whose kind the policy
+    classifies transient is retried after the policy's backoff delay;
+    terminal kinds (and plain unsuccessful outcomes, which are results,
+    not failures) are recorded as-is.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        attempt_failures = []
+        _run_one_serial(name, scale, args, attempt_failures)
+        row = table1_common.BENCH_ROWS.get(name) or {}
+        error = row.get("error") if isinstance(row, dict) else None
+        kind = error.get("kind") if isinstance(error, dict) else None
+        if (
+            not attempt_failures
+            or kind is None
+            or not policy.should_retry_kind(kind, attempt)
+        ):
+            _annotate_row(name, attempt - 1, redelivered)
+            if attempt_failures:
+                failures.append(name)
+            return
+        delay = policy.delay_s(attempt, token=name)
+        print(
+            f"[{scale}] {name}: transient {kind} on attempt {attempt}; "
+            f"retrying in {delay:.2f}s "
+            f"({attempt}/{policy.max_attempts})",
+            flush=True,
+        )
+        time.sleep(delay)
+
+
 def _run_parallel(names, scale, args) -> list:
     """Run Table-1 rows in a process pool; returns failed system names.
 
@@ -114,9 +171,10 @@ def _run_parallel(names, scale, args) -> list:
     deterministic seeds), so rows are embarrassingly parallel; the
     workers' BENCH rows are merged back into this process before the
     document is emitted.  A future whose worker died is recorded as a
-    ``WorkerCrash`` and retried once serially; other per-row raises
-    become ``error`` rows.  Raises only when the pool cannot start at
-    all — the caller then falls back to the serial loop.
+    ``WorkerCrash`` and redelivered to the shared-policy serial retry
+    loop (:data:`BENCH_RETRY_POLICY`); other per-row raises become
+    ``error`` rows.  Raises only when the pool cannot start at all —
+    the caller then falls back to the serial loop.
 
     The driver itself runs a telemetry session
     (``results/telemetry/bench-<scale>.jsonl``, manifest role
@@ -176,8 +234,8 @@ def _run_parallel(names, scale, args) -> list:
                     row, success, iterations, total = fut.result()
                 except BrokenProcessPool as exc:
                     # the worker died (OOM kill, segfault): classify the
-                    # row, then give the system one serial retry in this
-                    # process
+                    # row and redeliver it to the shared-policy serial
+                    # retry loop in this process
                     crash = WorkerCrash(
                         f"pool worker died while running {name}: {exc}",
                         cause=exc,
@@ -186,7 +244,7 @@ def _run_parallel(names, scale, args) -> list:
                     table1_common.BENCH_ROWS[name] = error_entry(crash)
                     print(
                         f"[{scale}] {name}: WORKER CRASH ({exc}); "
-                        "will retry serially",
+                        "redelivering to serial retry",
                         flush=True,
                     )
                     retry_serially.append(name)
@@ -201,11 +259,13 @@ def _run_parallel(names, scale, args) -> list:
                     )
                     failures.append(name)
                     tel.status_worker(name, state="error")
+                    _annotate_row(name, 0, False)
                     continue
                 finally:
                     completed += 1
                     tel.status_update(completed_rows=completed)
                 table1_common.BENCH_ROWS[name] = row
+                _annotate_row(name, 0, False)
                 # fold the worker run's trace into the bench trace (the
                 # run's own artifacts stay on disk untouched)
                 merge_shard(tel, _run_trace_path(name, scale), keep=True)
@@ -227,8 +287,11 @@ def _run_parallel(names, scale, args) -> list:
                 if outcome != "success":
                     failures.append(name)
         for name in retry_serially:
-            # overwrites the WorkerCrash row when the retry completes
-            _run_one_serial(name, scale, args, failures)
+            # overwrites the WorkerCrash row when a retry completes;
+            # backoff/attempt bounds come from the shared policy
+            _run_serial_with_retry(
+                name, scale, args, failures, redelivered=True
+            )
         tel.manifest.finish(
             "success" if not failures else "failure",
             failed_systems=list(failures),

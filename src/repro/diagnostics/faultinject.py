@@ -28,6 +28,28 @@ site                    effect when fired
                         verifier (exercises the serial fallback)
 ======================  =====================================================
 
+Service sites (PR 9) — the certification service's chaos surface:
+
+==============================  =============================================
+site                            effect when fired
+==============================  =============================================
+``service.worker_kill_mid_job``  the pool worker hard-exits (``os._exit``,
+                                 code 137) right after acknowledging a job —
+                                 an OOM-kill mid-job; the supervisor must
+                                 redeliver and respawn.  Fires *inside the
+                                 worker process*: arm it through
+                                 ``ServiceConfig.worker_faults``, not a
+                                 parent-side ``inject`` block
+``service.cache_corrupt_bundle`` the cache's deserialized bundle gets its
+                                 first condition's claimed margin inflated —
+                                 a self-consistent corruption only the exact
+                                 recheck can reject (and must evict)
+``service.journal_torn_write``   the next journal append writes only half
+                                 its line and no newline — a crash mid-write
+                                 that replay must skip, losing exactly one
+                                 record
+==============================  =============================================
+
 Usage::
 
     from repro.diagnostics import faultinject as fi
@@ -74,6 +96,9 @@ __all__ = [
     "nan_gradients",
     "nan_mu",
     "nan_direction",
+    "service_cache_corruption",
+    "service_torn_journal_write",
+    "service_worker_kill",
     "solver_exception",
     "solver_nonconvergence",
     "step_collapse",
@@ -159,4 +184,32 @@ def verifier_pool_crash(at_call: int = 1, times: int = 1) -> FaultSpec:
         exception=lambda: BrokenProcessPool("injected worker death"),
         at_call=at_call,
         times=times,
+    )
+
+
+def service_worker_kill(at_call: int = 1, times: int = 1) -> FaultSpec:
+    """Hard-kill a service pool worker right after it takes a job.
+
+    This site fires in the *worker* process, so hand the spec to the
+    supervisor (``ServiceConfig.worker_faults`` takes the dict form,
+    e.g. ``{"site": ..., "at_call": 2}``) rather than arming it in the
+    parent with :func:`inject`.
+    """
+    return FaultSpec(
+        "service.worker_kill_mid_job", at_call=at_call, times=times
+    )
+
+
+def service_cache_corruption(at_call: int = 1, times: int = 1) -> FaultSpec:
+    """Corrupt the next cache read's deserialized certificate bundle
+    (inflated margin claim) so only the exact recheck can reject it."""
+    return FaultSpec(
+        "service.cache_corrupt_bundle", at_call=at_call, times=times
+    )
+
+
+def service_torn_journal_write(at_call: int = 1, times: int = 1) -> FaultSpec:
+    """Truncate the next journal append mid-line (crash during write)."""
+    return FaultSpec(
+        "service.journal_torn_write", at_call=at_call, times=times
     )

@@ -31,6 +31,12 @@ For ``BENCH_perf.json`` documents (see
 correctness**: every bench's ``identical`` flag must hold in NEW, and
 the e2e row's CEGIS outcome/iteration count must match OLD.
 
+For ``BENCH_service.json`` documents (see
+:mod:`repro.diagnostics.servicebench`) the gate is hard on the chaos
+invariants (every job terminal, zero corrupt cache entries served,
+serial identity preserved), per-key outcome, and cache hit rate;
+retry/redelivery counts only warn.
+
 Exit codes: 0 no regression, 1 regression(s), 2 unreadable/invalid input.
 """
 
@@ -43,6 +49,12 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.diagnostics.bench import BENCH_KIND, TIMING_KEYS, load_bench
 from repro.diagnostics.perfbench import PERF_KIND, load_perf
+from repro.diagnostics.servicebench import (
+    SERVICE_KIND,
+    compare_service_benches,
+    load_service_bench,
+    render_service_table,
+)
 
 
 def compare_benches(
@@ -266,6 +278,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if kind_old == PERF_KIND:
             old = load_perf(args.old)
             new = load_perf(args.new)
+        elif kind_old == SERVICE_KIND:
+            old = load_service_bench(args.old)
+            new = load_service_bench(args.new)
         elif kind_old == BENCH_KIND:
             old = load_bench(args.old)
             new = load_bench(args.new)
@@ -274,6 +289,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if kind_old == SERVICE_KIND:
+        outcome = compare_service_benches(
+            old, new, allow_missing=args.allow_missing
+        )
+        print(render_service_table(old, new))
+        for w in outcome["warnings"]:
+            print(f"warning: {w}")
+        if outcome["regressions"]:
+            print(f"\n{len(outcome['regressions'])} regression(s):")
+            for r in outcome["regressions"]:
+                print(f"  FAIL {r}")
+            return 1
+        print("\nno regressions")
+        return 0
 
     if kind_old == PERF_KIND:
         outcome = compare_perf_benches(

@@ -1,0 +1,192 @@
+"""The ``BENCH_service.json`` schema: service chaos-bench results.
+
+Produced by ``benchmarks/run_bench_service.py`` — a load generator that
+drives a :class:`repro.service.CertificationService` batch with
+injected worker kills and cache corruption and records, per job, what
+the retry/redelivery machinery actually did.  One document is one
+batch::
+
+    {
+      "schema_version": 1,
+      "kind": "BENCH_service",
+      "scale": "chaos" | "clean",
+      "generated_at": "<iso8601>",
+      "git_sha": "<sha or null>",
+      "platform": {...},
+      "config": {workers, max_redeliveries, faults: [...]},
+      "jobs": {
+        "<key>": {
+          "status": "success" | "dead_letter",
+          "attempts": <int>,
+          "redeliveries": <int>,
+          "from_cache": <bool>,
+          "payload_sha256": "<hex>" | null,   # identity vs serial run
+          "serial_match": <bool> | null
+        }, ...
+      },
+      "counts": {submitted, cache_hits, retries, redeliveries,
+                 dead_letters, workers_respawned, ...},
+      "cache": {hit_rate, evictions},
+      "invariants": {all_terminal, no_corrupt_served,
+                     serial_identical}
+    }
+
+``python -m repro.diagnostics.regress`` auto-detects the kind and gates
+two such documents hard on **invariants** (every job terminal, zero
+corrupt serves, serial identity holding wherever it held before), on
+**job outcomes** (a key that succeeded in OLD must not dead-letter in
+NEW), and on **cache hit rate** for repeat batches; raw retry counts
+are reported but do not gate (how often chaos strikes is the fault
+plan's business, surviving it is the service's).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry import collect_git_sha, platform_info
+
+SERVICE_SCHEMA_VERSION = 1
+SERVICE_KIND = "BENCH_service"
+
+
+def service_doc(
+    scale: str,
+    config: Dict[str, Any],
+    jobs: Dict[str, Dict[str, Any]],
+    counts: Dict[str, Any],
+    cache: Dict[str, Any],
+    invariants: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Assemble one BENCH_service document."""
+    return {
+        "schema_version": SERVICE_SCHEMA_VERSION,
+        "kind": SERVICE_KIND,
+        "scale": scale,
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "git_sha": collect_git_sha(),
+        "platform": platform_info(),
+        "config": config,
+        "jobs": jobs,
+        "counts": counts,
+        "cache": cache,
+        "invariants": invariants,
+    }
+
+
+def write_service_bench(path: str, doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Atomically write ``doc`` (tmp+rename, like every results file)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    with os.fdopen(fd, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, default=str)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return doc
+
+
+def load_service_bench(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("kind") != SERVICE_KIND:
+        raise ValueError(f"{path}: not a {SERVICE_KIND} document")
+    if doc.get("schema_version") != SERVICE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported schema_version "
+            f"{doc.get('schema_version')!r} "
+            f"(expected {SERVICE_SCHEMA_VERSION})"
+        )
+    for field in ("jobs", "counts", "invariants"):
+        if not isinstance(doc.get(field), dict):
+            raise ValueError(f"{path}: missing/invalid {field!r}")
+    return doc
+
+
+def compare_service_benches(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    min_cache_hit_rate: Optional[float] = None,
+    allow_missing: bool = False,
+) -> Dict[str, List[str]]:
+    """Gate two BENCH_service documents.
+
+    Hard: invariants must hold in NEW, no per-key success→dead_letter
+    flip, and the cache hit rate must not fall below OLD's (or below an
+    explicit ``min_cache_hit_rate``).  Soft: retry/redelivery counts
+    (chaos intensity is configuration, not behavior).
+    """
+    regressions: List[str] = []
+    warnings: List[str] = []
+
+    inv = new.get("invariants", {})
+    if not inv.get("all_terminal", False):
+        regressions.append("invariant: not every job reached a terminal state")
+    if not inv.get("no_corrupt_served", False):
+        regressions.append("invariant: a corrupt cache entry was served")
+    old_inv = old.get("invariants", {})
+    if old_inv.get("serial_identical") and not inv.get("serial_identical"):
+        regressions.append(
+            "invariant: payloads no longer bitwise-identical to the "
+            "fault-free serial run"
+        )
+
+    for key, o in old.get("jobs", {}).items():
+        n = new.get("jobs", {}).get(key)
+        if n is None:
+            (warnings if allow_missing else regressions).append(
+                f"{key[:16]}: present in OLD but missing from NEW"
+            )
+            continue
+        if o.get("status") == "success" and n.get("status") != "success":
+            regressions.append(
+                f"{key[:16]}: outcome regressed "
+                f"({o.get('status')} -> {n.get('status')})"
+            )
+
+    old_rate = float(old.get("cache", {}).get("hit_rate", 0.0))
+    new_rate = float(new.get("cache", {}).get("hit_rate", 0.0))
+    floor = old_rate if min_cache_hit_rate is None else min_cache_hit_rate
+    if new_rate + 1e-9 < floor:
+        regressions.append(
+            f"cache hit rate fell: {old_rate:.2%} -> {new_rate:.2%} "
+            f"(floor {floor:.2%})"
+        )
+
+    o_retries = int(old.get("counts", {}).get("retries", 0))
+    n_retries = int(new.get("counts", {}).get("retries", 0))
+    if n_retries != o_retries:
+        warnings.append(f"retries changed: {o_retries} -> {n_retries}")
+    o_redeliv = int(old.get("counts", {}).get("redeliveries", 0))
+    n_redeliv = int(new.get("counts", {}).get("redeliveries", 0))
+    if n_redeliv != o_redeliv:
+        warnings.append(
+            f"redeliveries changed: {o_redeliv} -> {n_redeliv}"
+        )
+    return {"regressions": regressions, "warnings": warnings}
+
+
+def render_service_table(old: Dict[str, Any], new: Dict[str, Any]) -> str:
+    header = (
+        f"{'job':<18}{'old status':<14}{'new status':<14}"
+        f"{'att':>4}{'redel':>6}{'cache':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for key in sorted(set(old.get("jobs", {})) | set(new.get("jobs", {}))):
+        o = old.get("jobs", {}).get(key, {})
+        n = new.get("jobs", {}).get(key, {})
+        lines.append(
+            f"{key[:16]:<18}{o.get('status', '-'):<14}"
+            f"{n.get('status', '-'):<14}"
+            f"{n.get('attempts', 0):>4}{n.get('redeliveries', 0):>6}"
+            f"{str(bool(n.get('from_cache'))):>6}"
+        )
+    lines.append(
+        f"cache hit rate: {float(old.get('cache', {}).get('hit_rate', 0)):.2%}"
+        f" -> {float(new.get('cache', {}).get('hit_rate', 0)):.2%}"
+    )
+    return "\n".join(lines)

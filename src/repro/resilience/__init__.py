@@ -42,6 +42,13 @@ from repro.resilience.recovery import (
     RecoveryPolicy,
     solve_sdp_resilient,
 )
+from repro.resilience.retry import (
+    TERMINAL,
+    TERMINAL_KINDS,
+    TRANSIENT,
+    TRANSIENT_KINDS,
+    RetryPolicy,
+)
 
 __all__ = [
     "BudgetExhausted",
@@ -53,7 +60,12 @@ __all__ = [
     "RETRYABLE_STATUSES",
     "RecoveryPolicy",
     "ReproError",
+    "RetryPolicy",
     "SolverNumericalError",
+    "TERMINAL",
+    "TERMINAL_KINDS",
+    "TRANSIENT",
+    "TRANSIENT_KINDS",
     "TimeBudget",
     "WorkerCrash",
     "load_checkpoint",

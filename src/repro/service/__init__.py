@@ -1,0 +1,76 @@
+"""Fault-tolerant certification service.
+
+``repro.service`` turns one-shot harness runs into a supervised job
+engine: certification requests (system, controller config, seed) are
+hashed into content-addressed cache keys, journaled to a write-ahead
+log, sharded across a pool of process workers with work-stealing, and
+retried/redelivered per the shared
+:class:`~repro.resilience.RetryPolicy` until every job lands in a
+terminal state (``success`` or ``dead_letter``) — surviving worker
+crashes, stalls, cache corruption, and even a SIGKILL of the supervisor
+itself (the journal replays on restart; completed jobs are served from
+the cache, never re-executed).
+
+Layers, bottom-up:
+
+* :mod:`repro.service.request` — request manifests + canonical hashing
+  (the cache key material, following PR 1's run manifests);
+* :mod:`repro.service.journal` — the crash-safe write-ahead job journal;
+* :mod:`repro.service.cache` — the self-verifying content-addressed
+  certificate store (digest check + exact rational recheck on read);
+* :mod:`repro.service.queue` — in-memory job state machine with
+  backoff-aware scheduling;
+* :mod:`repro.service.jobs` — job runners (cheap single-shot SOS
+  ``verify`` family, full SNBC ``certify``, dotted-path ``custom``);
+* :mod:`repro.service.worker` — the process-worker loop (heartbeat +
+  pipe protocol);
+* :mod:`repro.service.supervisor` — the asyncio supervision tree;
+* :mod:`repro.service.cli` — ``python -m repro.service``.
+
+See ``docs/service.md`` for the architecture and failure matrix.
+"""
+
+from repro.service.cache import CacheEntryError, CertificateCache
+from repro.service.journal import (
+    JOURNAL_KIND,
+    JOURNAL_SCHEMA_VERSION,
+    JobJournal,
+    JournalState,
+    replay_journal,
+)
+from repro.service.jobs import execute_job, make_verify_request, problem_for
+from repro.service.queue import Job, JobQueue, JobStatus
+from repro.service.request import (
+    REQUEST_SCHEMA_VERSION,
+    CertificationRequest,
+    canonical_json,
+    request_key,
+)
+from repro.service.supervisor import (
+    CertificationService,
+    ServiceConfig,
+    run_service,
+)
+
+__all__ = [
+    "CacheEntryError",
+    "CertificationRequest",
+    "CertificationService",
+    "CertificateCache",
+    "JOURNAL_KIND",
+    "JOURNAL_SCHEMA_VERSION",
+    "Job",
+    "JobJournal",
+    "JobQueue",
+    "JobStatus",
+    "JournalState",
+    "REQUEST_SCHEMA_VERSION",
+    "ServiceConfig",
+    "canonical_json",
+    "execute_job",
+    "make_verify_request",
+    "problem_for",
+    "replay_journal",
+    "request_key",
+    "run_service",
+]

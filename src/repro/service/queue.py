@@ -1,0 +1,203 @@
+"""In-memory job state machine with backoff-aware scheduling.
+
+The queue is the supervisor's single source of truth between journal
+records: jobs move ``PENDING → RUNNING → DONE`` on the happy path, take
+the ``RETRY_WAIT`` detour on transient failures (eligible again only
+after their backoff deadline), and land in ``DEAD_LETTER`` when the
+retry policy, the redelivery bound, or a terminal classification gives
+up.  ``next_ready`` hands out the oldest eligible job — one shared
+logical queue across all workers is what makes the pool work-stealing:
+a fast worker that drains its job simply takes the next ready one,
+regardless of which worker a redelivered job came from.
+
+Pure data structure: no I/O, no clocks of its own (callers pass ``now``
+from ``time.monotonic()``), trivially unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.service.request import CertificationRequest, request_key
+
+
+class JobStatus:
+    """String states (kept as plain strings for JSON friendliness)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    RETRY_WAIT = "retry_wait"
+    DONE = "done"
+    DEAD_LETTER = "dead_letter"
+
+    TERMINAL = (DONE, DEAD_LETTER)
+
+
+@dataclass
+class Job:
+    """One submitted request plus its scheduling state."""
+
+    key: str
+    request: CertificationRequest
+    status: str = JobStatus.PENDING
+    #: executions started (first try included)
+    attempts: int = 0
+    #: times pulled back from a dead/stalled worker
+    redeliveries: int = 0
+    #: monotonic time before which the job must not be handed out
+    not_before: float = 0.0
+    #: FIFO tiebreaker (submission order)
+    sequence: int = 0
+    #: worker id currently executing the job (RUNNING only)
+    worker: Optional[int] = None
+    #: monotonic time the current attempt started (RUNNING only)
+    started_at: Optional[float] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, Any]] = None
+    from_cache: bool = False
+    #: wall-clock latency from submission to terminal state
+    submitted_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in JobStatus.TERMINAL
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON row for service results / BENCH output."""
+        out: Dict[str, Any] = {
+            "status": (
+                "success" if self.status == JobStatus.DONE else self.status
+            ),
+            "attempts": self.attempts,
+            "redeliveries": self.redeliveries,
+            "from_cache": self.from_cache,
+        }
+        if self.submitted_at is not None and self.finished_at is not None:
+            out["latency_s"] = round(self.finished_at - self.submitted_at, 6)
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobQueue:
+    """All jobs of one service run, keyed by content address."""
+
+    def __init__(self) -> None:
+        self.jobs: Dict[str, Job] = {}
+        self._sequence = 0
+
+    # -- intake ---------------------------------------------------------
+    def submit(
+        self, request: CertificationRequest, submitted_at: float = 0.0
+    ) -> Job:
+        """Add a request; duplicate keys coalesce onto the same job."""
+        key = request_key(request)
+        existing = self.jobs.get(key)
+        if existing is not None:
+            return existing
+        self._sequence += 1
+        job = Job(
+            key=key,
+            request=request,
+            sequence=self._sequence,
+            submitted_at=submitted_at,
+        )
+        self.jobs[key] = job
+        return job
+
+    # -- scheduling -----------------------------------------------------
+    def next_ready(self, now: float) -> Optional[Job]:
+        """Oldest PENDING/RETRY_WAIT job whose backoff deadline passed."""
+        best: Optional[Job] = None
+        for job in self.jobs.values():
+            if job.status not in (JobStatus.PENDING, JobStatus.RETRY_WAIT):
+                continue
+            if job.not_before > now:
+                continue
+            if best is None or job.sequence < best.sequence:
+                best = job
+        return best
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest backoff deadline among waiting jobs (idle wakeup)."""
+        deadlines = [
+            job.not_before
+            for job in self.jobs.values()
+            if job.status in (JobStatus.PENDING, JobStatus.RETRY_WAIT)
+            and job.not_before > 0.0
+        ]
+        return min(deadlines) if deadlines else None
+
+    # -- transitions ----------------------------------------------------
+    def mark_running(self, job: Job, worker: int, now: float) -> None:
+        job.status = JobStatus.RUNNING
+        job.worker = worker
+        job.attempts += 1
+        job.started_at = now
+
+    def mark_done(
+        self,
+        job: Job,
+        result: Optional[Dict[str, Any]],
+        finished_at: float,
+        from_cache: bool = False,
+    ) -> None:
+        job.status = JobStatus.DONE
+        job.result = result
+        job.from_cache = from_cache
+        job.worker = None
+        job.finished_at = finished_at
+        job.error = None
+
+    def mark_retry(
+        self, job: Job, error: Optional[Dict[str, Any]], not_before: float
+    ) -> None:
+        job.status = JobStatus.RETRY_WAIT
+        job.error = error
+        job.worker = None
+        job.not_before = not_before
+
+    def mark_redelivered(self, job: Job, not_before: float = 0.0) -> None:
+        job.status = JobStatus.PENDING
+        job.redeliveries += 1
+        job.worker = None
+        job.not_before = not_before
+
+    def mark_dead_letter(
+        self, job: Job, error: Optional[Dict[str, Any]], finished_at: float
+    ) -> None:
+        job.status = JobStatus.DEAD_LETTER
+        job.error = error
+        job.worker = None
+        job.finished_at = finished_at
+
+    # -- aggregate views ------------------------------------------------
+    def running(self) -> List[Job]:
+        return [
+            j for j in self.jobs.values() if j.status == JobStatus.RUNNING
+        ]
+
+    def depth(self, now: Optional[float] = None) -> int:
+        """Jobs waiting for a worker (backoff-eligible or not)."""
+        return sum(
+            1
+            for j in self.jobs.values()
+            if j.status in (JobStatus.PENDING, JobStatus.RETRY_WAIT)
+        )
+
+    def all_terminal(self) -> bool:
+        return all(j.terminal for j in self.jobs.values())
+
+    def counts(self) -> Dict[str, int]:
+        out = {
+            JobStatus.PENDING: 0,
+            JobStatus.RETRY_WAIT: 0,
+            JobStatus.RUNNING: 0,
+            JobStatus.DONE: 0,
+            JobStatus.DEAD_LETTER: 0,
+        }
+        for job in self.jobs.values():
+            out[job.status] = out.get(job.status, 0) + 1
+        return out

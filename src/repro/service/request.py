@@ -1,0 +1,125 @@
+"""Certification requests and their canonical content-address.
+
+A request is the service's unit of work *and* its cache key material:
+two requests with the same canonical manifest are the same computation
+(the pipeline is seeded and deterministic end to end — PR 1's
+determinism regression test is what makes content-addressing sound), so
+a repeat submission from any client is a cache hit.
+
+The key is ``sha256`` over a *canonical* JSON rendering: keys sorted,
+no whitespace, floats via Python's shortest-repr (bit-faithful for
+IEEE doubles), config echoed through the same normalization as run
+manifests (:func:`repro.telemetry.manifest._config_echo` semantics:
+dataclasses → dicts, tuples → lists, numpy scalars → Python scalars).
+Insertion order, dict/tuple distinctions, and float formatting can
+therefore never split or alias cache entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.telemetry.manifest import _config_echo
+
+REQUEST_SCHEMA_VERSION = 1
+
+#: request kinds the service knows how to execute (see
+#: :mod:`repro.service.jobs`)
+REQUEST_KINDS = ("verify", "certify", "custom")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text for hashing: sorted keys, no whitespace,
+    normalized scalars.  Raises ``TypeError`` on non-JSON-able input so
+    an unhashable request fails loudly instead of aliasing."""
+    return json.dumps(
+        _config_echo(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+
+
+@dataclass(frozen=True)
+class CertificationRequest:
+    """One unit of certification work.
+
+    ``kind`` selects the runner (:mod:`repro.service.jobs`):
+
+    * ``"verify"`` — single-shot SOS verification + certificate capture
+      + exact recheck of a parametrized small system (``system`` names
+      the family, ``config`` its parameters);
+    * ``"certify"`` — a full CEGIS/SNBC run on a named Table-1 benchmark
+      (``system`` e.g. ``"C1"``), with ``config`` overriding the spec
+      (``seed``, ``scale``, ``time_budget_s``, ``max_iterations``);
+    * ``"custom"`` — ``entry`` is a ``module:function`` dotted path
+      resolved inside the worker (test/extension hook).
+
+    ``seed`` is part of the manifest even when a runner ignores it, so
+    load generators can mint distinct-keyed copies of one shape.
+    """
+
+    kind: str = "verify"
+    system: str = "decay"
+    seed: int = 0
+    config: Dict[str, Any] = field(default_factory=dict)
+    entry: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ValueError(
+                f"unknown request kind {self.kind!r} "
+                f"(expected one of {REQUEST_KINDS})"
+            )
+        if self.kind == "custom" and not self.entry:
+            raise ValueError("custom requests need an entry dotted path")
+
+    # -- manifest / hashing ---------------------------------------------
+    def manifest(self) -> Dict[str, Any]:
+        """The canonical key material (everything that selects the
+        computation; nothing that merely describes the run)."""
+        return {
+            "schema_version": REQUEST_SCHEMA_VERSION,
+            "kind": self.kind,
+            "system": self.system,
+            "seed": int(self.seed),
+            "config": _config_echo(self.config),
+            "entry": self.entry,
+        }
+
+    def key(self) -> str:
+        return request_key(self)
+
+    # -- (de)serialization ----------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return self.manifest()
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "CertificationRequest":
+        version = doc.get("schema_version", REQUEST_SCHEMA_VERSION)
+        if version != REQUEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported request schema_version {version!r}"
+            )
+        return cls(
+            kind=str(doc.get("kind", "verify")),
+            system=str(doc.get("system", "decay")),
+            seed=int(doc.get("seed", 0)),
+            config=dict(doc.get("config") or {}),
+            entry=doc.get("entry"),
+        )
+
+
+def request_key(request: "CertificationRequest | Dict[str, Any]") -> str:
+    """Content address of a request: sha256 hex of its canonical manifest."""
+    manifest = (
+        request.manifest()
+        if isinstance(request, CertificationRequest)
+        else CertificationRequest.from_dict(dict(request)).manifest()
+    )
+    return hashlib.sha256(
+        canonical_json(manifest).encode("utf-8")
+    ).hexdigest()

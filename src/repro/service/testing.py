@@ -1,0 +1,107 @@
+"""Custom job runners for service tests and chaos drills.
+
+These are wired through the ``custom`` request kind (``entry`` names a
+``module:function``), so tests can exercise the supervisor's failure
+machinery with jobs whose behavior is scripted — slow jobs for stall
+and deadline handling, flaky jobs for the retry policy, and an
+execution log for exactly-once accounting across supervisor crashes.
+
+Runners receive ``(request_manifest, workdir, attempt)`` and must
+return a JSON-safe payload dict.  Everything stateful goes through
+files under the request's ``config`` (the worker may be a different
+process every attempt).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+from repro.resilience.errors import SolverNumericalError
+
+
+def _append_event(path: Optional[str], event: Dict[str, Any]) -> None:
+    if not path:
+        return
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+        fh.flush()
+
+
+def read_events(path: str) -> list:
+    """Events appended by runners (empty when the file is absent)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+    except OSError:
+        return []
+
+
+def echo_job(request: Dict[str, Any], workdir: Optional[str],
+             attempt: int) -> Dict[str, Any]:
+    """Deterministic no-op: payload echoes the config."""
+    config = request.get("config", {})
+    _append_event(config.get("log"), {
+        "op": "run", "seed": request.get("seed"), "attempt": attempt,
+    })
+    return {
+        "kind": "custom",
+        "outcome": "success",
+        "echo": config.get("value"),
+        "seed": request.get("seed"),
+    }
+
+
+def slow_job(request: Dict[str, Any], workdir: Optional[str],
+             attempt: int) -> Dict[str, Any]:
+    """Sleeps ``config.sleep_s`` (heartbeats keep flowing from the
+    worker's daemon thread); used for deadline and in-flight tests."""
+    config = request.get("config", {})
+    _append_event(config.get("log"), {
+        "op": "start", "seed": request.get("seed"), "attempt": attempt,
+    })
+    time.sleep(float(config.get("sleep_s", 1.0)))
+    _append_event(config.get("log"), {
+        "op": "finish", "seed": request.get("seed"), "attempt": attempt,
+    })
+    return {"kind": "custom", "outcome": "success",
+            "slept_s": float(config.get("sleep_s", 1.0))}
+
+
+def flaky_job(request: Dict[str, Any], workdir: Optional[str],
+              attempt: int) -> Dict[str, Any]:
+    """Raises a transient :class:`SolverNumericalError` until attempt
+    ``config.succeed_on`` — the canonical retry-with-backoff customer."""
+    config = request.get("config", {})
+    succeed_on = int(config.get("succeed_on", 2))
+    _append_event(config.get("log"), {
+        "op": "attempt", "seed": request.get("seed"), "attempt": attempt,
+    })
+    if attempt < succeed_on:
+        raise SolverNumericalError(
+            f"synthetic transient failure (attempt {attempt} < "
+            f"{succeed_on})",
+            attempt=attempt,
+        )
+    return {"kind": "custom", "outcome": "success", "attempt_won": attempt}
+
+
+def terminal_job(request: Dict[str, Any], workdir: Optional[str],
+                 attempt: int) -> Dict[str, Any]:
+    """Always fails terminally (BudgetExhausted) — the dead-letter path."""
+    from repro.resilience.errors import BudgetExhausted
+
+    raise BudgetExhausted("synthetic terminal failure", attempt=attempt)
+
+
+def pid_job(request: Dict[str, Any], workdir: Optional[str],
+            attempt: int) -> Dict[str, Any]:
+    """Records the executing PID; proves process-pool distribution."""
+    config = request.get("config", {})
+    _append_event(config.get("log"), {
+        "op": "pid", "seed": request.get("seed"), "pid": os.getpid(),
+    })
+    return {"kind": "custom", "outcome": "success",
+            "seed": request.get("seed")}

@@ -23,6 +23,12 @@ from repro.soundness.checker import (
     check_certificate,
     check_verification,
 )
+from repro.soundness.serialize import (
+    bundle_from_dict,
+    bundle_to_dict,
+    poly_from_dict,
+    poly_to_dict,
+)
 from repro.soundness.rational import (
     DEFAULT_DELTA_LADDER,
     RationalPolynomial,
@@ -45,8 +51,12 @@ __all__ = [
     "SoundnessError",
     "SoundnessReport",
     "barrier_fingerprint",
+    "bundle_from_dict",
+    "bundle_to_dict",
     "check_certificate",
     "check_verification",
+    "poly_from_dict",
+    "poly_to_dict",
     "DEFAULT_DELTA_LADDER",
     "RationalPolynomial",
     "basis_square_bound",

@@ -1,0 +1,159 @@
+"""Lossless JSON (de)serialization of certificate bundles.
+
+The certification service's content-addressed cache stores every
+accepted :class:`~repro.soundness.certificate.CertificateBundle` on
+disk and *re-proves* it with :func:`repro.soundness.check_certificate`
+before serving a hit — which only means anything if the round trip is
+bit-exact.  It is: Python's ``json`` serializes ``float64`` via
+shortest-repr (lossless for every IEEE double), exponent tuples become
+integer lists, and Gram matrices become nested lists restored with an
+explicit ``float64`` dtype.  ``bundle_from_dict(bundle_to_dict(b))``
+reproduces every coefficient, basis exponent, and Gram entry of ``b``
+exactly, so an exact recheck of the restored bundle is an exact recheck
+of the original.
+
+No compression, no pickles: entries stay human-greppable and cannot
+execute code on load — a cache shared by "millions of users" must not
+deserialize attacker-controlled bytecode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.poly import Polynomial
+from repro.soundness.certificate import (
+    CertificateBundle,
+    ConditionCertificate,
+    MultiplierCertificate,
+)
+
+SERIALIZE_SCHEMA_VERSION = 1
+
+
+# -- polynomials ---------------------------------------------------------
+def poly_to_dict(poly: Polynomial) -> Dict[str, Any]:
+    """``{"n": n_vars, "terms": [[exponents..., coeff], ...]}`` with a
+    sorted term order so equal polynomials serialize identically."""
+    terms = [
+        [list(alpha), float(c)]
+        for alpha, c in sorted(poly.coeffs.items())
+    ]
+    return {"n": int(poly.n_vars), "terms": terms}
+
+
+def poly_from_dict(doc: Dict[str, Any]) -> Polynomial:
+    coeffs = {
+        tuple(int(e) for e in alpha): float(c) for alpha, c in doc["terms"]
+    }
+    return Polynomial(int(doc["n"]), coeffs)
+
+
+def _basis_to_list(basis: Tuple[Tuple[int, ...], ...]) -> List[List[int]]:
+    return [list(alpha) for alpha in basis]
+
+
+def _basis_from_list(doc: Any) -> Tuple[Tuple[int, ...], ...]:
+    return tuple(tuple(int(e) for e in alpha) for alpha in doc)
+
+
+def _gram_to_list(gram: np.ndarray) -> List[List[float]]:
+    return np.asarray(gram, dtype=np.float64).tolist()
+
+
+def _gram_from_list(doc: Any) -> np.ndarray:
+    return np.asarray(doc, dtype=np.float64)
+
+
+# -- certificates --------------------------------------------------------
+def _multiplier_to_dict(cert: MultiplierCertificate) -> Dict[str, Any]:
+    return {
+        "constraint": poly_to_dict(cert.constraint),
+        "basis": _basis_to_list(cert.basis),
+        "gram": _gram_to_list(cert.gram),
+    }
+
+
+def _multiplier_from_dict(doc: Dict[str, Any]) -> MultiplierCertificate:
+    return MultiplierCertificate(
+        constraint=poly_from_dict(doc["constraint"]),
+        basis=_basis_from_list(doc["basis"]),
+        gram=_gram_from_list(doc["gram"]),
+    )
+
+
+def _condition_to_dict(cert: ConditionCertificate) -> Dict[str, Any]:
+    return {
+        "name": cert.name,
+        "base": cert.base,
+        "margin": float(cert.margin),
+        "endpoint": [float(v) for v in cert.endpoint],
+        "slack_basis": _basis_to_list(cert.slack_basis),
+        "slack_gram": _gram_to_list(cert.slack_gram),
+        "multipliers": [_multiplier_to_dict(m) for m in cert.multipliers],
+        "lambda_poly": (
+            poly_to_dict(cert.lambda_poly)
+            if cert.lambda_poly is not None
+            else None
+        ),
+        "box_lo": [float(v) for v in cert.box_lo],
+        "box_hi": [float(v) for v in cert.box_hi],
+    }
+
+
+def _condition_from_dict(doc: Dict[str, Any]) -> ConditionCertificate:
+    return ConditionCertificate(
+        name=str(doc["name"]),
+        base=str(doc["base"]),
+        margin=float(doc["margin"]),
+        endpoint=tuple(float(v) for v in doc["endpoint"]),
+        slack_basis=_basis_from_list(doc["slack_basis"]),
+        slack_gram=_gram_from_list(doc["slack_gram"]),
+        multipliers=[
+            _multiplier_from_dict(m) for m in doc["multipliers"]
+        ],
+        lambda_poly=(
+            poly_from_dict(doc["lambda_poly"])
+            if doc.get("lambda_poly") is not None
+            else None
+        ),
+        box_lo=tuple(float(v) for v in doc["box_lo"]),
+        box_hi=tuple(float(v) for v in doc["box_hi"]),
+    )
+
+
+def bundle_to_dict(bundle: CertificateBundle) -> Dict[str, Any]:
+    """JSON-safe rendering of a bundle; inverse of :func:`bundle_from_dict`."""
+    return {
+        "schema_version": SERIALIZE_SCHEMA_VERSION,
+        "barrier": poly_to_dict(bundle.barrier),
+        "barrier_scale": float(bundle.barrier_scale),
+        "controller_polys": [
+            poly_to_dict(p) for p in bundle.controller_polys
+        ],
+        "sigma_star": [float(v) for v in bundle.sigma_star],
+        "conditions": [_condition_to_dict(c) for c in bundle.conditions],
+    }
+
+
+def bundle_from_dict(doc: Dict[str, Any]) -> CertificateBundle:
+    """Rebuild a bundle serialized by :func:`bundle_to_dict` bit-exactly."""
+    version = doc.get("schema_version")
+    if version != SERIALIZE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported certificate bundle schema_version {version!r} "
+            f"(expected {SERIALIZE_SCHEMA_VERSION})"
+        )
+    return CertificateBundle(
+        barrier=poly_from_dict(doc["barrier"]),
+        barrier_scale=float(doc["barrier_scale"]),
+        controller_polys=[
+            poly_from_dict(p) for p in doc.get("controller_polys", [])
+        ],
+        sigma_star=[float(v) for v in doc.get("sigma_star", [])],
+        conditions=[
+            _condition_from_dict(c) for c in doc.get("conditions", [])
+        ],
+    )

@@ -16,7 +16,12 @@ makes them visible live).  Exits when the run records an outcome.
 ``*.status.json`` under a results tree, with dead-man detection: a run
 whose heartbeat is older than ``--stale-after`` seconds shows STALLED,
 older than ``--dead-after`` shows DEAD — no cooperation from the
-(possibly wedged) run process required.
+(possibly wedged) run process required.  A certification-service
+supervisor (its status carries a ``service`` block) renders queue
+health instead of CEGIS progress: queue depth, in-flight, done/total,
+retries, redeliveries, dead-letters, cache hits/evictions, and a
+SERIAL marker when the pool degraded to in-process execution; its
+``worker-<i>.status.json`` heartbeats appear as ordinary fleet rows.
 
 ``--once`` renders a single snapshot and exits — for scripts and CI.
 """
@@ -89,6 +94,27 @@ def render_status_line(
     state = classify(status, now, stale_after, dead_after)
     name = str(status.get("name", "?"))
     phase = str(status.get("phase") or "-")
+    service = status.get("service")
+    if isinstance(service, dict):
+        # service-supervisor row: queue health instead of CEGIS progress
+        parts = [f"{state:<8}", f"{name:<24}", f"{phase:<16}"]
+        parts.append(f"queue={service.get('queue_depth', '-')}")
+        parts.append(f"inflight={service.get('in_flight', '-')}")
+        parts.append(
+            f"done={service.get('done', '-')}/{service.get('total', '-')}"
+        )
+        parts.append(f"retries={service.get('retries', '-')}")
+        if service.get("redeliveries"):
+            parts.append(f"redeliv={service['redeliveries']}")
+        parts.append(f"dead={service.get('dead_letters', '-')}")
+        if service.get("cache_hits"):
+            parts.append(f"cached={service['cache_hits']}")
+        if service.get("cache_evictions"):
+            parts.append(f"evicted={service['cache_evictions']}")
+        if service.get("serial_mode"):
+            parts.append("SERIAL")
+        parts.append(f"beat={_fmt_age(heartbeat_age(status, now))}")
+        return "  ".join(parts)
     it = status.get("cegis_iteration")
     ipm = status.get("ipm_iteration")
     conv = status.get("ipm_convergence")

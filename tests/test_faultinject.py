@@ -298,3 +298,68 @@ def test_bench_parallel_worker_crash_row_without_retry():
     assert row["outcome"] == "error"
     assert row["error"]["kind"] == "WorkerCrash"
     assert row["error"]["details"]["system"] == "C9"
+
+
+# -- certification-service sites (PR 9) ----------------------------------
+def test_service_worker_kill_spec_builds():
+    spec = fi.service_worker_kill(at_call=3, times=2)
+    assert spec.site == "service.worker_kill_mid_job"
+    assert spec.at_call == 3 and spec.times == 2
+
+
+def test_service_worker_kill_fires_in_worker_and_is_survived(tmp_path):
+    from repro.service import CertificationRequest, ServiceConfig, run_service
+
+    reqs = [
+        CertificationRequest(
+            kind="custom", system="test", seed=i, config={},
+            entry="repro.service.testing:echo_job",
+        )
+        for i in range(3)
+    ]
+    spec = fi.service_worker_kill(at_call=1)
+    config = ServiceConfig(
+        workers=1,
+        worker_faults=(
+            {"site": spec.site, "at_call": spec.at_call,
+             "times": spec.times},
+        ),
+    )
+    out = run_service(str(tmp_path / "root"), reqs, config)
+    # the kill happened (a redelivery proves it) and every job still
+    # reached success — a typed recovery, not a hang or a traceback
+    assert out["counts"]["redeliveries"] >= 1
+    assert all(r["status"] == "success" for r in out["jobs"].values())
+
+
+def test_service_cache_corruption_evicts_never_serves(tmp_path):
+    from repro.service import (
+        CertificateCache,
+        ServiceConfig,
+        make_verify_request,
+        run_service,
+    )
+
+    root = str(tmp_path / "root")
+    req = make_verify_request(seed=0)
+    run_service(root, [req], ServiceConfig(workers=0))
+    cache = CertificateCache(os.path.join(root, "cache"))
+    with fi.inject(fi.service_cache_corruption()) as plan:
+        assert cache.get(req) is None  # rejected by the exact recheck
+    assert plan.fired_sites() == ["service.cache_corrupt_bundle"]
+    assert cache.eviction_log[-1][1] == "recheck"
+
+
+def test_service_torn_journal_write_loses_one_record(tmp_path):
+    from repro.service import JobJournal, replay_journal
+
+    path = str(tmp_path / "journal.jsonl")
+    journal = JobJournal(path)
+    journal.append("submit", "k1", request={"kind": "custom"})
+    with fi.inject(fi.service_torn_journal_write()) as plan:
+        journal.append("complete", "k1")
+    journal.close()
+    assert plan.fired_sites() == ["service.journal_torn_write"]
+    state = replay_journal(path)
+    assert state.torn_records == 1
+    assert state.jobs["k1"]["status"] == "pending"  # torn, not applied

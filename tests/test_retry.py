@@ -1,0 +1,77 @@
+"""RetryPolicy: classification, backoff growth, deterministic jitter."""
+
+import math
+
+import pytest
+
+from repro.resilience import (
+    TERMINAL,
+    TRANSIENT,
+    BudgetExhausted,
+    CheckpointError,
+    RetryPolicy,
+    SolverNumericalError,
+    WorkerCrash,
+)
+
+
+def test_transient_kinds_classified():
+    policy = RetryPolicy()
+    assert policy.classify_kind("WorkerCrash") == TRANSIENT
+    assert policy.classify_kind("SolverNumericalError") == TRANSIENT
+    assert policy.classify(WorkerCrash("died")) == TRANSIENT
+    assert policy.classify(SolverNumericalError("nan")) == TRANSIENT
+
+
+def test_terminal_kinds_fail_fast():
+    policy = RetryPolicy()
+    assert policy.classify_kind("BudgetExhausted") == TERMINAL
+    assert policy.classify_kind("CheckpointError") == TERMINAL
+    assert policy.classify(BudgetExhausted("oot")) == TERMINAL
+    assert policy.classify(CheckpointError("bad")) == TERMINAL
+    # a kind the taxonomy does not know is not retried on faith
+    assert policy.classify_kind("SomethingNovel") == TERMINAL
+    assert policy.classify_kind(None) == TERMINAL
+
+
+def test_should_retry_respects_attempt_bound():
+    policy = RetryPolicy(max_attempts=3)
+    assert policy.should_retry_kind("WorkerCrash", 1)
+    assert policy.should_retry_kind("WorkerCrash", 2)
+    assert not policy.should_retry_kind("WorkerCrash", 3)
+    assert not policy.should_retry_kind("BudgetExhausted", 1)
+    assert policy.should_retry(WorkerCrash("died"), 1)
+    assert not policy.should_retry(BudgetExhausted("oot"), 1)
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(
+        base_delay_s=0.1, multiplier=2.0, max_delay_s=0.5, jitter=0.0
+    )
+    assert policy.delay_s(1) == pytest.approx(0.1)
+    assert policy.delay_s(2) == pytest.approx(0.2)
+    assert policy.delay_s(3) == pytest.approx(0.4)
+    assert policy.delay_s(4) == pytest.approx(0.5)  # capped
+    assert policy.delay_s(10) == pytest.approx(0.5)
+
+
+def test_jitter_is_deterministic_and_bounded():
+    policy = RetryPolicy(base_delay_s=1.0, multiplier=1.0, jitter=0.25)
+    seen = set()
+    for token in ("job-a", "job-b", "job-c"):
+        d1 = policy.delay_s(1, token=token)
+        d2 = policy.delay_s(1, token=token)
+        assert d1 == d2  # same token+attempt: same delay, every time
+        assert 0.75 <= d1 <= 1.25
+        seen.add(d1)
+    assert len(seen) == 3  # distinct tokens spread out
+    assert policy.delay_s(1, token="job-a") != policy.delay_s(
+        2, token="job-a"
+    )
+
+
+def test_delay_never_negative():
+    policy = RetryPolicy(base_delay_s=0.0, jitter=0.9)
+    for attempt in range(1, 5):
+        assert policy.delay_s(attempt, token="t") >= 0.0
+        assert math.isfinite(policy.delay_s(attempt, token="t"))
