@@ -16,7 +16,6 @@ from repro.controllers import (
 )
 from repro.dynamics import CCDS
 from repro.learner import LearnerConfig
-from repro.sets import Box
 from repro.verifier import VerifierConfig
 
 
@@ -64,7 +63,9 @@ class BenchmarkSpec:
             rng=rng,
         )
         K = lqr_gain(system)
-        assert isinstance(problem.psi, Box), "benchmark domains are boxes"
+        # cloning only needs to sample the domain, so any bounded region
+        # (box, or a composite like Q1's box-minus-obstacles) works
+        assert problem.psi.bounding_box is not None, "benchmark domains are bounded"
         behavior_clone(
             k,
             linear_feedback_fn(K),

@@ -18,7 +18,7 @@ import numpy as np
 from repro.benchmarks.spec import BenchmarkSpec
 from repro.dynamics import CCDS, ControlAffineSystem
 from repro.poly import Polynomial
-from repro.sets import Ball, Box
+from repro.sets import Ball, Box, DifferenceSet, UnionSet
 
 
 def _vars(n: int):
@@ -309,6 +309,33 @@ def c14_problem() -> CCDS:
 
 
 # ----------------------------------------------------------------------
+# Q1: 2D quadrotor with obstacles (region-algebra workload)
+# ----------------------------------------------------------------------
+def q1_problem() -> CCDS:
+    """Planar quadrotor hover (inner-loop-stabilized) in an obstacle-rich
+    workspace: the domain is a floor box minus a block and a pillar, and
+    the unsafe set is the union of those obstacles.  The composite
+    regions exercise the full region-algebra path — per-cell Putinar
+    certificates on the difference's cells, a union unsafe set, and the
+    exact Q recheck of every per-cell certificate."""
+    x1, x2 = _vars(2)
+    # position/velocity hover model after inner-loop attitude stabilization
+    f0 = [x2, -1.0 * x1 - 1.0 * x2]
+    system = ControlAffineSystem.single_input(f0, [0.0, 1.0])
+    block = Box([1.4, 1.4], [1.8, 1.8], name="block")
+    pillar = Ball([-1.2, -1.2], 0.35, name="pillar")
+    floor = Box.cube(2, -2.0, 2.0, name="floor")
+    return CCDS(
+        system,
+        theta=Ball([0.0, 0.0], 0.4, name="theta"),
+        psi=DifferenceSet(floor, [block, pillar], name="psi"),
+        xi=UnionSet([block, pillar], name="xi"),
+        name="Q1",
+        source="2D quadrotor-with-obstacles workload (region algebra)",
+    )
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 def _spec(**kw) -> BenchmarkSpec:
@@ -389,6 +416,13 @@ BENCHMARKS: Dict[str, BenchmarkSpec] = {
         name="C14", make_problem=c14_problem, source="[8] dReal quadcopter", d_f=1,
         n_x=12, b_hidden=(20,), lambda_hidden=None,
         inclusion_error_mode="empirical",
+    ),
+    "Q1": _spec(
+        name="Q1", make_problem=q1_problem,
+        source="obstacle workload (this repo)", d_f=1, n_x=2,
+        b_hidden=(10,), lambda_hidden=(5,),
+        notes="floor box minus block+pillar obstacles; unsafe set is the "
+        "union of the obstacles (per-cell certificates)",
     ),
 }
 

@@ -265,8 +265,15 @@ class SNBC:
         if self.problem.system.n_inputs == 0:
             return
         if self.inclusion is None:
-            if not isinstance(self.problem.psi, Box):
-                raise ValueError("polynomial inclusion needs a box domain Psi")
+            # meshable domains: boxes, and composites (box minus
+            # obstacles) that delegate mesh/effective_spacing to their
+            # base box (the Theorem 2 covering argument carries over —
+            # only obstacle deep-interior points are thinned)
+            if not hasattr(self.problem.psi, "mesh"):
+                raise ValueError(
+                    "polynomial inclusion needs a meshable domain Psi "
+                    "(a Box, or a composite region built on one)"
+                )
             with self.telemetry.span(
                 "snbc.inclusion", phase="inclusion"
             ) as span:

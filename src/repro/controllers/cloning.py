@@ -9,20 +9,20 @@ import numpy as np
 from repro.autodiff import Tensor
 from repro.controllers.controller import NNController
 from repro.nn import Adam
-from repro.sets import Box
+from repro.sets import SemialgebraicSet
 
 
 def behavior_clone(
     controller: NNController,
     expert: Callable[[np.ndarray], np.ndarray],
-    domain: Box,
+    domain: SemialgebraicSet,
     n_samples: int = 4096,
     epochs: int = 300,
     batch_size: int = 256,
     lr: float = 1e-2,
     rng: Optional[np.random.Generator] = None,
 ) -> float:
-    """Train ``controller`` to imitate ``expert`` on the domain box.
+    """Train ``controller`` to imitate ``expert`` on the (sampled) domain.
 
     Returns the final mean-squared imitation error.  This is the default
     route for producing the benchmark NN controllers (a deterministic,

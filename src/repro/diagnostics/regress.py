@@ -37,6 +37,12 @@ invariants (every job terminal, zero corrupt cache entries served,
 serial identity preserved), per-key outcome, and cache hit rate;
 retry/redelivery counts only warn.
 
+For ``BENCH_scenarios.json`` documents (see
+:mod:`repro.diagnostics.scenariobench`) the gate is hard on the sweep
+invariants (every outcome terminal, zero rational-recheck failures,
+minted expectations met), per-seed outcome, cell decomposition, and
+region-spec hash; verify timings only report.
+
 Exit codes: 0 no regression, 1 regression(s), 2 unreadable/invalid input.
 """
 
@@ -49,6 +55,12 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.diagnostics.bench import BENCH_KIND, TIMING_KEYS, load_bench
 from repro.diagnostics.perfbench import PERF_KIND, load_perf
+from repro.diagnostics.scenariobench import (
+    SCENARIO_KIND,
+    compare_scenario_benches,
+    load_scenario_bench,
+    render_scenario_table,
+)
 from repro.diagnostics.servicebench import (
     SERVICE_KIND,
     compare_service_benches,
@@ -281,6 +293,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         elif kind_old == SERVICE_KIND:
             old = load_service_bench(args.old)
             new = load_service_bench(args.new)
+        elif kind_old == SCENARIO_KIND:
+            old = load_scenario_bench(args.old)
+            new = load_scenario_bench(args.new)
         elif kind_old == BENCH_KIND:
             old = load_bench(args.old)
             new = load_bench(args.new)
@@ -289,6 +304,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if kind_old == SCENARIO_KIND:
+        outcome = compare_scenario_benches(
+            old, new, allow_missing=args.allow_missing
+        )
+        print(render_scenario_table(old, new))
+        for w in outcome["warnings"]:
+            print(f"warning: {w}")
+        if outcome["regressions"]:
+            print(f"\n{len(outcome['regressions'])} regression(s):")
+            for r in outcome["regressions"]:
+                print(f"  FAIL {r}")
+            return 1
+        print("\nno regressions")
+        return 0
 
     if kind_old == SERVICE_KIND:
         outcome = compare_service_benches(

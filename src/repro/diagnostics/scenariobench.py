@@ -1,0 +1,239 @@
+"""The ``BENCH_scenarios.json`` schema: obstacle-workload sweep results.
+
+Produced by ``benchmarks/run_bench_scenarios.py`` — a seeded batch of
+``repro.soundness.scenarios`` workloads (obstacle-rich regions, one
+closed-form barrier each) pushed through the per-cell SOS verifier and
+the exact rational recheck.  One document is one batch::
+
+    {
+      "schema_version": 1,
+      "kind": "BENCH_scenarios",
+      "scale": "sweep" | "smoke",
+      "generated_at": "<iso8601>",
+      "git_sha": "<sha or null>",
+      "platform": {...},
+      "config": {base_seed, count, time_budget_s},
+      "scenarios": {
+        "<seed>": {
+          "outcome": "certified"|"falsified"|"unsound"|"timeout"|"error",
+          "expected": "certifiable"|"infeasible",
+          "n_obstacles": <int>,
+          "cells": {"init": n, "unsafe": n, "lie": n},
+          "psi_spec_key": "<sha256[:16] of the region spec>",
+          "soundness_ok": <bool> | null,
+          "elapsed_seconds": <float>
+        }, ...
+      },
+      "counts": {total, certified, falsified, unsound, timeout, error},
+      "timings": {total_seconds, mean_verify_seconds,
+                  max_verify_seconds, per_condition_mean: {...}},
+      "invariants": {all_terminal, no_soundness_failures,
+                     expectations_met}
+    }
+
+``python -m repro.diagnostics.regress`` auto-detects the kind and gates
+two such documents hard on **invariants** (every outcome terminal, zero
+rational-recheck failures, expectations met), on **per-seed outcome**
+(the factory is a pure function of the seed, so any outcome flip is a
+real behavior change), on **cell counts** and the **region-spec hash**
+per seed (decomposition and canonicalization stability), and on
+**coverage**.  Timings are reported but soft — wall clocks are the
+machine's business, the geometry is ours.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.telemetry import collect_git_sha, platform_info
+
+SCENARIO_SCHEMA_VERSION = 1
+SCENARIO_KIND = "BENCH_scenarios"
+
+_OUTCOME_CLASSES = ("certified", "falsified", "unsound", "timeout", "error")
+
+
+def scenario_doc(
+    scale: str,
+    config: Dict[str, Any],
+    rows: Sequence[Dict[str, Any]],
+    invariants: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one BENCH_scenarios document from factory result rows."""
+    scenarios: Dict[str, Dict[str, Any]] = {}
+    per_condition: Dict[str, List[float]] = {}
+    for row in rows:
+        entry: Dict[str, Any] = {
+            "outcome": row.get("outcome"),
+            "expected": row.get("expected"),
+            "n_obstacles": int(row.get("params", {}).get("n_obstacles", 0)),
+            "cells": dict(row.get("cells", {})),
+            "psi_spec_key": row.get("psi_spec_key"),
+            "soundness_ok": row.get("soundness_ok"),
+            "elapsed_seconds": float(row.get("elapsed_seconds", 0.0)),
+        }
+        if row.get("error"):
+            entry["error"] = dict(row["error"])
+        scenarios[str(row["seed"])] = entry
+        for cond in row.get("conditions", []):
+            base = str(cond.get("name", "")).split("[", 1)[0]
+            per_condition.setdefault(base, []).append(
+                float(cond.get("elapsed_seconds", 0.0))
+            )
+
+    counts = {"total": len(rows)}
+    for outcome in _OUTCOME_CLASSES:
+        counts[outcome] = sum(
+            1 for row in rows if row.get("outcome") == outcome
+        )
+    elapsed = [float(row.get("elapsed_seconds", 0.0)) for row in rows]
+    timings = {
+        "total_seconds": round(sum(elapsed), 6),
+        "mean_verify_seconds": round(
+            sum(elapsed) / len(elapsed), 6
+        ) if elapsed else 0.0,
+        "max_verify_seconds": round(max(elapsed), 6) if elapsed else 0.0,
+        "per_condition_mean": {
+            name: round(sum(vals) / len(vals), 6)
+            for name, vals in sorted(per_condition.items())
+        },
+    }
+    if invariants is None:
+        from repro.soundness.scenarios import batch_invariants
+
+        invariants = batch_invariants(rows)
+    return {
+        "schema_version": SCENARIO_SCHEMA_VERSION,
+        "kind": SCENARIO_KIND,
+        "scale": scale,
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "git_sha": collect_git_sha(),
+        "platform": platform_info(),
+        "config": config,
+        "scenarios": scenarios,
+        "counts": counts,
+        "timings": timings,
+        "invariants": dict(invariants),
+    }
+
+
+def write_scenario_bench(path: str, doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Atomically write ``doc`` (tmp+rename, like every results file)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    with os.fdopen(fd, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, default=str)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return doc
+
+
+def load_scenario_bench(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("kind") != SCENARIO_KIND:
+        raise ValueError(f"{path}: not a {SCENARIO_KIND} document")
+    if doc.get("schema_version") != SCENARIO_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported schema_version "
+            f"{doc.get('schema_version')!r} "
+            f"(expected {SCENARIO_SCHEMA_VERSION})"
+        )
+    for field in ("scenarios", "counts", "invariants"):
+        if not isinstance(doc.get(field), dict):
+            raise ValueError(f"{path}: missing/invalid {field!r}")
+    return doc
+
+
+def compare_scenario_benches(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    allow_missing: bool = False,
+) -> Dict[str, List[str]]:
+    """Gate two BENCH_scenarios documents.
+
+    Hard: the NEW invariants (all outcomes terminal, no rational-recheck
+    failure, expectations met), any per-seed outcome flip, any per-seed
+    cell-count or region-spec-hash change, and coverage.  Soft: timings
+    (reported via the table, never gated).
+    """
+    regressions: List[str] = []
+    warnings: List[str] = []
+
+    inv = new.get("invariants", {})
+    if not inv.get("all_terminal", False):
+        regressions.append(
+            "invariant: not every scenario reached a terminal outcome"
+        )
+    if not inv.get("no_soundness_failures", False):
+        regressions.append(
+            "invariant: a certificate failed the exact rational recheck"
+        )
+    if not inv.get("expectations_met", False):
+        regressions.append(
+            "invariant: a scenario's outcome contradicts its minted "
+            "expectation (certifiable<->infeasible flip)"
+        )
+
+    for seed, o in old.get("scenarios", {}).items():
+        n = new.get("scenarios", {}).get(seed)
+        if n is None:
+            (warnings if allow_missing else regressions).append(
+                f"seed {seed}: present in OLD but missing from NEW"
+            )
+            continue
+        if n.get("outcome") != o.get("outcome"):
+            regressions.append(
+                f"seed {seed}: outcome flipped "
+                f"({o.get('outcome')} -> {n.get('outcome')})"
+            )
+            continue
+        if n.get("cells") != o.get("cells"):
+            regressions.append(
+                f"seed {seed}: cell decomposition changed "
+                f"({o.get('cells')} -> {n.get('cells')})"
+            )
+        if n.get("psi_spec_key") != o.get("psi_spec_key"):
+            regressions.append(
+                f"seed {seed}: region spec hash changed "
+                f"({o.get('psi_spec_key')} -> {n.get('psi_spec_key')})"
+            )
+    return {"regressions": regressions, "warnings": warnings}
+
+
+def render_scenario_table(
+    old: Dict[str, Any], new: Dict[str, Any]
+) -> str:
+    lines = []
+    header = f"{'outcome':<12}{'old':>8}{'new':>8}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for outcome in ("total",) + _OUTCOME_CLASSES:
+        lines.append(
+            f"{outcome:<12}"
+            f"{int(old.get('counts', {}).get(outcome, 0)):>8}"
+            f"{int(new.get('counts', {}).get(outcome, 0)):>8}"
+        )
+    flips = [
+        seed
+        for seed, o in old.get("scenarios", {}).items()
+        if (n := new.get("scenarios", {}).get(seed)) is not None
+        and n.get("outcome") != o.get("outcome")
+    ]
+    lines.append(
+        f"outcome flips: {len(flips)}"
+        + (f" (seeds {', '.join(sorted(flips)[:10])})" if flips else "")
+    )
+    o_t = old.get("timings", {})
+    n_t = new.get("timings", {})
+    lines.append(
+        f"mean verify: {float(o_t.get('mean_verify_seconds', 0)):.3f}s"
+        f" -> {float(n_t.get('mean_verify_seconds', 0)):.3f}s"
+        " (soft)"
+    )
+    return "\n".join(lines)

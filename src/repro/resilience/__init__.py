@@ -34,6 +34,7 @@ from repro.resilience.errors import (
     InclusionError,
     LearnerDivergence,
     ReproError,
+    SamplingError,
     SolverNumericalError,
     WorkerCrash,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "RecoveryPolicy",
     "ReproError",
     "RetryPolicy",
+    "SamplingError",
     "SolverNumericalError",
     "TERMINAL",
     "TERMINAL_KINDS",

@@ -17,7 +17,9 @@ on messages or swallowing bare ``Exception``:
 * :class:`WorkerCrash` — a parallel-pool worker died mid-task (e.g.
   OOM-killed); the task is retried serially where possible;
 * :class:`CheckpointError` — a CEGIS checkpoint could not be written,
-  read, or does not match the run it is resumed into.
+  read, or does not match the run it is resumed into;
+* :class:`SamplingError` — rejection sampling of a region exhausted its
+  attempt budget (empty or near-measure-zero set).
 
 Each error carries a ``phase`` (pipeline stage) and a free-form
 ``details`` mapping for telemetry; ``to_dict()`` renders both for
@@ -119,3 +121,16 @@ class CheckpointError(ReproError):
     """A CEGIS checkpoint is unreadable, unwritable, or mismatched."""
 
     default_phase = "checkpoint"
+
+
+class SamplingError(ReproError):
+    """Rejection sampling of a region exhausted its attempt budget.
+
+    Raised by :meth:`repro.sets.SemialgebraicSet.sample` (and the region
+    algebra built on it) when the acceptance rate is too low — an empty
+    or near-measure-zero set, or a difference whose obstacles cover
+    almost all of the base.  Carries ``region``, ``requested`` and
+    ``attempts`` details for telemetry.
+    """
+
+    default_phase = "sampling"

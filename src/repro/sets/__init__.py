@@ -1,12 +1,35 @@
-"""Compact semialgebraic sets: boxes, balls, and generic constraint sets.
+"""Compact semialgebraic sets: boxes, balls, generic sets, and algebra.
 
 The SNBC pipeline assumes the initial set Theta, the domain Psi and the
 unsafe set Xi are compact semialgebraic sets described by polynomial
 inequalities ``g_i(x) >= 0``.  This package provides those descriptions plus
 sampling (needed by the Learner) and membership tests (needed by the
 counterexample generator).
+
+:mod:`repro.sets.algebra` adds composite regions — :class:`UnionSet`
+("union of rooms") and :class:`DifferenceSet` ("box minus obstacles") —
+with exact membership, stratified sampling, a basic-cell
+``decompose()`` contract consumed by the verifiers, and a serializable
+:class:`RegionSpec` whose canonical hash keeps service request
+manifests content-addressed.
 """
 
+from repro.sets.algebra import (
+    DifferenceSet,
+    RegionAlgebraError,
+    RegionSpec,
+    UnionSet,
+    region_spec_of,
+)
 from repro.sets.semialgebraic import Ball, Box, SemialgebraicSet
 
-__all__ = ["Box", "Ball", "SemialgebraicSet"]
+__all__ = [
+    "Ball",
+    "Box",
+    "DifferenceSet",
+    "RegionAlgebraError",
+    "RegionSpec",
+    "SemialgebraicSet",
+    "UnionSet",
+    "region_spec_of",
+]

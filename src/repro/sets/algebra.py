@@ -1,0 +1,631 @@
+"""Region algebra: unions and differences of semialgebraic pieces.
+
+The paper's regions (Theta, Psi, Xi) are compact semialgebraic sets,
+but a *basic* set ``{x : g_i(x) >= 0}`` cannot express the workloads
+that matter in practice — a workspace with obstacles carved out, or a
+safe set made of several rooms.  This module closes that gap with two
+composite region types plus a serializable :class:`RegionSpec`:
+
+* :class:`UnionSet` — a finite union of pieces, with exact membership
+  and volume-aware stratified sampling (per-piece proportional
+  allocation with first-container ownership, replacing naive
+  rejection);
+* :class:`DifferenceSet` — a base region minus obstacle regions
+  ("box minus obstacles"), with bounded rejection sampling off the
+  base's sampler;
+* :class:`RegionSpec` — a frozen, canonically-serializable description
+  of a composed region, so region geometry hashes stably into service
+  request manifests (content-addressed certificate cache).
+
+Soundness contract
+------------------
+
+Composite sets are **not** basic: they have no single conjunction of
+polynomial inequalities, so their ``.constraints`` raises a
+:class:`RegionAlgebraError` — any consumer that would silently treat a
+union as an intersection fails loudly instead.  The sound route is
+:meth:`SemialgebraicSet.decompose`: every region yields a finite tuple
+of *basic* cells whose union **covers** the region (cells are closed,
+so a difference's cells include the obstacle boundaries — a
+superset, hence verifying a nonnegativity condition on every cell is
+at least as strong as verifying it on the region).  Downstream:
+
+* the SOS verifier proves one Putinar certificate per cell and
+  conjoins them in the ``ConditionReport``/``CertificateBundle``;
+* the interval/SMT verifier branches its contractor over cells;
+* the exact checker re-proves each per-cell certificate over Q
+  unchanged (a certificate carries its own constraints and box).
+
+Cell construction for a difference intersects the base's cells with
+closed complement pieces of each obstacle: a :class:`Ball` (or any
+single-constraint obstacle) contributes one negated constraint, while
+a :class:`Box` obstacle splits into its ``2n`` closed face half-spaces
+``{x_i <= lo_i}`` / ``{x_i >= hi_i}`` (cross product over obstacles).
+Cells clipped to an empty or face-degenerate box are pruned: such a
+cell lies inside an obstacle facet, and any of its points adjacent to
+the true difference is covered by a neighboring kept cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.poly import Polynomial
+from repro.sets.semialgebraic import Ball, Box, SemialgebraicSet
+
+
+class RegionAlgebraError(TypeError):
+    """A composite region was used where only a basic set is sound.
+
+    Deliberately a ``TypeError``: reaching for ``.constraints`` on a
+    union/difference is an API misuse (the caller must go through
+    ``decompose()``), not an operational failure.
+    """
+
+
+def _negate(g: Polynomial) -> Polynomial:
+    return Polynomial.constant(g.n_vars, 0.0) - g
+
+
+def _as_points(points: np.ndarray) -> Tuple[np.ndarray, bool]:
+    pts = np.asarray(points, dtype=float)
+    single = pts.ndim == 1
+    if single:
+        pts = pts[None, :]
+    return pts, single
+
+
+def _allocate(n_samples: int, weights: np.ndarray) -> np.ndarray:
+    """Largest-remainder apportionment of ``n_samples`` by ``weights``."""
+    weights = np.asarray(weights, dtype=float)
+    if not np.all(np.isfinite(weights)) or float(weights.sum()) <= 0.0:
+        weights = np.ones_like(weights)
+    quota = n_samples * weights / weights.sum()
+    counts = np.floor(quota).astype(int)
+    short = n_samples - int(counts.sum())
+    if short > 0:
+        order = np.argsort(-(quota - counts), kind="stable")
+        counts[order[:short]] += 1
+    return counts
+
+
+def _sampling_error(region: str, requested: int, attempts: int, got: int):
+    from repro.resilience.errors import SamplingError
+
+    return SamplingError(
+        f"rejection sampling failed for set {region or '<anonymous>'}: "
+        f"accepted {got}/{requested} after {attempts} attempts",
+        region=region or "<anonymous>",
+        requested=int(requested),
+        attempts=int(attempts),
+    )
+
+
+def _deep_interior_mask(
+    obstacle: SemialgebraicSet, pts: np.ndarray, depth: float
+) -> np.ndarray:
+    """Points strictly inside ``obstacle`` by metric depth ``> depth``.
+
+    Used to thin inclusion meshes: dropping only deep-interior points
+    keeps the remaining mesh a valid cover (at the effective spacing)
+    of the closed difference region.  Generic obstacles never drop
+    points — conservative, hence sound.
+    """
+    if isinstance(obstacle, Box):
+        return np.all(
+            (pts > obstacle.lo + depth) & (pts < obstacle.hi - depth), axis=1
+        )
+    if isinstance(obstacle, Ball):
+        inner = max(obstacle.radius - depth, 0.0)
+        return np.sum((pts - obstacle.center) ** 2, axis=1) < inner ** 2
+    return np.zeros(pts.shape[0], dtype=bool)
+
+
+@dataclass
+class _ComplementOption:
+    """One closed piece of an obstacle's complement within a cell box."""
+
+    constraints: Tuple[Polynomial, ...]
+    lo_clip: np.ndarray
+    hi_clip: np.ndarray
+
+
+def _complement_options(
+    obstacle: SemialgebraicSet, lo: np.ndarray, hi: np.ndarray
+) -> Optional[List[_ComplementOption]]:
+    """Closed complement pieces of ``obstacle`` relative to box (lo, hi).
+
+    Returns ``None`` when the obstacle's interior misses the box
+    entirely (no constraint needed).  Box obstacles split into their
+    2n face half-spaces with clipped boxes; single-constraint
+    obstacles (balls, generic ``{g >= 0}``) contribute one negated
+    constraint.
+    """
+    n = obstacle.n_vars
+    if isinstance(obstacle, Box):
+        if np.any(obstacle.hi <= lo) or np.any(obstacle.lo >= hi):
+            return None
+        options: List[_ComplementOption] = []
+        for i in range(n):
+            xi = Polynomial.variable(n, i)
+            below = Polynomial.constant(n, float(obstacle.lo[i])) - xi
+            hi_clip = hi.copy()
+            hi_clip[i] = min(hi_clip[i], float(obstacle.lo[i]))
+            options.append(_ComplementOption((below,), lo.copy(), hi_clip))
+            above = xi - Polynomial.constant(n, float(obstacle.hi[i]))
+            lo_clip = lo.copy()
+            lo_clip[i] = max(lo_clip[i], float(obstacle.hi[i]))
+            options.append(_ComplementOption((above,), lo_clip, hi.copy()))
+        return options
+    if isinstance(obstacle, Ball):
+        nearest = np.clip(obstacle.center, lo, hi)
+        if np.sum((nearest - obstacle.center) ** 2) >= obstacle.radius ** 2:
+            return None
+        g = obstacle.constraints[0]
+        return [_ComplementOption((_negate(g),), lo.copy(), hi.copy())]
+    if len(obstacle.constraints) == 1:
+        g = obstacle.constraints[0]
+        return [_ComplementOption((_negate(g),), lo.copy(), hi.copy())]
+    raise RegionAlgebraError(
+        f"obstacle {obstacle.name or '<anonymous>'} has "
+        f"{len(obstacle.constraints)} constraints; only Box, Ball, or "
+        "single-constraint obstacles have a basic-cell complement "
+        "decomposition"
+    )
+
+
+class UnionSet(SemialgebraicSet):
+    """A finite union of semialgebraic pieces.
+
+    Membership is exact (a point belongs iff any piece contains it).
+    Sampling is stratified: the request is apportioned across pieces
+    proportionally to :meth:`volume_estimate`, and a draw from piece
+    ``i`` is *owned* by that piece only if no earlier piece contains it
+    — overlap mass is never double-counted.
+    """
+
+    def __init__(self, pieces: Sequence[SemialgebraicSet], name: str = ""):
+        pieces = tuple(pieces)
+        if not pieces:
+            raise ValueError("UnionSet needs at least one piece")
+        n = pieces[0].n_vars
+        for piece in pieces:
+            if piece.n_vars != n:
+                raise ValueError("union pieces must share the ambient dimension")
+            if piece.bounding_box is None:
+                raise ValueError(
+                    f"union piece {piece.name or '<anonymous>'} needs a "
+                    "bounding_box"
+                )
+        self.n_vars = n
+        self.pieces: Tuple[SemialgebraicSet, ...] = pieces
+        self.name = name
+        lo = np.min(np.stack([p.bounding_box[0] for p in pieces]), axis=0)
+        hi = np.max(np.stack([p.bounding_box[1] for p in pieces]), axis=0)
+        self.bounding_box = (lo, hi)
+
+    @property
+    def constraints(self) -> Tuple[Polynomial, ...]:
+        raise RegionAlgebraError(
+            f"UnionSet {self.name or '<anonymous>'} is not a basic "
+            "semialgebraic set; use decompose() and verify per cell"
+        )
+
+    def contains(self, points: np.ndarray, tol: float = 0.0) -> np.ndarray:
+        pts, single = _as_points(points)
+        mask = np.zeros(pts.shape[0], dtype=bool)
+        for piece in self.pieces:
+            mask |= np.asarray(piece.contains(pts, tol=tol))
+        return bool(mask[0]) if single else mask
+
+    def violation(self, points: np.ndarray) -> np.ndarray:
+        pts, single = _as_points(points)
+        worst = np.full(pts.shape[0], np.inf)
+        for piece in self.pieces:
+            worst = np.minimum(worst, np.asarray(piece.violation(pts)))
+        return float(worst[0]) if single else worst
+
+    def sample(
+        self,
+        n_samples: int,
+        rng: Optional[np.random.Generator] = None,
+        max_attempts: Optional[int] = None,
+    ) -> np.ndarray:
+        if n_samples <= 0:
+            return np.empty((0, self.n_vars))
+        rng = rng or np.random.default_rng()
+        weights = np.array([p.volume_estimate() for p in self.pieces])
+        counts = _allocate(int(n_samples), weights)
+        budget = (
+            int(max_attempts)
+            if max_attempts is not None
+            else 1000 * max(1, int(n_samples))
+        )
+        attempts = 0
+        chunks: List[np.ndarray] = []
+        for i, (piece, want) in enumerate(zip(self.pieces, counts)):
+            if want <= 0:
+                continue
+            got: List[np.ndarray] = []
+            have = 0
+            while have < want:
+                batch = piece.sample(max(64, int(want)), rng)
+                attempts += len(batch)
+                if i > 0 and len(batch):
+                    owned = np.ones(len(batch), dtype=bool)
+                    for earlier in self.pieces[:i]:
+                        owned &= ~np.asarray(earlier.contains(batch))
+                    batch = batch[owned]
+                if len(batch):
+                    got.append(batch)
+                    have += len(batch)
+                if attempts >= budget and have < want:
+                    raise _sampling_error(
+                        self.name, int(n_samples), attempts,
+                        sum(len(c) for c in chunks) + have,
+                    )
+            chunks.append(np.concatenate(got)[:want])
+        return np.concatenate(chunks)
+
+    def decompose(self) -> Tuple[SemialgebraicSet, ...]:
+        cells: List[SemialgebraicSet] = []
+        for piece in self.pieces:
+            cells.extend(piece.decompose())
+        return tuple(cells)
+
+    def volume_estimate(self) -> float:
+        return float(sum(p.volume_estimate() for p in self.pieces))
+
+    def mesh(self, spacing: float, max_points: int = 200_000) -> np.ndarray:
+        per_piece = max(1, max_points // len(self.pieces))
+        return np.concatenate(
+            [p.mesh(spacing, per_piece) for p in self.pieces]
+        )
+
+    def effective_spacing(
+        self, spacing: float, max_points: int = 200_000
+    ) -> float:
+        per_piece = max(1, max_points // len(self.pieces))
+        return max(
+            p.effective_spacing(spacing, per_piece) for p in self.pieces
+        )
+
+    def __repr__(self) -> str:
+        label = self.name or "UnionSet"
+        return f"{label}(pieces={len(self.pieces)}, n_vars={self.n_vars})"
+
+
+class DifferenceSet(SemialgebraicSet):
+    """A base region minus finitely many obstacle regions.
+
+    Membership follows the de Morgan reading: a point belongs iff it is
+    in the base and in **no** (closed) obstacle.  The cell
+    decomposition covers the closure of that set — see the module
+    docstring's soundness contract.
+    """
+
+    def __init__(
+        self,
+        base: SemialgebraicSet,
+        obstacles: Sequence[SemialgebraicSet],
+        name: str = "",
+    ):
+        if base.bounding_box is None:
+            raise ValueError(
+                f"difference base {base.name or '<anonymous>'} needs a "
+                "bounding_box"
+            )
+        obstacles = tuple(obstacles)
+        for o in obstacles:
+            if o.n_vars != base.n_vars:
+                raise ValueError(
+                    "obstacle dimension mismatch with difference base"
+                )
+            if not isinstance(o, (Box, Ball)) and len(o.constraints) != 1:
+                raise RegionAlgebraError(
+                    f"obstacle {o.name or '<anonymous>'} must be a Box, a "
+                    "Ball, or a single-constraint set (its complement must "
+                    "decompose into basic cells)"
+                )
+        self.n_vars = base.n_vars
+        self.base = base
+        self.obstacles: Tuple[SemialgebraicSet, ...] = obstacles
+        self.name = name
+        lo, hi = base.bounding_box
+        self.bounding_box = (lo.copy(), hi.copy())
+
+    @property
+    def constraints(self) -> Tuple[Polynomial, ...]:
+        raise RegionAlgebraError(
+            f"DifferenceSet {self.name or '<anonymous>'} is not a basic "
+            "semialgebraic set; use decompose() and verify per cell"
+        )
+
+    def contains(self, points: np.ndarray, tol: float = 0.0) -> np.ndarray:
+        pts, single = _as_points(points)
+        mask = np.asarray(self.base.contains(pts, tol=tol))
+        for o in self.obstacles:
+            mask &= ~np.asarray(o.contains(pts, tol=-tol))
+        return bool(mask[0]) if single else mask
+
+    def violation(self, points: np.ndarray) -> np.ndarray:
+        pts, single = _as_points(points)
+        worst = np.asarray(self.base.violation(pts), dtype=float)
+        for o in self.obstacles:
+            depth = np.full(pts.shape[0], np.inf)
+            for g in o.constraints:
+                depth = np.minimum(depth, np.asarray(g(pts)))
+            worst = np.maximum(worst, np.maximum(depth, 0.0))
+        return float(worst[0]) if single else worst
+
+    def sample(
+        self,
+        n_samples: int,
+        rng: Optional[np.random.Generator] = None,
+        max_attempts: Optional[int] = None,
+    ) -> np.ndarray:
+        if n_samples <= 0:
+            return np.empty((0, self.n_vars))
+        rng = rng or np.random.default_rng()
+        budget = (
+            int(max_attempts)
+            if max_attempts is not None
+            else 1000 * max(1, int(n_samples))
+        )
+        out: List[np.ndarray] = []
+        have = 0
+        attempts = 0
+        while have < n_samples:
+            batch = self.base.sample(max(64, int(n_samples)), rng)
+            attempts += len(batch)
+            keep = np.ones(len(batch), dtype=bool)
+            for o in self.obstacles:
+                keep &= ~np.asarray(o.contains(batch))
+            batch = batch[keep]
+            if len(batch):
+                out.append(batch)
+                have += len(batch)
+            if attempts >= budget and have < n_samples:
+                raise _sampling_error(self.name, int(n_samples), attempts, have)
+        return np.concatenate(out)[:n_samples]
+
+    def decompose(self) -> Tuple[SemialgebraicSet, ...]:
+        label = self.name or "diff"
+        cells: List[SemialgebraicSet] = []
+        for bcell in self.base.decompose():
+            blo, bhi = bcell.bounding_box
+            option_sets = []
+            for o in self.obstacles:
+                opts = _complement_options(o, blo, bhi)
+                if opts is not None:
+                    option_sets.append(opts)
+            for combo in itertools.product(*option_sets):
+                lo = blo.copy()
+                hi = bhi.copy()
+                extra: List[Polynomial] = []
+                for opt in combo:
+                    extra.extend(opt.constraints)
+                    lo = np.maximum(lo, opt.lo_clip)
+                    hi = np.minimum(hi, opt.hi_clip)
+                if np.any(lo > hi):
+                    continue
+                # a cell clipped flat in a coordinate where the base cell
+                # had width lies inside an obstacle facet; its difference-
+                # adjacent points belong to a neighboring kept cell
+                if np.any((hi - lo <= 0) & (bhi - blo > 0)):
+                    continue
+                cells.append(
+                    SemialgebraicSet(
+                        self.n_vars,
+                        tuple(bcell.constraints) + tuple(extra),
+                        bounding_box=(lo, hi),
+                        name=f"{label}[{len(cells)}]",
+                    )
+                )
+        return tuple(cells)
+
+    def volume_estimate(self) -> float:
+        base_vol = self.base.volume_estimate()
+        lo, hi = self.bounding_box
+        carved = 0.0
+        for o in self.obstacles:
+            olo, ohi = o.bounding_box
+            clipped = np.maximum(
+                np.minimum(ohi, hi) - np.maximum(olo, lo), 0.0
+            )
+            carved += float(np.prod(clipped))
+        return max(base_vol - carved, 0.01 * base_vol)
+
+    def mesh(self, spacing: float, max_points: int = 200_000) -> np.ndarray:
+        pts = self.base.mesh(spacing, max_points)
+        depth = self.base.effective_spacing(spacing, max_points)
+        keep = np.ones(pts.shape[0], dtype=bool)
+        for o in self.obstacles:
+            keep &= ~_deep_interior_mask(o, pts, depth)
+        return pts[keep]
+
+    def effective_spacing(
+        self, spacing: float, max_points: int = 200_000
+    ) -> float:
+        return self.base.effective_spacing(spacing, max_points)
+
+    def __repr__(self) -> str:
+        label = self.name or "DifferenceSet"
+        return (
+            f"{label}(base={self.base!r}, obstacles={len(self.obstacles)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# serializable region specifications
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """A canonical, hashable description of a composed region.
+
+    ``RegionSpec`` is what crosses process and cache boundaries: it
+    serializes to a canonical nested dict (:meth:`to_dict`), rebuilds
+    the concrete set (:meth:`build`), and hashes stably
+    (:meth:`canonical_key`) so service request manifests that embed a
+    region stay content-addressed.  All fields are tuples — the spec is
+    frozen and usable as a dict key.
+    """
+
+    kind: str  # "box" | "ball" | "union" | "difference"
+    name: str = ""
+    lo: Optional[Tuple[float, ...]] = None
+    hi: Optional[Tuple[float, ...]] = None
+    center: Optional[Tuple[float, ...]] = None
+    radius: Optional[float] = None
+    pieces: Tuple["RegionSpec", ...] = field(default_factory=tuple)
+    base: Optional["RegionSpec"] = None
+    obstacles: Tuple["RegionSpec", ...] = field(default_factory=tuple)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def box(
+        cls, lo: Sequence[float], hi: Sequence[float], name: str = ""
+    ) -> "RegionSpec":
+        return cls(
+            kind="box",
+            name=name,
+            lo=tuple(float(v) for v in lo),
+            hi=tuple(float(v) for v in hi),
+        )
+
+    @classmethod
+    def ball(
+        cls, center: Sequence[float], radius: float, name: str = ""
+    ) -> "RegionSpec":
+        return cls(
+            kind="ball",
+            name=name,
+            center=tuple(float(v) for v in center),
+            radius=float(radius),
+        )
+
+    @classmethod
+    def union_of(cls, *pieces: "RegionSpec", name: str = "") -> "RegionSpec":
+        return cls(kind="union", name=name, pieces=tuple(pieces))
+
+    @classmethod
+    def difference(
+        cls, base: "RegionSpec", *obstacles: "RegionSpec", name: str = ""
+    ) -> "RegionSpec":
+        return cls(
+            kind="difference", name=name, base=base, obstacles=tuple(obstacles)
+        )
+
+    @classmethod
+    def box_minus_obstacles(
+        cls,
+        lo: Sequence[float],
+        hi: Sequence[float],
+        obstacles: Sequence["RegionSpec"],
+        name: str = "",
+    ) -> "RegionSpec":
+        return cls.difference(
+            cls.box(lo, hi, name=f"{name}_base" if name else ""),
+            *obstacles,
+            name=name,
+        )
+
+    # -- realization ----------------------------------------------------
+    def build(self) -> SemialgebraicSet:
+        if self.kind == "box":
+            return Box(list(self.lo), list(self.hi), name=self.name)
+        if self.kind == "ball":
+            return Ball(list(self.center), self.radius, name=self.name)
+        if self.kind == "union":
+            return UnionSet(
+                [p.build() for p in self.pieces], name=self.name
+            )
+        if self.kind == "difference":
+            return DifferenceSet(
+                self.base.build(),
+                [o.build() for o in self.obstacles],
+                name=self.name,
+            )
+        raise ValueError(f"unknown region kind {self.kind!r}")
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"kind": self.kind, "name": self.name}
+        if self.kind == "box":
+            doc["lo"] = list(self.lo)
+            doc["hi"] = list(self.hi)
+        elif self.kind == "ball":
+            doc["center"] = list(self.center)
+            doc["radius"] = self.radius
+        elif self.kind == "union":
+            doc["pieces"] = [p.to_dict() for p in self.pieces]
+        elif self.kind == "difference":
+            doc["base"] = self.base.to_dict()
+            doc["obstacles"] = [o.to_dict() for o in self.obstacles]
+        else:
+            raise ValueError(f"unknown region kind {self.kind!r}")
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "RegionSpec":
+        kind = doc.get("kind")
+        name = doc.get("name", "")
+        if kind == "box":
+            return cls.box(doc["lo"], doc["hi"], name=name)
+        if kind == "ball":
+            return cls.ball(doc["center"], doc["radius"], name=name)
+        if kind == "union":
+            return cls.union_of(
+                *[cls.from_dict(p) for p in doc["pieces"]], name=name
+            )
+        if kind == "difference":
+            return cls.difference(
+                cls.from_dict(doc["base"]),
+                *[cls.from_dict(o) for o in doc["obstacles"]],
+                name=name,
+            )
+        raise ValueError(f"unknown region kind {kind!r}")
+
+    def canonical_json(self) -> str:
+        return json.dumps(
+            self.to_dict(),
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+
+    def canonical_key(self) -> str:
+        return hashlib.sha256(
+            self.canonical_json().encode("utf-8")
+        ).hexdigest()
+
+
+def region_spec_of(region: SemialgebraicSet) -> RegionSpec:
+    """Recover the :class:`RegionSpec` describing a concrete region."""
+    if isinstance(region, Box):
+        return RegionSpec.box(region.lo, region.hi, name=region.name)
+    if isinstance(region, Ball):
+        return RegionSpec.ball(
+            region.center, region.radius, name=region.name
+        )
+    if isinstance(region, UnionSet):
+        return RegionSpec.union_of(
+            *[region_spec_of(p) for p in region.pieces], name=region.name
+        )
+    if isinstance(region, DifferenceSet):
+        return RegionSpec.difference(
+            region_spec_of(region.base),
+            *[region_spec_of(o) for o in region.obstacles],
+            name=region.name,
+        )
+    raise RegionAlgebraError(
+        f"cannot derive a RegionSpec for {type(region).__name__} "
+        f"{region.name or '<anonymous>'}"
+    )

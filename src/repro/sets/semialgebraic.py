@@ -79,28 +79,51 @@ class SemialgebraicSet:
         return float(worst[0]) if single else worst
 
     def sample(
-        self, n_samples: int, rng: Optional[np.random.Generator] = None
+        self,
+        n_samples: int,
+        rng: Optional[np.random.Generator] = None,
+        max_attempts: Optional[int] = None,
     ) -> np.ndarray:
-        """Uniform-ish samples via rejection from the bounding box."""
+        """Uniform-ish samples via rejection from the bounding box.
+
+        The rejection loop is bounded: after ``max_attempts`` candidate
+        draws (default ``1000 * n_samples``) without filling the request
+        a typed :class:`~repro.resilience.errors.SamplingError` is
+        raised instead of spinning forever on an empty or
+        near-measure-zero set.
+        """
         if self.bounding_box is None:
             raise ValueError(
                 f"set {self.name or '<anonymous>'} needs a bounding_box to sample"
             )
+        if n_samples <= 0:
+            return np.empty((0, self.n_vars))
         rng = rng or np.random.default_rng()
         lo, hi = self.bounding_box
         out: List[np.ndarray] = []
         attempts = 0
-        max_attempts = 1000 * max(1, n_samples)
+        budget = (
+            int(max_attempts)
+            if max_attempts is not None
+            else 1000 * max(1, n_samples)
+        )
         while sum(len(b) for b in out) < n_samples:
             batch = rng.uniform(lo, hi, size=(max(64, n_samples), self.n_vars))
             keep = batch[self.contains(batch)]
             if len(keep):
                 out.append(keep)
             attempts += len(batch)
-            if attempts > max_attempts:
-                raise RuntimeError(
-                    f"rejection sampling failed for set {self.name or '<anonymous>'}"
-                    " (acceptance rate too low)"
+            if attempts >= budget and sum(len(b) for b in out) < n_samples:
+                from repro.resilience.errors import SamplingError
+
+                accepted = sum(len(b) for b in out)
+                raise SamplingError(
+                    f"rejection sampling failed for set "
+                    f"{self.name or '<anonymous>'}: accepted {accepted}/"
+                    f"{n_samples} after {attempts} attempts",
+                    region=self.name or "<anonymous>",
+                    requested=int(n_samples),
+                    attempts=int(attempts),
                 )
         return np.concatenate(out)[:n_samples]
 
@@ -110,6 +133,28 @@ class SemialgebraicSet:
             return np.asarray(points, dtype=float)
         lo, hi = self.bounding_box
         return np.clip(np.asarray(points, dtype=float), lo, hi)
+
+    def decompose(self) -> Tuple["SemialgebraicSet", ...]:
+        """Basic semialgebraic cells whose union covers this set.
+
+        A basic set is its own single cell.  Composite regions
+        (:class:`~repro.sets.algebra.UnionSet`,
+        :class:`~repro.sets.algebra.DifferenceSet`) override this to
+        return one basic cell per piece; downstream verifiers prove one
+        certificate per cell and conjoin the verdicts.
+        """
+        return (self,)
+
+    def volume_estimate(self) -> float:
+        """Deterministic volume (or over-estimate) used for stratified
+        allocation; the generic fallback is the bounding-box volume."""
+        if self.bounding_box is None:
+            raise ValueError(
+                f"set {self.name or '<anonymous>'} needs a bounding_box "
+                "for a volume estimate"
+            )
+        lo, hi = self.bounding_box
+        return float(np.prod(hi - lo))
 
     def __repr__(self) -> str:
         label = self.name or "SemialgebraicSet"
@@ -152,10 +197,15 @@ class Box(SemialgebraicSet):
         return bool(mask[0]) if single else mask
 
     def sample(
-        self, n_samples: int, rng: Optional[np.random.Generator] = None
+        self,
+        n_samples: int,
+        rng: Optional[np.random.Generator] = None,
+        max_attempts: Optional[int] = None,
     ) -> np.ndarray:
         rng = rng or np.random.default_rng()
-        return rng.uniform(self.lo, self.hi, size=(n_samples, self.n_vars))
+        return rng.uniform(
+            self.lo, self.hi, size=(max(0, n_samples), self.n_vars)
+        )
 
     def mesh(self, spacing: float, max_points: int = 200_000) -> np.ndarray:
         """Rectangular mesh with the given spacing (Chebyshev inclusion, §3).
@@ -190,6 +240,9 @@ class Box(SemialgebraicSet):
     def volume(self) -> float:
         """Lebesgue volume of the box."""
         return float(np.prod(self.hi - self.lo))
+
+    def volume_estimate(self) -> float:
+        return self.volume()
 
     def __repr__(self) -> str:
         label = self.name or "Box"
@@ -226,14 +279,26 @@ class Ball(SemialgebraicSet):
         return bool(mask[0]) if single else mask
 
     def sample(
-        self, n_samples: int, rng: Optional[np.random.Generator] = None
+        self,
+        n_samples: int,
+        rng: Optional[np.random.Generator] = None,
+        max_attempts: Optional[int] = None,
     ) -> np.ndarray:
         """Exact uniform sampling in the ball (normalized Gaussian trick)."""
         rng = rng or np.random.default_rng()
+        n_samples = max(0, n_samples)
         direction = rng.normal(size=(n_samples, self.n_vars))
-        direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+        norms = np.linalg.norm(direction, axis=1, keepdims=True)
+        direction /= np.where(norms > 0, norms, 1.0)
         r = self.radius * rng.uniform(size=(n_samples, 1)) ** (1.0 / self.n_vars)
         return self.center + direction * r
+
+    def volume_estimate(self) -> float:
+        """Exact ball volume ``r^n * pi^(n/2) / Gamma(n/2 + 1)``."""
+        n = self.n_vars
+        from math import gamma, pi
+
+        return float(self.radius ** n * pi ** (n / 2.0) / gamma(n / 2.0 + 1.0))
 
     def __repr__(self) -> str:
         label = self.name or "Ball"

@@ -395,6 +395,74 @@ def semialgebraic_sets(n_vars: int) -> Strategy:
     return Strategy(generate, name=f"semialgebraic_sets(n={n_vars})")
 
 
+def region_specs(n_vars: int = 2, max_obstacles: int = 3) -> Strategy:
+    """A composed region described by :class:`repro.sets.RegionSpec`:
+    a box, a ball, a union of 2-3 pieces, or a floor box with 1-3
+    Box/Ball obstacles punched out.  Shrinks by dropping union pieces /
+    difference obstacles, collapsing composites to their simplest
+    member, and rounding geometry — so a failing composite minimizes
+    toward the smallest spec that still exhibits the failure."""
+    from repro.sets import RegionSpec
+
+    def basic(rng: random.Random, tag: str) -> "RegionSpec":
+        center = [round(rng.uniform(-1.5, 1.5), 3) for _ in range(n_vars)]
+        if rng.random() < 0.5:
+            return RegionSpec.ball(
+                center, round(rng.uniform(0.2, 0.6), 3), name=tag
+            )
+        half = [round(rng.uniform(0.15, 0.6), 3) for _ in range(n_vars)]
+        return RegionSpec.box(
+            [c - h for c, h in zip(center, half)],
+            [c + h for c, h in zip(center, half)],
+            name=tag,
+        )
+
+    def generate(rng: random.Random) -> "RegionSpec":
+        roll = rng.random()
+        if roll < 0.2:
+            return basic(rng, "basic")
+        if roll < 0.5:
+            pieces = [basic(rng, f"piece{i}") for i in range(rng.randint(2, 3))]
+            return RegionSpec.union_of(*pieces, name="union")
+        floor = RegionSpec.box(
+            [-2.0] * n_vars, [2.0] * n_vars, name="floor"
+        )
+        obstacles = [
+            basic(rng, f"obstacle{i}")
+            for i in range(rng.randint(1, max_obstacles))
+        ]
+        return RegionSpec.difference(floor, *obstacles, name="difference")
+
+    def simplify(spec: "RegionSpec") -> Iterator["RegionSpec"]:
+        if spec.kind == "union":
+            for i in range(len(spec.pieces)):
+                rest = spec.pieces[:i] + spec.pieces[i + 1:]
+                if len(rest) == 1:
+                    yield rest[0]
+                elif rest:
+                    yield RegionSpec.union_of(*rest, name=spec.name)
+        elif spec.kind == "difference":
+            yield spec.base
+            for i in range(len(spec.obstacles)):
+                rest = spec.obstacles[:i] + spec.obstacles[i + 1:]
+                if rest:
+                    yield RegionSpec.difference(
+                        spec.base, *rest, name=spec.name
+                    )
+        elif spec.kind == "ball":
+            unit = RegionSpec.ball([0.0] * n_vars, 0.5, name=spec.name)
+            if spec != unit:
+                yield unit
+        elif spec.kind == "box":
+            unit = RegionSpec.box(
+                [-0.5] * n_vars, [0.5] * n_vars, name=spec.name
+            )
+            if spec != unit:
+                yield unit
+
+    return Strategy(generate, simplify, f"region_specs(n={n_vars})")
+
+
 def sdp_problems(
     max_block: int = 3, max_constraints: int = 4
 ) -> Strategy:
@@ -610,6 +678,7 @@ __all__ = [
     "sos_polynomials",
     "boxes",
     "semialgebraic_sets",
+    "region_specs",
     "sdp_problems",
     "ccds_instances",
     "SEED_ENV",

@@ -99,12 +99,14 @@ class IntervalVerifier:
             contractor=contractor,
         )
 
-    def _check(self, target: Polynomial, region: SemialgebraicSet) -> CheckOutcome:
-        engine = self._engine(region)
-        lo, hi = region.bounding_box
+    def _check_cell(
+        self, target: Polynomial, cell: SemialgebraicSet
+    ) -> CheckOutcome:
+        engine = self._engine(cell)
+        lo, hi = cell.bounding_box
         enclosure = MeanValueEnclosure(target)
         region_encs = [
-            (lambda a, b, g=g: poly_enclosure(g, a, b)) for g in region.constraints
+            (lambda a, b, g=g: poly_enclosure(g, a, b)) for g in cell.constraints
         ]
         return engine.check_forall(
             enclosure,
@@ -112,7 +114,44 @@ class IntervalVerifier:
             lo,
             hi,
             region_enclosures=region_encs,
-            region_point=lambda pts: region.contains(pts),
+            region_point=lambda pts: cell.contains(pts),
+        )
+
+    def _check(self, target: Polynomial, region: SemialgebraicSet) -> CheckOutcome:
+        """Branch-and-prune over every basic cell of ``region``.
+
+        Composite regions (unions, differences) decompose into basic
+        cells; the contractor runs per cell over that cell's own
+        constraints.  The conjunction short-circuits: the first cell
+        that is not PROVED decides the outcome (its witness, if any, is
+        a genuine counterexample candidate on that cell).  Basic
+        regions are their own single cell — identical to the pre-cell
+        behavior.
+        """
+        cells = region.decompose()
+        total_boxes = 0
+        elapsed = 0.0
+        outcome: Optional[CheckOutcome] = None
+        for cell in cells:
+            outcome = self._check_cell(target, cell)
+            total_boxes += outcome.boxes_processed
+            elapsed += outcome.elapsed_seconds
+            if outcome.status is not CheckStatus.PROVED:
+                break
+        assert outcome is not None
+        if len(cells) == 1:
+            return outcome
+        return CheckOutcome(
+            status=outcome.status,
+            witness=outcome.witness,
+            witness_value=outcome.witness_value,
+            boxes_processed=total_boxes,
+            elapsed_seconds=elapsed,
+            message=(
+                f"{outcome.message} [{len(cells)} cells]"
+                if outcome.message
+                else f"[{len(cells)} cells]"
+            ),
         )
 
     def _endpoints(self) -> List[Tuple[float, ...]]:

@@ -66,6 +66,33 @@ def _solve_sdp_task(
 PAPER_CONDITION_NUMBERS = {"init": 13, "unsafe": 14, "lie": 15}
 
 
+def _condition_base(name: str) -> str:
+    """Family of a condition name: ``init``/``unsafe``/``lie``.
+
+    Strips both endpoint tags (``lie[w=...]``) and per-cell suffixes
+    (``init[cell1]``, ``lie[w=...][cell0]``) added for decomposed
+    regions.
+    """
+    return name.split("[", 1)[0]
+
+
+def _cell_name(name: str, idx: int, n_cells: int) -> str:
+    """Per-cell condition name; single-cell regions keep the bare name
+    so basic-set verifications are reported (and cached) exactly as
+    before the region algebra existed."""
+    return name if n_cells == 1 else f"{name}[cell{idx}]"
+
+
+def _ws_key(base: str, idx: int, n_cells: int) -> Optional[str]:
+    """Workspace-cache key for one cell of a condition's region.
+
+    Single-cell regions keep the bare family key (``init``/``unsafe``/
+    ``lie``) — the pre-region-algebra cache layout, byte for byte;
+    decomposed regions get one workspace per cell because cells carry
+    different constraint polynomials."""
+    return None if n_cells == 1 else f"{base}#c{idx}"
+
+
 @dataclass
 class VerifierConfig:
     """Knobs for the LMI feasibility sub-problems.
@@ -179,7 +206,9 @@ class VerificationResult:
     sound: the invariance argument only needs ``Bdot > 0`` on the zero
     level set of ``B``, where the ``lambda B`` term vanishes, and there the
     affine-in-``w`` derivative is positive at both endpoints hence for all
-    intermediate ``w``.
+    intermediate ``w``.  The same argument covers a different lambda per
+    decomposed-region *cell* (``lie[cell0]``, ``lie[cell1]``, ...): the
+    pointwise requirement holds on every cell, and the cells cover Psi.
     """
 
     ok: bool
@@ -278,12 +307,18 @@ class SOSVerifier:
         margin: float,
         free_lambda_times: Optional[Polynomial] = None,
         endpoint: Tuple[float, ...] = (),
+        ws_key: Optional[str] = None,
     ) -> _PreparedCondition:
         """Build the SDP for ``expr - sum sigma_i g_i - margin (+ lambda *
-        B) in SOS``, through the cached workspace when enabled."""
+        B) in SOS``, through the cached workspace when enabled.
+
+        ``ws_key`` scopes the workspace cache: cells of a decomposed
+        region carry different constraint polynomials, so each cell gets
+        its own workspace (endpoints of the same cell still share one).
+        """
         cfg = self.config
         tel = get_telemetry()
-        base = "lie" if name.startswith("lie") else name
+        base = _condition_base(name)
         n = self.problem.n_vars
         target_deg = expr_known.degree
         if free_lambda_times is not None:
@@ -295,10 +330,11 @@ class SOSVerifier:
         ]
         if cfg.workspace_cache:
             lam_deg = cfg.lambda_degree if free_lambda_times is not None else None
-            ws = self._workspaces.get(base)
+            cache_key = ws_key if ws_key is not None else base
+            ws = self._workspaces.get(cache_key)
             if ws is None or not ws.matches(mult_degs, lam_deg):
                 ws = ConditionWorkspace(n, region.constraints, mult_degs, lam_deg)
-                self._workspaces[base] = ws
+                self._workspaces[cache_key] = ws
                 tel.metrics.inc("verifier.workspace.misses")
             else:
                 tel.metrics.inc("verifier.workspace.hits")
@@ -505,6 +541,7 @@ class SOSVerifier:
         margin: float,
         free_lambda_times: Optional[Polynomial] = None,
         endpoint: Tuple[float, ...] = (),
+        ws_key: Optional[str] = None,
     ) -> Tuple[
         ConditionReport, Optional[Polynomial], Optional[ConditionCertificate]
     ]:
@@ -517,7 +554,7 @@ class SOSVerifier:
         t0 = time.perf_counter()
         cfg = self.config
         tel = get_telemetry()
-        base = "lie" if name.startswith("lie") else name
+        base = _condition_base(name)
         with tel.span(
             "verifier.condition",
             condition=name,
@@ -525,7 +562,7 @@ class SOSVerifier:
         ) as span:
             prep = self._prepare(
                 name, expr_known, region, margin, free_lambda_times,
-                endpoint=endpoint,
+                endpoint=endpoint, ws_key=ws_key,
             )
             result = solve_sdp_resilient(
                 prep.sdp, cfg.sdp_options, cfg.recovery,
@@ -586,52 +623,73 @@ class SOSVerifier:
         lambda_poly: Optional[Polynomial] = None
         lambda_polys: dict = {}
 
-        # (13): B >= 0 on Theta
-        rep, _, cert = self._putinar_check(
-            "init", B, self.problem.theta, margin=cfg.eps_init
-        )
-        reports.append(rep)
-        if cert is not None:
-            certs.append(cert)
+        # (13): B >= 0 on Theta — one Putinar certificate per cell; a
+        # composite Theta passes only when every cell does (the cells
+        # cover the region, so the conjunction implies the condition)
+        theta_cells = self.problem.theta.decompose()
+        for ci, cell in enumerate(theta_cells):
+            rep, _, cert = self._putinar_check(
+                _cell_name("init", ci, len(theta_cells)),
+                B, cell, margin=cfg.eps_init, ws_key=_ws_key("init", ci, len(theta_cells)),
+            )
+            reports.append(rep)
+            if cert is not None:
+                certs.append(cert)
+            if not rep.ok:
+                break
 
         # (14): B < 0 on Xi  <=>  -B - eps1 >= 0
-        if rep.ok:
-            rep_u, _, cert_u = self._putinar_check(
-                "unsafe", -1.0 * B, self.problem.xi, margin=cfg.eps_unsafe
-            )
-            reports.append(rep_u)
-            if cert_u is not None:
-                certs.append(cert_u)
+        if all(r.ok for r in reports):
+            xi_cells = self.problem.xi.decompose()
+            for ci, cell in enumerate(xi_cells):
+                rep_u, _, cert_u = self._putinar_check(
+                    _cell_name("unsafe", ci, len(xi_cells)),
+                    -1.0 * B, cell, margin=cfg.eps_unsafe,
+                    ws_key=_ws_key("unsafe", ci, len(xi_cells)),
+                )
+                reports.append(rep_u)
+                if cert_u is not None:
+                    certs.append(cert_u)
+                if not rep_u.ok:
+                    break
         else:
             reports.append(
                 ConditionReport("unsafe", False, False, 0.0, "skipped (init failed)")
             )
 
-        # (15): Lie condition at every inclusion-error endpoint
+        # (15): Lie condition at every inclusion-error endpoint, per cell
         if all(r.ok for r in reports):
             endpoints = self._error_endpoints()
+            psi_cells = self.problem.psi.decompose()
+            failed = False
             for idx, w in enumerate(endpoints):
                 field_polys = self.problem.system.closed_loop(
                     self.controller_polys, error=list(w)
                 )
                 lfb = lie_derivative(B, field_polys)
-                name = "lie" if len(endpoints) == 1 else f"lie[w={np.round(w, 6).tolist()}]"
-                rep_l, lam, cert_l = self._putinar_check(
-                    name,
-                    lfb,
-                    self.problem.psi,
-                    margin=cfg.eps_lie,
-                    free_lambda_times=B,
-                    endpoint=w,
-                )
-                reports.append(rep_l)
-                if cert_l is not None:
-                    certs.append(cert_l)
-                if lam is not None:
-                    lambda_polys[name] = lam
-                    if lambda_poly is None:
-                        lambda_poly = lam
-                if not rep_l.ok:
+                ename = "lie" if len(endpoints) == 1 else f"lie[w={np.round(w, 6).tolist()}]"
+                for ci, cell in enumerate(psi_cells):
+                    name = _cell_name(ename, ci, len(psi_cells))
+                    rep_l, lam, cert_l = self._putinar_check(
+                        name,
+                        lfb,
+                        cell,
+                        margin=cfg.eps_lie,
+                        free_lambda_times=B,
+                        endpoint=w,
+                        ws_key=_ws_key("lie", ci, len(psi_cells)),
+                    )
+                    reports.append(rep_l)
+                    if cert_l is not None:
+                        certs.append(cert_l)
+                    if lam is not None:
+                        lambda_polys[name] = lam
+                        if lambda_poly is None:
+                            lambda_poly = lam
+                    if not rep_l.ok:
+                        failed = True
+                        break
+                if failed:
                     break
         else:
             reports.append(
@@ -671,25 +729,58 @@ class SOSVerifier:
         )
 
     def _lie_preps(self, B: Polynomial) -> List[_PreparedCondition]:
-        """Compile the Lie condition (15) at every inclusion-error endpoint."""
+        """Compile the Lie condition (15) at every inclusion-error
+        endpoint, per Psi cell."""
         cfg = self.config
         preps = []
         endpoints = self._error_endpoints()
+        psi_cells = self.problem.psi.decompose()
         for w in endpoints:
             field_polys = self.problem.system.closed_loop(
                 self.controller_polys, error=list(w)
             )
             lfb = lie_derivative(B, field_polys)
-            name = (
+            ename = (
                 "lie" if len(endpoints) == 1 else f"lie[w={np.round(w, 6).tolist()}]"
             )
-            preps.append(
-                self._prepare(
-                    name, lfb, self.problem.psi, cfg.eps_lie,
-                    free_lambda_times=B, endpoint=w,
+            for ci, cell in enumerate(psi_cells):
+                preps.append(
+                    self._prepare(
+                        _cell_name(ename, ci, len(psi_cells)),
+                        lfb, cell, cfg.eps_lie,
+                        free_lambda_times=B, endpoint=w,
+                        ws_key=_ws_key("lie", ci, len(psi_cells)),
+                    )
                 )
-            )
         return preps
+
+    def _condition_preps(
+        self, B: Polynomial
+    ) -> Tuple[List[_PreparedCondition], int, int]:
+        """Compile every condition SDP (per cell, per endpoint) up front.
+
+        Returns the prep list plus the init/unsafe cell counts so
+        :meth:`_assemble` can slice it back into condition groups.
+        """
+        cfg = self.config
+        theta_cells = self.problem.theta.decompose()
+        xi_cells = self.problem.xi.decompose()
+        preps = [
+            self._prepare(
+                _cell_name("init", ci, len(theta_cells)), B, cell,
+                cfg.eps_init, ws_key=_ws_key("init", ci, len(theta_cells)),
+            )
+            for ci, cell in enumerate(theta_cells)
+        ]
+        preps.extend(
+            self._prepare(
+                _cell_name("unsafe", ci, len(xi_cells)), -1.0 * B, cell,
+                cfg.eps_unsafe, ws_key=_ws_key("unsafe", ci, len(xi_cells)),
+            )
+            for ci, cell in enumerate(xi_cells)
+        )
+        preps.extend(self._lie_preps(B))
+        return preps, len(theta_cells), len(xi_cells)
 
     def _verify_parallel(
         self, B: Polynomial, t0: float, scale: float
@@ -706,11 +797,7 @@ class SOSVerifier:
         """
         cfg = self.config
         tel = get_telemetry()
-        preps = [
-            self._prepare("init", B, self.problem.theta, cfg.eps_init),
-            self._prepare("unsafe", -1.0 * B, self.problem.xi, cfg.eps_unsafe),
-        ]
-        preps.extend(self._lie_preps(B))
+        preps, n_init, n_unsafe = self._condition_preps(B)
 
         # trace propagation: when this run is traced, each submission
         # carries a TraceContext and a shard file the worker's session
@@ -784,7 +871,7 @@ class SOSVerifier:
         tel.metrics.inc("verifier.pool.tasks", len(preps))
         for p, res in zip(preps, results):
             self._note_warm(p.name, res)
-        return self._assemble(preps, results, B, t0, scale)
+        return self._assemble(preps, results, B, t0, scale, n_init, n_unsafe)
 
     def _verify_batched(
         self, B: Polynomial, t0: float, scale: float
@@ -801,11 +888,7 @@ class SOSVerifier:
         the pool path.
         """
         cfg = self.config
-        preps = [
-            self._prepare("init", B, self.problem.theta, cfg.eps_init),
-            self._prepare("unsafe", -1.0 * B, self.problem.xi, cfg.eps_unsafe),
-        ]
-        preps.extend(self._lie_preps(B))
+        preps, n_init, n_unsafe = self._condition_preps(B)
         results = solve_sdp_batch_resilient(
             [p.sdp for p in preps],
             cfg.sdp_options,
@@ -814,7 +897,7 @@ class SOSVerifier:
         )
         for p, res in zip(preps, results):
             self._note_warm(p.name, res)
-        return self._assemble(preps, results, B, t0, scale)
+        return self._assemble(preps, results, B, t0, scale, n_init, n_unsafe)
 
     def _assemble(
         self,
@@ -823,12 +906,16 @@ class SOSVerifier:
         B: Polynomial,
         t0: float,
         scale: float,
+        n_init: int = 1,
+        n_unsafe: int = 1,
     ) -> VerificationResult:
         """Turn eagerly-computed per-condition solves into the serial
         path's :class:`VerificationResult`: finish conditions in serial
         order and reconstruct the skip/short-circuit semantics (unsafe
         skipped after an init failure, the Lie loop stopping at the first
-        failing endpoint).  Shared by the pool and batched paths."""
+        failing endpoint/cell).  ``n_init``/``n_unsafe`` are the Theta/Xi
+        cell counts, slicing the flat prep list back into condition
+        groups.  Shared by the pool and batched paths."""
         tel = get_telemetry()
 
         def finish(prep: _PreparedCondition, res: SDPResult):
@@ -843,21 +930,32 @@ class SOSVerifier:
         certs: List[ConditionCertificate] = []
         lambda_poly: Optional[Polynomial] = None
         lambda_polys: dict = {}
-        rep_init, _, cert_i = finish(preps[0], results[0])
-        reports.append(rep_init)
-        if cert_i is not None:
-            certs.append(cert_i)
-        if rep_init.ok:
-            rep_u, _, cert_u = finish(preps[1], results[1])
-            reports.append(rep_u)
-            if cert_u is not None:
-                certs.append(cert_u)
+        for prep, res in zip(preps[:n_init], results[:n_init]):
+            rep_init, _, cert_i = finish(prep, res)
+            reports.append(rep_init)
+            if cert_i is not None:
+                certs.append(cert_i)
+            if not rep_init.ok:
+                break
+        if all(r.ok for r in reports):
+            for prep, res in zip(
+                preps[n_init:n_init + n_unsafe],
+                results[n_init:n_init + n_unsafe],
+            ):
+                rep_u, _, cert_u = finish(prep, res)
+                reports.append(rep_u)
+                if cert_u is not None:
+                    certs.append(cert_u)
+                if not rep_u.ok:
+                    break
         else:
             reports.append(
                 ConditionReport("unsafe", False, False, 0.0, "skipped (init failed)")
             )
         if all(r.ok for r in reports):
-            for prep, res in zip(preps[2:], results[2:]):
+            for prep, res in zip(
+                preps[n_init + n_unsafe:], results[n_init + n_unsafe:]
+            ):
                 rep_l, lam, cert_l = finish(prep, res)
                 reports.append(rep_l)
                 if cert_l is not None:

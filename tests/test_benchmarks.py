@@ -48,7 +48,9 @@ def test_registry_contains_all_rows():
     assert "example1" in names
     for i in range(1, 15):
         assert f"C{i}" in names
-    assert len(names) == 15
+    # Q1: the obstacle-rich region-algebra workload (docs/scenarios.md)
+    assert "Q1" in names
+    assert len(names) == 16
 
 
 def test_unknown_benchmark_raises():

@@ -1,0 +1,363 @@
+"""Region algebra: unions, differences, decomposition, spec hashing.
+
+Property-based (via :mod:`repro.soundness.strategies`) plus targeted
+regressions:
+
+* sampled points always satisfy ``contains`` (Union/Difference);
+* de Morgan reading of a difference — in the base and in no obstacle;
+* piece/cell decomposition consistency — the region is covered by its
+  basic cells, and every cell is basic (usable by the SOS verifier);
+* shrinking a failing composite produces a *minimal* failing spec;
+* the rejection-sampling attempt budget raises a typed
+  :class:`~repro.resilience.errors.SamplingError` instead of spinning;
+* ``RegionSpec`` canonical hashing is stable across dict round-trips,
+  rebuilds, and the service request manifest;
+* the per-cell SOS verdict is never contradicted by the independent
+  interval verifier (one-sided differential oracle).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience import SamplingError
+from repro.sets import (
+    Ball,
+    Box,
+    DifferenceSet,
+    RegionAlgebraError,
+    RegionSpec,
+    SemialgebraicSet,
+    UnionSet,
+    region_spec_of,
+)
+from repro.soundness.strategies import (
+    PropertyFailure,
+    region_specs,
+    resolve_seed,
+    run_property,
+)
+
+
+def _rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+# construction / membership basics
+# ----------------------------------------------------------------------
+class TestConstruction:
+    def test_union_contains_is_or(self):
+        u = UnionSet([Box([0, 0], [1, 1]), Ball([3, 0], 0.5)])
+        pts = np.array([[0.5, 0.5], [3.0, 0.0], [2.0, 2.0]])
+        assert u.contains(pts).tolist() == [True, True, False]
+
+    def test_difference_contains_is_and_not(self):
+        d = DifferenceSet(
+            Box([-1, -1], [1, 1]), [Box([-0.2, -0.2], [0.2, 0.2])]
+        )
+        pts = np.array([[0.5, 0.5], [0.0, 0.0], [2.0, 0.0]])
+        assert d.contains(pts).tolist() == [True, False, False]
+
+    def test_composite_constraints_raise(self):
+        u = UnionSet([Box([0, 0], [1, 1]), Box([2, 2], [3, 3])])
+        with pytest.raises(RegionAlgebraError):
+            _ = u.constraints
+
+    def test_difference_rejects_unsupported_obstacle(self):
+        multi = SemialgebraicSet(
+            2,
+            list(Box([0, 0], [1, 1]).constraints),
+            bounding_box=([0, 0], [1, 1]),
+        )
+        with pytest.raises(RegionAlgebraError):
+            DifferenceSet(Box([-2, -2], [2, 2]), [multi])
+
+    def test_violation_signs(self):
+        d = DifferenceSet(
+            Box([-1, -1], [1, 1]), [Box([-0.2, -0.2], [0.2, 0.2])]
+        )
+        inside = d.violation(np.array([[0.6, 0.6]]))
+        in_obstacle = d.violation(np.array([[0.0, 0.0]]))
+        outside = d.violation(np.array([[2.0, 0.0]]))
+        assert inside[0] <= 0.0
+        assert in_obstacle[0] > 0.0
+        assert outside[0] > 0.0
+
+
+# ----------------------------------------------------------------------
+# decomposition
+# ----------------------------------------------------------------------
+class TestDecomposition:
+    def test_basic_sets_are_their_own_cell(self):
+        box = Box([0, 0], [1, 1])
+        assert box.decompose() == (box,)
+        ball = Ball([0, 0], 1.0)
+        assert ball.decompose() == (ball,)
+
+    def test_box_obstacle_splits_into_face_cells(self):
+        d = DifferenceSet(
+            Box([-2, -2], [2, 2]), [Box([-0.5, -0.5], [0.5, 0.5])]
+        )
+        cells = d.decompose()
+        assert len(cells) == 4
+        for cell in cells:
+            # every cell is basic: real constraints, usable by Putinar
+            assert len(cell.constraints) >= 1
+
+    def test_ball_obstacle_single_cell(self):
+        d = DifferenceSet(Box([-2, -2], [2, 2]), [Ball([1, 1], 0.3)])
+        cells = d.decompose()
+        assert len(cells) == 1
+        assert len(cells[0].constraints) == len(
+            Box([-2, -2], [2, 2]).constraints
+        ) + 1
+
+    def test_disjoint_obstacle_is_dropped(self):
+        d = DifferenceSet(Box([-1, -1], [1, 1]), [Box([5, 5], [6, 6])])
+        assert len(d.decompose()) == 1
+
+    def test_cells_cover_the_region(self):
+        d = DifferenceSet(
+            Box([-2, -2], [2, 2]),
+            [Box([0.5, 0.5], [1.5, 1.5]), Ball([-1, -1], 0.4)],
+        )
+        pts = d.sample(300, rng=_rng(7))
+        cells = d.decompose()
+        in_some_cell = np.zeros(len(pts), dtype=bool)
+        for cell in cells:
+            in_some_cell |= cell.contains(pts, tol=1e-9)
+        assert in_some_cell.all()
+
+
+# ----------------------------------------------------------------------
+# sampling
+# ----------------------------------------------------------------------
+class TestSampling:
+    def test_zero_samples_is_empty(self):
+        assert Box([0, 0], [1, 1]).sample(0, rng=_rng()).shape == (0, 2)
+        basic = SemialgebraicSet(
+            2,
+            list(Box([0, 0], [1, 1]).constraints),
+            bounding_box=([0, 0], [1, 1]),
+        )
+        assert basic.sample(0, rng=_rng()).shape == (0, 2)
+
+    def test_infeasible_region_raises_typed_error(self):
+        from repro.poly import Polynomial
+
+        empty = SemialgebraicSet(
+            2,
+            [Polynomial.constant(2, -1.0)],  # -1 >= 0: never satisfiable
+            bounding_box=([-1, -1], [1, 1]),
+            name="empty",
+        )
+        with pytest.raises(SamplingError) as excinfo:
+            empty.sample(5, rng=_rng(), max_attempts=500)
+        err = excinfo.value
+        assert err.details["region"] == "empty"
+        assert err.details["requested"] == 5
+        assert err.details["attempts"] >= 500
+        assert err.phase == "sampling"
+
+    def test_fully_obstructed_difference_raises(self):
+        d = DifferenceSet(
+            Box([0, 0], [1, 1]), [Box([-1, -1], [2, 2])], name="blocked"
+        )
+        with pytest.raises(SamplingError):
+            d.sample(5, rng=_rng(), max_attempts=500)
+
+    def test_union_stratifies_by_volume(self):
+        big = Box([0, 0], [10, 10])
+        small = Box([20, 0], [21, 1])
+        u = UnionSet([big, small])
+        pts = u.sample(400, rng=_rng(3))
+        assert len(pts) == 400
+        n_big = int(big.contains(pts).sum())
+        # largest-remainder apportionment: ~99% of the volume is `big`
+        assert n_big >= 350
+
+    def test_union_sample_no_double_count_overlap(self):
+        a = Box([0, 0], [2, 2])
+        b = Box([1, 1], [3, 3])
+        pts = UnionSet([a, b]).sample(200, rng=_rng(5))
+        assert len(pts) == 200
+        assert UnionSet([a, b]).contains(pts).all()
+
+
+# ----------------------------------------------------------------------
+# properties over generated region specs
+# ----------------------------------------------------------------------
+class TestProperties:
+    def test_samples_satisfy_contains(self):
+        seed = resolve_seed(11)
+
+        def prop(spec: RegionSpec) -> None:
+            region = spec.build()
+            try:
+                pts = region.sample(
+                    50, rng=_rng(int(spec.canonical_key()[:8], 16))
+                )
+            except SamplingError:
+                return  # fully-obstructed geometry: vacuous for this prop
+            assert region.contains(pts, tol=1e-9).all(), (
+                f"sampled point escapes {spec.kind} region"
+            )
+
+        run_property(
+            "region-samples-contained", region_specs(2), prop,
+            n_examples=40, seed=seed, dump=False,
+        )
+
+    def test_difference_de_morgan(self):
+        seed = resolve_seed(12)
+
+        def prop(spec: RegionSpec) -> None:
+            if spec.kind != "difference":
+                return
+            region = spec.build()
+            base = spec.base.build()
+            obstacles = [o.build() for o in spec.obstacles]
+            pts = _rng(seed).uniform(-2.5, 2.5, size=(200, 2))
+            expected = base.contains(pts)
+            for obstacle in obstacles:
+                # difference excludes the *closed* obstacle
+                expected &= ~obstacle.contains(pts, tol=-1e-12)
+            got = region.contains(pts)
+            assert (got == expected).all(), "de Morgan reading violated"
+
+        run_property(
+            "difference-de-morgan", region_specs(2), prop,
+            n_examples=40, seed=seed, dump=False,
+        )
+
+    def test_decomposition_covers_region(self):
+        seed = resolve_seed(13)
+
+        def prop(spec: RegionSpec) -> None:
+            region = spec.build()
+            cells = region.decompose()
+            assert len(cells) >= 1
+            pts = _rng(seed + 1).uniform(-2.5, 2.5, size=(200, 2))
+            inside = region.contains(pts)
+            covered = np.zeros(len(pts), dtype=bool)
+            for cell in cells:
+                covered |= cell.contains(pts, tol=1e-9)
+            # cells may over-cover (closed obstacle boundaries) but must
+            # never miss a point of the region
+            assert covered[inside].all(), "decomposition misses the region"
+
+        run_property(
+            "decomposition-covers", region_specs(2), prop,
+            n_examples=40, seed=seed, dump=False,
+        )
+
+    def test_shrinking_minimizes_failing_spec(self):
+        # a property that rejects every difference spec: the shrinker
+        # must walk it down to a single-obstacle difference (dropping
+        # obstacles keeps failing; collapsing to the base passes)
+        def prop(spec: RegionSpec) -> None:
+            assert spec.kind != "difference", "no differences allowed"
+
+        with pytest.raises(PropertyFailure) as excinfo:
+            run_property(
+                "shrink-to-minimal", region_specs(2), prop,
+                n_examples=60, seed=3, dump=False,
+            )
+        minimized = excinfo.value.minimized
+        assert minimized.kind == "difference"
+        assert len(minimized.obstacles) == 1
+
+
+# ----------------------------------------------------------------------
+# spec canonicalization / hashing
+# ----------------------------------------------------------------------
+class TestRegionSpec:
+    def _spec(self) -> RegionSpec:
+        return RegionSpec.box_minus_obstacles(
+            [-2.0, -2.0],
+            [2.0, 2.0],
+            [
+                RegionSpec.box([1.4, 1.4], [1.8, 1.8], name="block"),
+                RegionSpec.ball([-1.2, -1.2], 0.35, name="pillar"),
+            ],
+            name="psi",
+        )
+
+    def test_round_trip_preserves_key(self):
+        spec = self._spec()
+        again = RegionSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.canonical_key() == spec.canonical_key()
+
+    def test_rebuild_preserves_key(self):
+        spec = self._spec()
+        recovered = region_spec_of(spec.build())
+        assert recovered.canonical_key() == spec.canonical_key()
+
+    def test_key_is_order_and_type_stable(self):
+        spec = self._spec()
+        doc = spec.to_dict()
+        # reversed key order in the payload must not change the hash
+        shuffled = dict(reversed(list(doc.items())))
+        assert (
+            RegionSpec.from_dict(shuffled).canonical_key()
+            == spec.canonical_key()
+        )
+
+    def test_service_request_key_stable_with_region(self):
+        from repro.service.request import CertificationRequest, request_key
+
+        spec = self._spec()
+        req = CertificationRequest(
+            kind="verify", system="decay", seed=7,
+            config={"psi": spec.to_dict(), "level": 1.0},
+        )
+        key = request_key(req)
+        # round-trip through the wire format and through a rebuilt spec
+        assert request_key(req.to_dict()) == key
+        rebuilt = CertificationRequest(
+            kind="verify", system="decay", seed=7,
+            config={
+                "psi": region_spec_of(spec.build()).to_dict(),
+                "level": 1.0,
+            },
+        )
+        assert request_key(rebuilt) == key
+
+
+# ----------------------------------------------------------------------
+# differential oracle: per-cell SOS vs interval verifier
+# ----------------------------------------------------------------------
+class TestDifferentialOracle:
+    def _compare(self, seed: int):
+        from repro.soundness import oracles
+        from repro.soundness.scenarios import make_scenario
+        from repro.verifier.interval_verifier import IntervalVerifierConfig
+
+        scenario = make_scenario(seed)
+        return scenario, oracles.compare_verifiers(
+            scenario.problem,
+            scenario.barrier,
+            interval_config=IntervalVerifierConfig(
+                delta=5e-2, max_boxes_per_check=20_000,
+                time_limit_per_check=20.0,
+            ),
+            dump_tag=f"region-seed{seed}",
+        )
+
+    def test_certified_scenario_never_contradicted(self):
+        scenario, comparison = self._compare(seed=0)
+        assert scenario.expected == "certifiable"
+        assert comparison.sos_ok
+        assert comparison.ok, "\n".join(
+            str(d) for d in comparison.disagreements
+        )
+
+    def test_falsified_scenario_is_not_a_disagreement(self):
+        scenario, comparison = self._compare(seed=4)
+        assert scenario.expected == "infeasible"
+        assert not comparison.sos_ok
+        # one-sided oracle: an SOS rejection is never a disagreement
+        assert comparison.ok

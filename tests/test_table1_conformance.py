@@ -1,6 +1,12 @@
 """Conformance of the 14 benchmark specs against the paper's Table 1:
 every C1-C14 instance must match its PAPER_TABLE1 row in state dimension,
-dynamics degree, and controller arity, and must instantiate cleanly."""
+dynamics degree, and controller arity, and must instantiate cleanly.
+
+The Q1 obstacle benchmark (region-algebra workload registered alongside
+C1-C14) gets its own conformance block: its composite regions must
+decompose into a stable set of basic cells, and the whole geometry must
+round-trip through ``RegionSpec`` serialization — including the service
+request-manifest hash — without drifting."""
 
 import numpy as np
 import pytest
@@ -8,6 +14,7 @@ import pytest
 from repro.benchmarks.paper_values import PAPER_TABLE1
 from repro.benchmarks.systems import BENCHMARKS, get_benchmark
 from repro.controllers import NNController
+from repro.sets import RegionSpec, region_spec_of
 
 SYSTEM_NAMES = [f"C{i}" for i in range(1, 15)]
 
@@ -83,3 +90,87 @@ def test_initial_and_unsafe_sets_are_disjoint():
         assert not np.any(prob.xi.contains(pts, tol=0.0)), (
             f"{name}: initial and unsafe sets overlap"
         )
+
+
+# ----------------------------------------------------------------------
+# Q1: the obstacle-rich region-algebra benchmark
+# ----------------------------------------------------------------------
+class TestQ1Conformance:
+    def _problem(self):
+        return get_benchmark("Q1").make_problem()
+
+    def test_registered_alongside_table1(self):
+        assert "Q1" in BENCHMARKS
+        spec = get_benchmark("Q1")
+        assert spec.n_x == 2
+        assert spec.source  # provenance recorded like every row
+
+    def test_cell_decomposition_is_stable(self):
+        prob = self._problem()
+        # floor minus (box block + ball pillar): the box splits into 4
+        # face cells, the ball folds into each as one extra constraint
+        psi_cells = prob.psi.decompose()
+        assert len(psi_cells) == 4
+        assert [len(c.constraints) for c in psi_cells] == [4, 4, 4, 4]
+        xi_cells = prob.xi.decompose()
+        assert len(xi_cells) == 2
+        assert len(prob.theta.decompose()) == 1
+
+    def test_theta_clear_of_obstacles(self):
+        prob = self._problem()
+        pts = prob.theta.sample(200, rng=np.random.default_rng(0))
+        assert not prob.xi.contains(pts).any()
+        assert prob.psi.contains(pts).all()
+
+    def test_region_specs_round_trip(self):
+        prob = self._problem()
+        for region in (prob.theta, prob.psi, prob.xi):
+            spec = region_spec_of(region)
+            again = RegionSpec.from_dict(spec.to_dict())
+            assert again == spec
+            assert again.canonical_key() == spec.canonical_key()
+            rebuilt = region_spec_of(spec.build())
+            assert rebuilt.canonical_key() == spec.canonical_key()
+
+    def test_decomposition_stable_across_round_trip(self):
+        prob = self._problem()
+        for region in (prob.psi, prob.xi):
+            spec = region_spec_of(region)
+            rebuilt = RegionSpec.from_dict(spec.to_dict()).build()
+            cells = region.decompose()
+            cells_again = rebuilt.decompose()
+            assert len(cells) == len(cells_again)
+            assert [len(c.constraints) for c in cells] == [
+                len(c.constraints) for c in cells_again
+            ]
+            # generators agree coefficient-for-coefficient
+            for a, b in zip(cells, cells_again):
+                for g, h in zip(a.constraints, b.constraints):
+                    assert g.coeffs == h.coeffs
+
+    def test_request_manifest_hash_is_stable(self):
+        from repro.service.request import CertificationRequest, request_key
+
+        prob = self._problem()
+        config = {
+            "psi": region_spec_of(prob.psi).to_dict(),
+            "xi": region_spec_of(prob.xi).to_dict(),
+            "theta": region_spec_of(prob.theta).to_dict(),
+        }
+        req = CertificationRequest(
+            kind="verify", system="Q1-geometry", seed=0, config=config
+        )
+        key = request_key(req)
+        # a fresh instantiation of the benchmark yields the same key
+        prob2 = self._problem()
+        req2 = CertificationRequest(
+            kind="verify", system="Q1-geometry", seed=0,
+            config={
+                "psi": region_spec_of(prob2.psi).to_dict(),
+                "xi": region_spec_of(prob2.xi).to_dict(),
+                "theta": region_spec_of(prob2.theta).to_dict(),
+            },
+        )
+        assert request_key(req2) == key
+        # and so does the wire-format round trip
+        assert request_key(req.to_dict()) == key
